@@ -1,0 +1,74 @@
+"""Ablation — the ILP objective: inverse slowdowns (Eq. 3.3/3.4) vs the
+naive alternative of minimizing the summed slowdowns.
+
+The paper maximizes Σ e_i·L_i with e = mean(1/S); an obvious variant
+minimizes Σ mean(S).  This bench compares the groupings and their
+realized throughput on the 14-app queue.
+"""
+
+from repro.analysis import render_table
+from repro.core import (GroupingPlan, enumerate_patterns, optimize_grouping,
+                        realize_groups)
+from repro.core.contention import build_grouping_model
+from repro.core.policies import PlannedGroup
+from repro.core.scheduler import run_group
+
+
+def grouping_with_negative_slowdown(queue_classified, interference):
+    """Solve the same ILP with e'_k = -mean slowdown of the pattern."""
+    patterns = enumerate_patterns(2)
+    coeffs = []
+    for p in patterns:
+        members = p.classes
+        total = 0.0
+        for i, victim in enumerate(members):
+            others = list(members[:i] + members[i + 1:])
+            total += interference.group_slowdown(victim, others)
+        coeffs.append(-total / len(members))
+    classes = [cls for _n, cls in queue_classified]
+    model, patterns = build_grouping_model(classes, 2, coeffs, patterns)
+    sol = model.solve()
+    counts = {p: int(round(sol[f"L{i}"])) for i, p in enumerate(patterns)
+              if round(sol[f"L{i}"]) > 0}
+    groups, leftovers = realize_groups(queue_classified, counts, 2)
+    return GroupingPlan(2, counts, sol.objective, groups, leftovers)
+
+
+def realized_cycles(lab, groups, specs):
+    total = 0
+    for members in groups:
+        planned = PlannedGroup(members=[(n, specs[n]) for n in members])
+        total += run_group(planned, lab.config).cycles
+    return total
+
+
+def test_objective_variants(lab, benchmark):
+    queue = lab.queue_for("paper", nc=2)
+    specs = dict(queue)
+
+    def compute():
+        classified = lab.ctx.classify_queue(queue)
+        paper_plan = optimize_grouping(classified, 2, lab.ctx.interference)
+        naive_plan = grouping_with_negative_slowdown(
+            classified, lab.ctx.interference)
+        return (realized_cycles(lab, paper_plan.all_groups, specs),
+                realized_cycles(lab, naive_plan.all_groups, specs),
+                paper_plan, naive_plan)
+
+    paper_cycles, naive_cycles, paper_plan, naive_plan = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+
+    rows = [
+        ["inverse slowdown (paper)", paper_cycles,
+         "; ".join(p.label for p in paper_plan.pattern_counts)],
+        ["negative slowdown", naive_cycles,
+         "; ".join(p.label for p in naive_plan.pattern_counts)],
+    ]
+    text = render_table(["objective", "queue cycles", "patterns"], rows,
+                        title="Ablation: ILP objective variants "
+                              "(14-app queue, NC=2)")
+    lab.save("ablation_ilp_objective", text)
+
+    # Both must produce full groupings; the paper objective must be
+    # competitive (within 10 %) with the variant.
+    assert paper_cycles <= naive_cycles * 1.10

@@ -1,0 +1,84 @@
+"""Shared state for the benchmark harness.
+
+Each ``test_*`` file regenerates one table or figure of the paper.  The
+session-scoped :class:`Lab` memoizes the expensive shared inputs (solo
+profiles, the Fig. 3.4 interference matrix, queue outcomes reused across
+figures) so the full suite stays in the minutes range.  Every bench
+prints its rows/series and also writes them to
+``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core import (EvenPolicy, FCFSPolicy, ILPPolicy, ILPSMRAPolicy,
+                        ProfileBasedPolicy, SerialPolicy, SMRAParams,
+                        make_context, run_queue, shared_profiler)
+from repro.gpusim import gtx480
+from repro.workloads import (RODINIA_SPECS, distribution_queue, paper_queue,
+                             paper_queue_three)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+POLICIES = {
+    "Serial": lambda nc: SerialPolicy(),
+    "Even": EvenPolicy,
+    "FCFS": FCFSPolicy,
+    "Profile-based": ProfileBasedPolicy,
+    "ILP": ILPPolicy,
+    "ILP-SMRA": ILPSMRAPolicy,
+}
+
+
+class Lab:
+    """Memoized experiment state shared by the whole bench session."""
+
+    def __init__(self):
+        self.config = gtx480()
+        self.suite = dict(RODINIA_SPECS)
+        self._ctx = None
+        self._outcomes = {}
+
+    @property
+    def ctx(self):
+        if self._ctx is None:
+            self._ctx = make_context(
+                self.config, suite=self.suite, need_interference=True,
+                samples_per_pair=2, smra_params=SMRAParams())
+        return self._ctx
+
+    @property
+    def profiler(self):
+        return shared_profiler(self.config)
+
+    def profiles(self):
+        return {name: self.profiler.profile(name, spec)
+                for name, spec in self.suite.items()}
+
+    def queue_for(self, kind, nc=2, length=20, seed=42):
+        if kind == "paper":
+            return paper_queue() if nc == 2 else paper_queue_three()
+        return distribution_queue(kind, length=length, seed=seed)
+
+    def outcome(self, kind, policy_name, nc=2, length=20, seed=42):
+        """Run (and memoize) one queue × policy experiment."""
+        key = (kind, policy_name, nc, length, seed)
+        if key not in self._outcomes:
+            queue = self.queue_for(kind, nc=nc, length=length, seed=seed)
+            policy = POLICIES[policy_name](nc)
+            self._outcomes[key] = run_queue(queue, policy, self.ctx)
+        return self._outcomes[key]
+
+    def save(self, name, text):
+        """Persist a rendered figure and echo it (visible with -s)."""
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture(scope="session")
+def lab():
+    return Lab()

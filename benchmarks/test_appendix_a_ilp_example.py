@@ -1,0 +1,41 @@
+"""Appendix A — the paper's worked ILP example, end to end.
+
+Uses the paper's own e-coefficients (derived from its Fig. 3.4) and the
+14-app queue composition (2 M, 5 MC, 2 C, 5 A); the solver must return
+exactly the thesis's solution vector (Eq. 5.7).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import (AppClass, PAPER_APPENDIX_E, build_grouping_model,
+                        enumerate_patterns)
+
+QUEUE = ([AppClass.M] * 2 + [AppClass.MC] * 5
+         + [AppClass.C] * 2 + [AppClass.A] * 5)
+
+
+def test_appendix_a_worked_example(lab, benchmark):
+    def compute():
+        model, patterns = build_grouping_model(QUEUE, 2, PAPER_APPENDIX_E)
+        sol = model.solve()
+        return sol, patterns
+
+    sol, patterns = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [(f"L{i + 1}", p.label, PAPER_APPENDIX_E[i],
+             int(round(sol[f"L{i}"])))
+            for i, p in enumerate(patterns)]
+    text = render_table(["var", "pattern", "e", "count"], rows, ndigits=4,
+                        title=f"Appendix A ILP (objective "
+                              f"f = {sol.objective:.4f})")
+    lab.save("appendix_a_ilp", text)
+
+    assert sol.is_optimal
+    counts = {p.label: int(round(sol[f"L{i}"]))
+              for i, p in enumerate(patterns)}
+    # Eq. 5.7: 2x M-C, 2x MC-MC, 1x MC-A, 2x A-A.
+    assert counts == {"M-M": 0, "M-MC": 0, "M-C": 2, "M-A": 0,
+                      "MC-MC": 2, "MC-C": 0, "MC-A": 1,
+                      "C-C": 0, "C-A": 0, "A-A": 2}
+    assert sol.objective == pytest.approx(0.4718, abs=1e-6)

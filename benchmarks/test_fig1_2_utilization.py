@@ -1,0 +1,32 @@
+"""Fig. 1.2 — maximum device utilization of each benchmark running alone.
+
+The paper's motivation chart: most Rodinia workloads leave the majority
+of the GTX-480 idle, which is the headroom multi-application execution
+recovers.
+"""
+
+from repro.analysis import render_bars
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_fig1_2_max_utilization(lab, benchmark):
+    def compute():
+        profiles = lab.profiles()
+        return {name: profiles[name].utilization * 100
+                for name in BENCHMARK_ORDER + ["JPEG"]
+                if name in profiles}
+
+    utilizations = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    text = render_bars(utilizations, width=40, ndigits=1,
+                       title="Fig 1.2: max utilization of Rodinia "
+                             "benchmarks (solo, % of peak IPC)")
+    lab.save("fig1_2_utilization", text)
+
+    # Paper shape: utilization spans a wide range and most benchmarks
+    # leave over 40 % of the device idle.
+    values = list(utilizations.values())
+    assert max(values) > 20.0
+    assert min(values) < 10.0
+    low = sum(1 for v in values if v < 60.0)
+    assert low >= 10, "most benchmarks must underutilize the device"

@@ -1,0 +1,36 @@
+"""Fig. 3.4 — average slowdown a class suffers per co-running class.
+
+Regenerates the class-pair slowdown matrix and checks the paper's two
+headline observations: class M applications slow every class down the
+most, and class MC suffers more from class M than class M itself does.
+"""
+
+from repro.analysis import render_table
+from repro.core import CLASS_ORDER
+
+
+def test_fig3_4_class_interference_matrix(lab, benchmark):
+    def compute():
+        return lab.ctx.interference  # built (and memoized) on demand
+
+    model = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    headers = ["victim \\ with"] + [str(c) for c in CLASS_ORDER]
+    rows = [[str(victim)] + list(row)
+            for victim, row in zip(CLASS_ORDER, model.slowdown)]
+    text = render_table(headers, rows, ndigits=2,
+                        title="Fig 3.4: average slowdown of class (row) "
+                              "when co-running with class (column)")
+    lab.save("fig3_4_interference", text)
+
+    s = model.slowdown
+    m = 0  # index of class M in CLASS_ORDER
+    # Class M is the most destructive aggressor for every victim class.
+    for victim in range(4):
+        assert s[victim][m] == max(s[victim]), (
+            f"class M must be the worst aggressor for {CLASS_ORDER[victim]}")
+    # MC suffers more than M when co-running with M (§3.2.2).
+    assert s[1][m] > s[0][m]
+    # Class A is the most benign aggressor overall.
+    col_means = [sum(s[v][a] for v in range(4)) / 4 for a in range(4)]
+    assert col_means[3] == min(col_means)

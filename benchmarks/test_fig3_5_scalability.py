@@ -1,0 +1,46 @@
+"""Fig. 3.5 — IPC scalability trends with SM count (normalized to 10 SMs).
+
+The paper highlights: LUD flat (12-block grid), HS near-ideal, LPS/FFT
+saturating, BFS2 flat-but-low, GUPS bound by the memory system.
+"""
+
+from repro.analysis import render_table
+from repro.gpusim import Application, simulate
+from repro.workloads import RODINIA_SPECS
+
+SM_POINTS = (10, 15, 20, 25, 30)
+BENCHES = ("BFS2", "LUD", "FFT", "LPS", "GUPS", "HS")
+
+
+def test_fig3_5_scalability_trends(lab, benchmark):
+    def compute():
+        curves = {}
+        for name in BENCHES:
+            ipcs = []
+            for sms in SM_POINTS:
+                cfg = lab.config.with_sms(sms)
+                res = simulate(cfg, [Application(name, RODINIA_SPECS[name])])
+                ipcs.append(res.app_stats[0].ipc(res.cycles))
+            curves[name] = [v / ipcs[0] for v in ipcs]
+        return curves
+
+    curves = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    headers = ["bench"] + [f"{n} SMs" for n in SM_POINTS]
+    rows = [[name] + vals for name, vals in curves.items()]
+    rows.append(["(ideal)"] + [n / SM_POINTS[0] for n in SM_POINTS])
+    text = render_table(headers, rows, ndigits=2,
+                        title="Fig 3.5: IPC vs #SMs, normalized to 10 SMs")
+    lab.save("fig3_5_scalability", text)
+
+    # LUD's 12-block grid cannot use more than 12 SMs: flat curve.
+    assert max(curves["LUD"]) < 1.3
+    # HS scales the closest to ideal of the six.
+    assert curves["HS"][-1] == max(c[-1] for c in curves.values())
+    assert curves["HS"][-1] > 2.0
+    # BFS2 is flat (low parallelism), GUPS is memory-system bound.
+    assert max(curves["BFS2"]) < 1.4
+    assert curves["GUPS"][-1] < 2.0
+    # LPS and FFT saturate: the last step adds little.
+    for name in ("LPS", "FFT"):
+        assert curves[name][-1] / curves[name][-2] < 1.15

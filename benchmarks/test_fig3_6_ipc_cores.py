@@ -1,0 +1,37 @@
+"""Fig. 3.6 — absolute IPC of every benchmark at 10/15/20/30 SMs."""
+
+from repro.analysis import render_table
+from repro.gpusim import Application, simulate
+from repro.workloads import RODINIA_SPECS
+
+SM_POINTS = (10, 15, 20, 30)
+
+
+def test_fig3_6_ipc_with_different_cores(lab, benchmark):
+    def compute():
+        table = {}
+        for name, spec in RODINIA_SPECS.items():
+            ipcs = []
+            for sms in SM_POINTS:
+                cfg = lab.config.with_sms(sms)
+                res = simulate(cfg, [Application(name, spec)])
+                ipcs.append(res.app_stats[0].ipc(res.cycles))
+            table[name] = ipcs
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    headers = ["bench"] + [f"{n} cores" for n in SM_POINTS]
+    rows = [[name] + vals for name, vals in table.items()]
+    text = render_table(headers, rows, ndigits=1,
+                        title="Fig 3.6: IPC with different numbers of cores")
+    lab.save("fig3_6_ipc_cores", text)
+
+    for name, ipcs in table.items():
+        assert all(v > 0 for v in ipcs), name
+    # GUPS has the lowest IPC at every core count (the paper's most
+    # memory-bound benchmark), HS among the highest at 30 cores.
+    for i in range(len(SM_POINTS)):
+        assert min(table, key=lambda n: table[n][i]) == "GUPS"
+    top3 = sorted(table, key=lambda n: table[n][-1], reverse=True)[:3]
+    assert "HS" in top3 or "SAD" in top3

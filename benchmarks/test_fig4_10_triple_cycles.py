@@ -1,0 +1,40 @@
+"""Fig. 4.10 — cycles of each co-executed application triple vs the
+triple's serial execution time, for (a) ILP and (b) FCFS selection.
+"""
+
+from repro.analysis import render_table
+
+
+def triple_rows(lab, policy):
+    serial = lab.outcome("paper", "Serial", nc=3)
+    co = lab.outcome("paper", policy, nc=3)
+    rows = []
+    for group in co.groups:
+        serial_sum = sum(serial.app_finish_cycles(n) for n in group.members)
+        rows.append(("-".join(group.members), group.cycles, serial_sum,
+                     group.cycles / serial_sum))
+    return rows
+
+
+def test_fig4_10a_ilp_triples(lab, benchmark):
+    rows = benchmark.pedantic(lambda: triple_rows(lab, "ILP"),
+                              rounds=1, iterations=1)
+    text = render_table(["triple", "co cycles", "serial cycles", "ratio"],
+                        rows, ndigits=2,
+                        title="Fig 4.10(a): ILP triples vs serial execution")
+    lab.save("fig4_10a_ilp_triples", text)
+    assert len(rows) == 4
+    assert min(r[3] for r in rows) < 0.75
+
+
+def test_fig4_10b_fcfs_triples(lab, benchmark):
+    rows = benchmark.pedantic(lambda: triple_rows(lab, "FCFS"),
+                              rounds=1, iterations=1)
+    text = render_table(["triple", "co cycles", "serial cycles", "ratio"],
+                        rows, ndigits=2,
+                        title="Fig 4.10(b): FCFS triples vs serial execution")
+    lab.save("fig4_10b_fcfs_triples", text)
+    assert len(rows) == 4
+    ilp_best = min(r[3] for r in triple_rows(lab, "ILP"))
+    fcfs_best = min(r[3] for r in rows)
+    assert ilp_best <= fcfs_best * 1.1

@@ -1,0 +1,35 @@
+"""Fig. 4.11 — three-app throughput across the five queue distributions
+for Even, Profile-based, ILP, ILP-SMRA (normalized to Even).
+"""
+
+from repro.analysis import geometric_mean, render_grouped_bars
+from repro.workloads import DISTRIBUTIONS
+
+POLICIES = ("Even", "Profile-based", "ILP", "ILP-SMRA")
+LENGTH = 21  # divisible by NC=3
+
+
+def test_fig4_11_three_app_distributions(lab, benchmark):
+    def compute():
+        table = {}
+        for dist in sorted(DISTRIBUTIONS):
+            even = lab.outcome(dist, "Even", nc=3,
+                               length=LENGTH).device_throughput
+            table[dist] = {
+                policy: lab.outcome(dist, policy, nc=3,
+                                    length=LENGTH).device_throughput / even
+                for policy in POLICIES
+            }
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    text = render_grouped_bars(
+        table, series_order=list(POLICIES), ndigits=3,
+        title="Fig 4.11: three-app throughput by queue distribution "
+              "(normalized to Even)")
+    lab.save("fig4_11_three_app_distributions", text)
+
+    avg = {p: geometric_mean([table[d][p] for d in table]) for p in POLICIES}
+    assert avg["ILP-SMRA"] > 0.99
+    assert avg["ILP"] > 0.99

@@ -1,0 +1,32 @@
+"""Fig. 4.12 — average per-benchmark device throughput, three concurrent
+applications, equal-distribution queue, all four policies.
+"""
+
+from repro.analysis import render_grouped_bars
+
+POLICIES = ("Even", "Profile-based", "ILP", "ILP-SMRA")
+LENGTH = 21
+
+
+def test_fig4_12_three_app_per_app(lab, benchmark):
+    def compute():
+        table = {}
+        for policy in POLICIES:
+            out = lab.outcome("equal", policy, nc=3, length=LENGTH)
+            for group in out.groups:
+                for name in group.members:
+                    table.setdefault(name, {})[policy] = \
+                        out.app_throughput(name)
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    text = render_grouped_bars(
+        table, series_order=list(POLICIES), ndigits=1,
+        title="Fig 4.12: per-app throughput, three concurrent apps, "
+              "equal distribution")
+    lab.save("fig4_12_three_app_per_app", text)
+
+    assert len(table) == LENGTH
+    for name, series in table.items():
+        assert all(v > 0 for v in series.values()), name

@@ -1,0 +1,24 @@
+"""Fig. 4.1 — device throughput of the 14-app queue under Serial, FCFS,
+and ILP selection (two concurrent applications), normalized to Serial.
+
+Paper: FCFS and ILP both beat serial execution, ILP beats FCFS.
+"""
+
+from repro.analysis import normalize, render_bars
+
+
+def test_fig4_1_two_app_throughput(lab, benchmark):
+    def compute():
+        return {name: lab.outcome("paper", name, nc=2).device_throughput
+                for name in ("Serial", "FCFS", "ILP")}
+
+    throughputs = benchmark.pedantic(compute, rounds=1, iterations=1)
+    normed = normalize(throughputs, "Serial")
+
+    text = render_bars(normed, width=40, baseline=1.0,
+                       title="Fig 4.1: two-app queue throughput "
+                             "(normalized to Serial)")
+    lab.save("fig4_1_two_app_throughput", text)
+
+    assert normed["FCFS"] > 1.05, "co-scheduling must beat serial"
+    assert normed["ILP"] > normed["FCFS"], "ILP selection must beat FCFS"

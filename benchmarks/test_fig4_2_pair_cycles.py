@@ -1,0 +1,49 @@
+"""Fig. 4.2 — cycles of each co-executed pair vs the pair's serial time.
+
+(a) pairs formed by the ILP, (b) pairs formed FCFS.  Paper: most ILP
+pairs finish well below their serial time; FCFS has fewer such pairs.
+"""
+
+from repro.analysis import render_table
+
+
+def pair_rows(lab, policy):
+    serial = lab.outcome("paper", "Serial", nc=2)
+    co = lab.outcome("paper", policy, nc=2)
+    rows = []
+    for group in co.groups:
+        serial_sum = sum(serial.app_finish_cycles(n) for n in group.members)
+        rows.append(("-".join(group.members), group.cycles, serial_sum,
+                     group.cycles / serial_sum))
+    return rows
+
+
+def test_fig4_2a_ilp_pair_cycles(lab, benchmark):
+    rows = benchmark.pedantic(lambda: pair_rows(lab, "ILP"),
+                              rounds=1, iterations=1)
+    text = render_table(["pair", "co cycles", "serial cycles", "ratio"],
+                        rows, ndigits=2,
+                        title="Fig 4.2(a): ILP pairs vs serial execution")
+    lab.save("fig4_2a_ilp_pairs", text)
+
+    ratios = [r[3] for r in rows]
+    # Most ILP pairs must finish well under their serial time.
+    assert sum(1 for r in ratios if r < 0.85) >= 5
+    assert min(ratios) < 0.7
+
+
+def test_fig4_2b_fcfs_pair_cycles(lab, benchmark):
+    rows = benchmark.pedantic(lambda: pair_rows(lab, "FCFS"),
+                              rounds=1, iterations=1)
+    text = render_table(["pair", "co cycles", "serial cycles", "ratio"],
+                        rows, ndigits=2,
+                        title="Fig 4.2(b): FCFS pairs vs serial execution")
+    lab.save("fig4_2b_fcfs_pairs", text)
+
+    ilp_ratios = [r[3] for r in pair_rows(lab, "ILP")]
+    fcfs_ratios = [r[3] for r in rows]
+    # The paper's comparison: more ILP pairs beat the 'good pair'
+    # threshold than FCFS pairs do.
+    threshold = sorted(ilp_ratios)[len(ilp_ratios) // 2]
+    assert (sum(1 for r in ilp_ratios if r <= threshold)
+            >= sum(1 for r in fcfs_ratios if r <= threshold))

@@ -1,0 +1,40 @@
+"""Fig. 4.3 — two-app throughput across the five queue distributions for
+Even, Profile-based, ILP, and ILP-SMRA (normalized to Even).
+
+Paper: ILP gains on average ~19 % over Even and ILP-SMRA ~36 %; the
+reproduction checks the ordering and positive average gains (magnitudes
+are compressed by the simulator substitution — see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis import geometric_mean, render_grouped_bars
+from repro.workloads import DISTRIBUTIONS
+
+POLICIES = ("Even", "Profile-based", "ILP", "ILP-SMRA")
+
+
+def test_fig4_3_two_app_distributions(lab, benchmark):
+    def compute():
+        table = {}
+        for dist in sorted(DISTRIBUTIONS):
+            even = lab.outcome(dist, "Even", nc=2).device_throughput
+            table[dist] = {
+                policy: lab.outcome(dist, policy, nc=2).device_throughput / even
+                for policy in POLICIES
+            }
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    text = render_grouped_bars(
+        table, series_order=list(POLICIES), ndigits=3,
+        title="Fig 4.3: two-app throughput by queue distribution "
+              "(normalized to Even)")
+    lab.save("fig4_3_two_app_distributions", text)
+
+    avg = {p: geometric_mean([table[d][p] for d in table]) for p in POLICIES}
+    assert avg["ILP"] > 1.0, "ILP must beat Even on average"
+    assert avg["ILP-SMRA"] >= avg["ILP"] * 0.99, \
+        "SMRA must not hurt the ILP grouping"
+    assert avg["ILP-SMRA"] > 1.0

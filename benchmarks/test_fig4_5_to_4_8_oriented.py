@@ -1,0 +1,58 @@
+"""Figs. 4.5–4.8 — per-application throughput for the class-oriented
+queues (A-, M-, MC-, and C-oriented respectively), two concurrent apps.
+
+Each figure is one oriented 20-app queue; the series are the four
+policies of Fig. 4.3.
+"""
+
+import pytest
+
+from repro.analysis import render_grouped_bars
+from repro.workloads import base_benchmark_name
+
+POLICIES = ("Even", "Profile-based", "ILP", "ILP-SMRA")
+FIGURES = {
+    "fig4_5_a_oriented": "A",
+    "fig4_6_m_oriented": "M",
+    "fig4_7_mc_oriented": "MC",
+    "fig4_8_c_oriented": "C",
+}
+
+
+def per_app_table(lab, dist):
+    table = {}
+    for policy in POLICIES:
+        out = lab.outcome(dist, policy, nc=2)
+        for group in out.groups:
+            for name in group.members:
+                table.setdefault(name, {})[policy] = out.app_throughput(name)
+    return table
+
+
+@pytest.mark.parametrize("figure,dist", sorted(FIGURES.items()))
+def test_oriented_queue_per_app(lab, benchmark, figure, dist):
+    table = benchmark.pedantic(lambda: per_app_table(lab, dist),
+                               rounds=1, iterations=1)
+
+    text = render_grouped_bars(
+        table, series_order=list(POLICIES), ndigits=1,
+        title=f"{figure}: per-app throughput, {dist}-oriented queue")
+    lab.save(figure, text)
+
+    assert len(table) == 20
+    # Majority class is 55 % of the queue.
+    majority = sum(1 for name in table
+                   if _cls(name) == dist)
+    assert majority == 11
+
+    even = lab.outcome(dist, "Even", nc=2).device_throughput
+    smra = lab.outcome(dist, "ILP-SMRA", nc=2).device_throughput
+    ilp = lab.outcome(dist, "ILP", nc=2).device_throughput
+    best = max(ilp, smra)
+    assert best > even * 0.97, \
+        f"proposed methods regressed on the {dist}-oriented queue"
+
+
+def _cls(name):
+    from repro.workloads import TABLE_3_2_CLASSES
+    return TABLE_3_2_CLASSES[base_benchmark_name(name)]

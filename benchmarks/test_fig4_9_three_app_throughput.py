@@ -1,0 +1,27 @@
+"""Fig. 4.9 — three-application execution: Serial vs FCFS vs ILP on the
+12-app queue, normalized to Serial.
+"""
+
+from repro.analysis import normalize, render_bars
+
+
+def test_fig4_9_three_app_throughput(lab, benchmark):
+    def compute():
+        return {name: lab.outcome("paper", name, nc=3).device_throughput
+                for name in ("Serial", "FCFS", "ILP")}
+
+    throughputs = benchmark.pedantic(compute, rounds=1, iterations=1)
+    normed = normalize(throughputs, "Serial")
+
+    text = render_bars(normed, width=40, baseline=1.0,
+                       title="Fig 4.9: three-app queue throughput "
+                             "(normalized to Serial)")
+    lab.save("fig4_9_three_app_throughput", text)
+
+    assert normed["FCFS"] > 1.2, "3-way co-scheduling must beat serial"
+    assert normed["ILP"] > 1.2
+    # The paper reports ILP ahead of FCFS; in this reproduction the two
+    # are within a few percent on the 12-app queue (the class-granular
+    # objective composed additively for NC=3 loses precision — see
+    # EXPERIMENTS.md).  Guard against a real regression only.
+    assert normed["ILP"] >= normed["FCFS"] * 0.95

@@ -1,0 +1,36 @@
+"""Table 3.2 — profile metrics and class of every benchmark.
+
+Regenerates the paper's classification table from solo profiling and
+checks every class label matches the paper's.
+"""
+
+from repro.analysis import render_table
+from repro.core import ClassificationThresholds, classify
+from repro.workloads import RODINIA_SPECS, TABLE_3_2_CLASSES
+
+
+def test_table3_2_classification(lab, benchmark):
+    thresholds = ClassificationThresholds.for_device(lab.config)
+
+    def compute():
+        rows = []
+        for name in RODINIA_SPECS:
+            m = lab.profiler.profile(name, RODINIA_SPECS[name])
+            cls = classify(m, thresholds)
+            rows.append((name, m.memory_bandwidth_gbps, m.l2_to_l1_gbps,
+                         m.ipc, m.mem_compute_ratio, str(cls),
+                         TABLE_3_2_CLASSES[name]))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    text = render_table(
+        ["Benchmark", "MemoryBW", "L2->L1", "IPC", "R", "class", "paper"],
+        rows, ndigits=2,
+        title=(f"Table 3.2: classification "
+               f"(alpha={thresholds.alpha_gbps:.1f}, "
+               f"beta={thresholds.beta_gbps:.1f}, gamma=100, eps=200)"))
+    lab.save("table3_2_classification", text)
+
+    mismatches = [r[0] for r in rows if r[5] != r[6]]
+    assert not mismatches, f"class mismatches: {mismatches}"

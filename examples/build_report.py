@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Assemble benchmarks/results/*.txt into a single markdown report.
+
+Run the benchmark harness first (``pytest benchmarks/ --benchmark-only``)
+so the per-figure renderings exist, then:
+
+    python examples/build_report.py [output.md]
+"""
+
+import pathlib
+import sys
+
+from repro.analysis.report import load_results_dir, write_report
+
+TITLES = {
+    "fig1_2_utilization": "Max utilization of Rodinia benchmarks (solo)",
+    "table3_2_classification": "Benchmark classification",
+    "fig3_4_interference": "Per-class co-run slowdowns",
+    "fig3_5_scalability": "IPC scalability trends",
+    "fig3_6_ipc_cores": "IPC at different core counts",
+    "fig4_1_two_app_throughput": "Two-app queue throughput",
+    "fig4_2a_ilp_pairs": "ILP pairs vs serial",
+    "fig4_2b_fcfs_pairs": "FCFS pairs vs serial",
+    "fig4_3_two_app_distributions": "Two-app throughput by distribution",
+    "fig4_4_equal_dist_per_app": "Per-app throughput (equal distribution)",
+    "fig4_9_three_app_throughput": "Three-app queue throughput",
+    "appendix_a_ilp": "Appendix A worked ILP example",
+}
+
+
+def main() -> int:
+    results = pathlib.Path(__file__).resolve().parent.parent / \
+        "benchmarks" / "results"
+    if not results.is_dir():
+        print("No benchmarks/results directory found - run "
+              "`pytest benchmarks/ --benchmark-only` first.")
+        return 1
+    out = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        results.parent / "REPORT.md"
+    report = load_results_dir(results, titles=TITLES)
+    report.title = "GPU multi-application co-scheduling — measured figures"
+    report.preamble = ("Generated from benchmarks/results/ by "
+                       "examples/build_report.py. See EXPERIMENTS.md for "
+                       "the paper-vs-measured discussion.")
+    write_report(report, out)
+    print(f"wrote {out} ({len(report.sections)} sections)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Full methodology demo: drain the paper's 14-application queue under
+every scheduling policy and compare device throughput.
+
+This is the Fig. 4.1 experiment as a library walkthrough: profile the
+suite, measure the class interference matrix, let the ILP pick the
+co-run pairs, and execute everything — then print the policy comparison
+and the ILP's chosen pairs.
+
+Usage:  python examples/co_schedule_queue.py        (~1 minute)
+"""
+
+from repro.analysis import normalize, render_bars, render_table
+from repro.core import (CLASS_ORDER, FCFSPolicy, ILPPolicy, ILPSMRAPolicy,
+                        ProfileBasedPolicy, SerialPolicy, make_context,
+                        run_queue)
+from repro.gpusim import gtx480
+from repro.workloads import RODINIA_SPECS, paper_queue
+
+
+def main():
+    config = gtx480()
+    print("Building context (solo profiles + Fig 3.4 interference "
+          "matrix)...")
+    ctx = make_context(config, suite=dict(RODINIA_SPECS),
+                       need_interference=True, samples_per_pair=2)
+
+    headers = ["victim \\ with"] + [str(c) for c in CLASS_ORDER]
+    rows = [[str(v)] + list(r)
+            for v, r in zip(CLASS_ORDER, ctx.interference.slowdown)]
+    print(render_table(headers, rows,
+                       title="\nMeasured class slowdown matrix (Fig 3.4)"))
+
+    queue = paper_queue()
+    policies = [SerialPolicy(), FCFSPolicy(2), ProfileBasedPolicy(2),
+                ILPPolicy(2), ILPSMRAPolicy(2)]
+    throughputs = {}
+    outcomes = {}
+    for policy in policies:
+        print(f"\nRunning queue under {policy.name} ...")
+        outcome = run_queue(queue, policy, ctx)
+        outcomes[policy.name] = outcome
+        throughputs[policy.name] = outcome.device_throughput
+        for group in outcome.groups:
+            print(f"  {' + '.join(group.members):24} "
+                  f"{group.cycles:>8,} cycles")
+
+    print()
+    print(render_bars(normalize(throughputs, "Serial"), width=40,
+                      baseline=1.0,
+                      title="Device throughput, normalized to Serial "
+                            "(Fig 4.1)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate two applications sharing a GPU, solo and co-run.
+
+Runs Hotspot (compute-intensive) and GUPS (memory-intensive) alone on the
+paper's GTX-480 configuration, profiles and classifies them, then co-runs
+them on an evenly split device and prints per-app slowdowns and the
+device throughput gain.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro.analysis import render_table
+from repro.core import ClassificationThresholds, Profiler, classify
+from repro.gpusim import Application, gtx480, simulate
+from repro.workloads import RODINIA_SPECS
+
+
+def main():
+    config = gtx480()
+    profiler = Profiler(config)
+    thresholds = ClassificationThresholds.for_device(config)
+
+    names = ("HS", "GUPS")
+    rows = []
+    solo_cycles = {}
+    for name in names:
+        metrics = profiler.profile(name, RODINIA_SPECS[name])
+        solo_cycles[name] = metrics.solo_cycles
+        rows.append((name, metrics.memory_bandwidth_gbps,
+                     metrics.l2_to_l1_gbps, metrics.ipc,
+                     str(classify(metrics, thresholds)),
+                     metrics.solo_cycles))
+    print(render_table(
+        ["app", "MB (GB/s)", "L2->L1", "IPC", "class", "solo cycles"],
+        rows, title="Solo profiles on the GTX-480 configuration"))
+
+    apps = [Application(n, RODINIA_SPECS[n]) for n in names]
+    result = simulate(config, apps)  # even 30/30 SM split
+
+    print("\nConcurrent execution (even SM split):")
+    total_serial = sum(solo_cycles.values())
+    for app_id, stats in result.app_stats.items():
+        name = result.app_names[app_id]
+        slowdown = stats.finish_cycle / solo_cycles[name]
+        print(f"  {name:5} finished at cycle {stats.finish_cycle:>7,} "
+              f"(slowdown vs solo: {slowdown:.2f}x)")
+    print(f"  pair finished in {result.cycles:,} cycles vs "
+          f"{total_serial:,} serially "
+          f"-> {total_serial / result.cycles:.2f}x throughput")
+
+
+if __name__ == "__main__":
+    main()

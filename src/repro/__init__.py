@@ -1,0 +1,21 @@
+"""repro - reproduction of "Throughput Optimization and Resource
+Allocation on GPUs under Multi-Application Execution" (DATE 2018).
+
+Subpackages
+-----------
+``repro.gpusim``
+    Cycle-approximate GPU simulator (the GPGPU-Sim substitute).
+``repro.workloads``
+    Calibrated Rodinia benchmark models and queue builders.
+``repro.core``
+    The paper's methodology: classification, interference, the
+    contention-minimization ILP, SMRA, and the scheduling policies.
+``repro.ilp``
+    From-scratch simplex / branch-and-bound integer programming.
+``repro.analysis``
+    Metrics (throughput, utilization, speedups) and text rendering.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["gpusim", "workloads", "core", "ilp", "analysis", "__version__"]

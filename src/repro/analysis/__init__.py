@@ -1,0 +1,13 @@
+"""Analysis helpers: evaluation metrics and plain-text chart rendering."""
+
+from .metrics import (average_normalized_turnaround, fairness, geometric_mean,
+                      harmonic_mean, normalize, slowdown, speedup, throughput,
+                      utilization, weighted_speedup)
+from .tables import render_bars, render_grouped_bars, render_table
+
+__all__ = [
+    "throughput", "utilization", "speedup", "slowdown", "weighted_speedup",
+    "average_normalized_turnaround", "fairness", "harmonic_mean",
+    "geometric_mean", "normalize",
+    "render_table", "render_bars", "render_grouped_bars",
+]

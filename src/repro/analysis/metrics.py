@@ -1,0 +1,90 @@
+"""Evaluation metrics: throughput, utilization, and speedup families.
+
+Definitions follow the paper (§1.2) plus the standard multi-programming
+metrics used to analyze co-scheduling results (weighted speedup, average
+normalized turnaround time, fairness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def throughput(instructions: int, cycles: int) -> float:
+    """Eq. 1.1: instructions executed per cycle simulated."""
+    return instructions / max(1, cycles)
+
+
+def utilization(ipc: float, peak_ipc: float) -> float:
+    """§1.2.2: achieved throughput over the device's peak throughput."""
+    if peak_ipc <= 0:
+        raise ValueError("peak IPC must be positive")
+    return ipc / peak_ipc
+
+
+def speedup(baseline_cycles: int, cycles: int) -> float:
+    """How much faster than a baseline (>1 = faster)."""
+    return baseline_cycles / max(1, cycles)
+
+
+def slowdown(solo_cycles: int, shared_cycles: int) -> float:
+    """§3.2.2: shared completion time over solo completion time."""
+    return shared_cycles / max(1, solo_cycles)
+
+
+def weighted_speedup(solo_cycles: Mapping[str, int],
+                     shared_cycles: Mapping[str, int]) -> float:
+    """Σ_i solo_i / shared_i — the system-throughput view of co-running."""
+    if set(solo_cycles) != set(shared_cycles):
+        raise ValueError("weighted speedup needs matching app sets")
+    if not solo_cycles:
+        raise ValueError("weighted speedup of an empty set is undefined")
+    return sum(solo_cycles[k] / max(1, shared_cycles[k]) for k in solo_cycles)
+
+
+def average_normalized_turnaround(solo_cycles: Mapping[str, int],
+                                  shared_cycles: Mapping[str, int]) -> float:
+    """ANTT: mean per-application slowdown (lower is better)."""
+    if set(solo_cycles) != set(shared_cycles):
+        raise ValueError("ANTT needs matching app sets")
+    if not solo_cycles:
+        raise ValueError("ANTT of an empty set is undefined")
+    return sum(shared_cycles[k] / max(1, solo_cycles[k])
+               for k in solo_cycles) / len(solo_cycles)
+
+
+def fairness(solo_cycles: Mapping[str, int],
+             shared_cycles: Mapping[str, int]) -> float:
+    """min slowdown over max slowdown across apps (1 = perfectly fair)."""
+    if not solo_cycles:
+        raise ValueError("fairness of an empty set is undefined")
+    ratios = [shared_cycles[k] / max(1, solo_cycles[k]) for k in solo_cycles]
+    return min(ratios) / max(ratios)
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("harmonic mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def normalize(values: Mapping[str, float], baseline_key: str
+              ) -> Dict[str, float]:
+    """Normalize a metric dict to one entry (the paper's Even baseline)."""
+    base = values[baseline_key]
+    if base == 0:
+        raise ValueError(f"baseline {baseline_key!r} is zero")
+    return {k: v / base for k, v in values.items()}

@@ -1,0 +1,105 @@
+"""Experiment report assembly.
+
+Collects figure/table renderings into a single markdown document — the
+benchmark harness writes one section per reproduced experiment, and
+:func:`write_report` stitches them together with a summary header.  This
+is how ``benchmarks/results/`` can be flattened into a shareable
+artifact (see ``examples/build_report.py``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass
+class Section:
+    """One experiment's rendered output plus commentary."""
+
+    experiment_id: str          # e.g. "Fig 4.1"
+    title: str
+    body: str                   # preformatted table / bars
+    commentary: str = ""
+    verdict: str = ""           # e.g. "shape reproduced"
+
+    def to_markdown(self) -> str:
+        lines = [f"## {self.experiment_id} — {self.title}", ""]
+        if self.verdict:
+            lines.append(f"**Verdict:** {self.verdict}")
+            lines.append("")
+        lines.append("```text")
+        lines.append(self.body.rstrip())
+        lines.append("```")
+        if self.commentary:
+            lines.append("")
+            lines.append(self.commentary)
+        lines.append("")
+        return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """An ordered collection of experiment sections."""
+
+    title: str = "Reproduction report"
+    preamble: str = ""
+    sections: List[Section] = field(default_factory=list)
+
+    def add(self, experiment_id: str, title: str, body: str,
+            commentary: str = "", verdict: str = "") -> Section:
+        section = Section(experiment_id, title, body, commentary, verdict)
+        self.sections.append(section)
+        return section
+
+    def section_ids(self) -> List[str]:
+        return [s.experiment_id for s in self.sections]
+
+    def get(self, experiment_id: str) -> Section:
+        for section in self.sections:
+            if section.experiment_id == experiment_id:
+                return section
+        raise KeyError(experiment_id)
+
+    def to_markdown(self) -> str:
+        lines = [f"# {self.title}", ""]
+        if self.preamble:
+            lines.append(self.preamble)
+            lines.append("")
+        if self.sections:
+            lines.append("## Contents")
+            lines.append("")
+            for section in self.sections:
+                lines.append(f"- {section.experiment_id} — {section.title}")
+            lines.append("")
+        for section in self.sections:
+            lines.append(section.to_markdown())
+        return "\n".join(lines)
+
+
+def load_results_dir(results_dir: PathLike,
+                     titles: Optional[Dict[str, str]] = None) -> Report:
+    """Build a report from a directory of ``*.txt`` renderings.
+
+    File stems become experiment ids (``fig4_1_two_app_throughput`` →
+    ``fig4_1 two app throughput`` unless overridden via `titles`).
+    """
+    results_dir = pathlib.Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    report = Report(title="GPU co-scheduling reproduction — results")
+    for path in sorted(results_dir.glob("*.txt")):
+        stem = path.stem
+        title = (titles or {}).get(stem, stem.replace("_", " "))
+        report.add(stem, title, path.read_text().rstrip())
+    return report
+
+
+def write_report(report: Report, path: PathLike) -> pathlib.Path:
+    """Serialize `report` as markdown to `path`."""
+    path = pathlib.Path(path)
+    path.write_text(report.to_markdown() + "\n")
+    return path

@@ -1,0 +1,95 @@
+"""Plain-text rendering of the paper's tables and bar charts.
+
+The benchmark harness prints every reproduced figure as an ASCII table
+or horizontal bar chart so the rows/series the paper reports can be
+compared directly from the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, ndigits: int = 2) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 ndigits: int = 2, title: str = "") -> str:
+    """A fixed-width table with a header rule."""
+    text_rows = [[format_cell(c, ndigits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in text_rows:
+        lines.append("  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _numeric(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def render_bars(values: Mapping[str, float], width: int = 40,
+                title: str = "", ndigits: int = 2,
+                baseline: Optional[float] = None) -> str:
+    """A horizontal bar chart (one bar per key).
+
+    When `baseline` is given, a ``|`` marker shows where it falls — the
+    paper's figures all normalize to the Even baseline at 1.0.
+    """
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values.values())
+    if baseline is not None:
+        peak = max(peak, baseline)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, val in values.items():
+        n = int(round(val / peak * width))
+        bar = "#" * n
+        if baseline is not None:
+            mark = int(round(baseline / peak * width))
+            if mark < width:
+                bar = (bar + " " * width)[:width]
+                bar = bar[:mark] + "|" + bar[mark + 1:]
+                bar = bar.rstrip()
+        lines.append(f"{key.ljust(label_w)}  {format_cell(val, ndigits).rjust(7)}  {bar}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(groups: Mapping[str, Mapping[str, float]],
+                        series_order: Optional[List[str]] = None,
+                        ndigits: int = 2, title: str = "") -> str:
+    """Render grouped series (e.g. per-benchmark × per-policy) as a table."""
+    if not groups:
+        raise ValueError("nothing to render")
+    if series_order is None:
+        series_order = list(next(iter(groups.values())).keys())
+    headers = [""] + list(series_order)
+    rows = []
+    for key, series in groups.items():
+        rows.append([key] + [series.get(s, float("nan")) for s in series_order])
+    return render_table(headers, rows, ndigits=ndigits, title=title)

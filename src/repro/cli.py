@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``profile``
+    Solo-profile benchmarks and print their Table 3.2 metric rows.
+``classify``
+    Profile + classify (adds the class column and thresholds).
+``interference``
+    Measure and print the Fig. 3.4 class slowdown matrix.
+``run-queue``
+    Drain an application queue under one or more scheduling policies and
+    print the device-throughput comparison.
+``scalability``
+    Sweep SM counts for selected benchmarks (Fig. 3.5/3.6).
+``list``
+    List the available benchmarks with their paper classes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import normalize, render_bars, render_table
+from repro.core import (CLASS_ORDER, ClassificationThresholds, FCFSPolicy,
+                        EvenPolicy, ILPPolicy, ILPSMRAPolicy,
+                        ProfileBasedPolicy, SerialPolicy, SMRAParams,
+                        classify, make_context, run_queue, shared_profiler)
+from repro.gpusim import Application, gtx480, simulate
+from repro.workloads import (ALL_BENCHMARKS, DISTRIBUTIONS, RODINIA_SPECS,
+                             TABLE_3_2_CLASSES, distribution_queue,
+                             paper_queue, paper_queue_three)
+
+POLICY_FACTORIES = {
+    "serial": lambda nc: SerialPolicy(),
+    "even": EvenPolicy,
+    "fcfs": FCFSPolicy,
+    "profile": ProfileBasedPolicy,
+    "ilp": ILPPolicy,
+    "ilp-smra": ILPSMRAPolicy,
+}
+
+
+def _select_benchmarks(names: Optional[Sequence[str]]) -> List[str]:
+    if not names:
+        return list(ALL_BENCHMARKS)
+    unknown = [n for n in names if n not in RODINIA_SPECS]
+    if unknown:
+        raise SystemExit(f"unknown benchmark(s): {', '.join(unknown)}; "
+                         f"choose from {', '.join(ALL_BENCHMARKS)}")
+    return list(names)
+
+
+def cmd_list(_args) -> int:
+    rows = [(name, TABLE_3_2_CLASSES[name],
+             RODINIA_SPECS[name].blocks, RODINIA_SPECS[name].warps_per_block,
+             RODINIA_SPECS[name].kernel_launches)
+            for name in ALL_BENCHMARKS]
+    print(render_table(
+        ["benchmark", "class", "blocks/launch", "warps/block", "launches"],
+        rows, title="Calibrated Rodinia benchmark models"))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    config = gtx480()
+    profiler = shared_profiler(config)
+    rows = []
+    for name in _select_benchmarks(args.benchmarks):
+        m = profiler.profile(name, RODINIA_SPECS[name])
+        rows.append((name, m.memory_bandwidth_gbps, m.l2_to_l1_gbps, m.ipc,
+                     m.mem_compute_ratio, m.solo_cycles,
+                     m.utilization * 100))
+    print(render_table(
+        ["benchmark", "MB (GB/s)", "L2->L1", "IPC", "R", "solo cycles",
+         "util %"], rows, title="Solo profiles (GTX-480 configuration)"))
+    return 0
+
+
+def cmd_classify(args) -> int:
+    config = gtx480()
+    profiler = shared_profiler(config)
+    thresholds = ClassificationThresholds.for_device(config)
+    rows = []
+    for name in _select_benchmarks(args.benchmarks):
+        m = profiler.profile(name, RODINIA_SPECS[name])
+        rows.append((name, m.memory_bandwidth_gbps, m.l2_to_l1_gbps,
+                     m.ipc, m.mem_compute_ratio,
+                     str(classify(m, thresholds)),
+                     TABLE_3_2_CLASSES[name]))
+    print(render_table(
+        ["benchmark", "MB", "L2->L1", "IPC", "R", "class", "paper"],
+        rows, title=f"Classification (alpha={thresholds.alpha_gbps:.1f}, "
+                    f"beta={thresholds.beta_gbps:.1f})"))
+    mismatches = [r[0] for r in rows if r[5] != r[6]]
+    if mismatches:
+        print(f"\nWARNING: classes differ from Table 3.2 for: "
+              f"{', '.join(mismatches)}")
+        return 1
+    return 0
+
+
+def cmd_interference(args) -> int:
+    config = gtx480()
+    ctx = make_context(config, suite=dict(RODINIA_SPECS),
+                       need_interference=True,
+                       samples_per_pair=args.samples)
+    headers = ["victim \\ with"] + [str(c) for c in CLASS_ORDER]
+    rows = [[str(v)] + list(r)
+            for v, r in zip(CLASS_ORDER, ctx.interference.slowdown)]
+    print(render_table(headers, rows,
+                       title="Class slowdown matrix (Fig 3.4)"))
+    return 0
+
+
+def cmd_run_queue(args) -> int:
+    config = gtx480()
+    ctx = make_context(config, suite=dict(RODINIA_SPECS),
+                       need_interference=True, samples_per_pair=args.samples,
+                       smra_params=SMRAParams())
+    if args.queue == "paper":
+        queue = paper_queue() if args.nc == 2 else paper_queue_three()
+    else:
+        queue = distribution_queue(args.queue, length=args.length,
+                                   seed=args.seed)
+
+    throughputs = {}
+    for key in args.policies:
+        policy = POLICY_FACTORIES[key](args.nc)
+        outcome = run_queue(queue, policy, ctx)
+        throughputs[policy.name] = outcome.device_throughput
+        if args.verbose:
+            print(f"\n{policy.name}:")
+            for group in outcome.groups:
+                print(f"  {' + '.join(group.members):40} "
+                      f"{group.cycles:>9,} cycles")
+
+    baseline = list(throughputs)[0]
+    print()
+    print(render_bars(normalize(throughputs, baseline), width=40,
+                      baseline=1.0,
+                      title=f"Device throughput on the '{args.queue}' "
+                            f"queue (NC={args.nc}, normalized to "
+                            f"{baseline})"))
+    return 0
+
+
+def cmd_scalability(args) -> int:
+    config = gtx480()
+    points = args.sms
+    rows = []
+    for name in _select_benchmarks(args.benchmarks):
+        ipcs = []
+        for sms in points:
+            res = simulate(config.with_sms(sms),
+                           [Application(name, RODINIA_SPECS[name])])
+            ipcs.append(res.app_stats[0].ipc(res.cycles))
+        rows.append([name] + ipcs)
+    print(render_table(["benchmark"] + [f"{n} SMs" for n in points], rows,
+                       ndigits=1, title="IPC vs SM count (Fig 3.5/3.6)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU multi-application co-scheduling reproduction "
+                    "(DATE 2018)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark models")
+
+    p = sub.add_parser("profile", help="solo-profile benchmarks")
+    p.add_argument("benchmarks", nargs="*", help="benchmark names "
+                   "(default: all)")
+
+    p = sub.add_parser("classify", help="profile and classify benchmarks")
+    p.add_argument("benchmarks", nargs="*")
+
+    p = sub.add_parser("interference",
+                       help="measure the class slowdown matrix")
+    p.add_argument("--samples", type=int, default=2,
+                   help="benchmark pairs per class pair (default 2)")
+
+    p = sub.add_parser("run-queue", help="drain a queue under policies")
+    p.add_argument("--queue", default="paper",
+                   choices=["paper"] + sorted(DISTRIBUTIONS),
+                   help="queue to run (default: the paper's 14-app queue)")
+    p.add_argument("--nc", type=int, default=2, choices=(2, 3),
+                   help="concurrent applications per group")
+    p.add_argument("--length", type=int, default=20,
+                   help="queue length for distribution queues")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--samples", type=int, default=2)
+    p.add_argument("--policies", nargs="+",
+                   default=["serial", "fcfs", "ilp", "ilp-smra"],
+                   choices=sorted(POLICY_FACTORIES))
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print each group's members and cycles")
+
+    p = sub.add_parser("scalability", help="IPC vs SM count sweep")
+    p.add_argument("benchmarks", nargs="*")
+    p.add_argument("--sms", type=int, nargs="+",
+                   default=[10, 15, 20, 25, 30, 60])
+
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "profile": cmd_profile,
+    "classify": cmd_classify,
+    "interference": cmd_interference,
+    "run-queue": cmd_run_queue,
+    "scalability": cmd_scalability,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

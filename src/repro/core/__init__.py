@@ -1,0 +1,54 @@
+"""The paper's methodology: classify → interfere → ILP-match → SMRA.
+
+Public API
+----------
+:class:`Profiler`, :class:`ProfileMetrics`
+    Solo profiling (§3.2 step 1).
+:class:`AppClass`, :class:`ClassificationThresholds`, :func:`classify`
+    Application classification (§3.2.1).
+:class:`InterferenceModel`, :func:`measure_interference`
+    Per-class slowdown matrix (§3.2.2, Fig. 3.4).
+:class:`Pattern`, :func:`enumerate_patterns`, :func:`num_patterns`
+    Class patterns (Eq. 3.1/3.2).
+:func:`optimize_grouping`, :func:`build_grouping_model`, :class:`GroupingPlan`
+    Contention-minimization ILP (§3.2.3).
+:class:`SMRAController`, :class:`SMRAParams`
+    Dynamic SM reallocation, Algorithm 1 (§3.2.4).
+:class:`SerialPolicy`, :class:`EvenPolicy`, :class:`FCFSPolicy`,
+:class:`ProfileBasedPolicy`, :class:`ILPPolicy`, :class:`ILPSMRAPolicy`
+    The evaluated scheduling policies.
+:func:`run_queue`, :func:`make_context`, :class:`QueueOutcome`
+    Queue execution harness.
+"""
+
+from .classification import (CLASS_ORDER, NUM_CLASSES, AppClass,
+                             ClassificationThresholds, class_index, classify)
+from .contention import (GroupingPlan, build_grouping_model, class_counts,
+                         optimize_grouping, realize_groups)
+from .interference import (PAPER_APPENDIX_E, InterferenceModel,
+                           measure_interference)
+from .patterns import Pattern, enumerate_patterns, num_patterns, pattern_matrix
+from .policies import (EvenPolicy, FCFSPolicy, ILPPolicy, ILPSMRAPolicy,
+                       PlannedGroup, Policy, PolicyContext,
+                       ProfileBasedPolicy, SerialPolicy, default_policies,
+                       sm_demand)
+from .profiling import (Profiler, ProfileMetrics, metrics_from_result,
+                        shared_profiler)
+from .scheduler import (GroupOutcome, QueueOutcome, make_context, run_group,
+                        run_queue)
+from .smra import SMRAController, SMRADecision, SMRAParams
+
+__all__ = [
+    "AppClass", "CLASS_ORDER", "NUM_CLASSES", "ClassificationThresholds",
+    "classify", "class_index",
+    "Profiler", "ProfileMetrics", "metrics_from_result", "shared_profiler",
+    "InterferenceModel", "measure_interference", "PAPER_APPENDIX_E",
+    "Pattern", "enumerate_patterns", "num_patterns", "pattern_matrix",
+    "GroupingPlan", "build_grouping_model", "optimize_grouping",
+    "realize_groups", "class_counts",
+    "SMRAController", "SMRAParams", "SMRADecision",
+    "Policy", "PolicyContext", "PlannedGroup", "SerialPolicy", "EvenPolicy",
+    "FCFSPolicy", "ProfileBasedPolicy", "ILPPolicy", "ILPSMRAPolicy",
+    "default_policies", "sm_demand",
+    "run_queue", "run_group", "make_context", "QueueOutcome", "GroupOutcome",
+]

@@ -1,0 +1,91 @@
+"""Application classification (§3.2.1, Tables 3.1/3.2).
+
+Applications are profiled solo and binned into four classes:
+
+* **M** — memory intensive: DRAM bandwidth above α.
+* **MC** — memory *and* cache intensive: DRAM bandwidth between β and α.
+* **C** — cache intensive: modest DRAM bandwidth but heavy L2→L1 traffic
+  (or a high memory-to-compute ratio) and low IPC.
+* **A** — compute intensive: everything else.
+
+The thresholds follow the paper: α = 0.55·MBmax, β = 0.30·MBmax (the
+thesis text swaps the two factors — see DESIGN.md §6), γ = 100 GB/s and
+ε = 200 IPC.  The rule tree is evaluated top-down (M, MC, C, A), which
+reproduces every row of Table 3.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.gpusim import GPUConfig
+
+from .profiling import ProfileMetrics
+
+
+class AppClass(enum.Enum):
+    """The four application classes of §3.2.1."""
+
+    M = "M"
+    MC = "MC"
+    C = "C"
+    A = "A"
+
+    def __str__(self):
+        return self.value
+
+
+#: Fixed class ordering used for pattern/interference indexing.
+CLASS_ORDER = (AppClass.M, AppClass.MC, AppClass.C, AppClass.A)
+
+#: Number of classes (NT in the paper's notation).
+NUM_CLASSES = len(CLASS_ORDER)
+
+
+@dataclass(frozen=True)
+class ClassificationThresholds:
+    """α, β, γ (GB/s) and ε (IPC) of Table 3.1."""
+
+    alpha_gbps: float
+    beta_gbps: float
+    gamma_gbps: float = 100.0
+    epsilon_ipc: float = 200.0
+    #: Memory-to-compute ratio boundary used by both the C and A rules.
+    ratio: float = 0.2
+
+    def __post_init__(self):
+        if self.beta_gbps >= self.alpha_gbps:
+            raise ValueError("β must be below α (M above MC)")
+
+    @classmethod
+    def for_device(cls, config: GPUConfig, alpha_frac: float = 0.55,
+                   beta_frac: float = 0.30, gamma_gbps: float = 100.0,
+                   epsilon_ipc: float = 200.0) -> "ClassificationThresholds":
+        """Thresholds relative to the device's peak DRAM bandwidth.
+
+        The paper picks α and β as fractions of MBmax of the GTX 480; this
+        constructor applies the same fractions to any simulated device.
+        """
+        peak = config.peak_dram_bandwidth_gbps
+        return cls(alpha_gbps=alpha_frac * peak, beta_gbps=beta_frac * peak,
+                   gamma_gbps=gamma_gbps, epsilon_ipc=epsilon_ipc)
+
+
+def classify(metrics: ProfileMetrics,
+             thresholds: ClassificationThresholds) -> AppClass:
+    """Apply the Table 3.1 rule tree to solo-profiling metrics."""
+    if metrics.memory_bandwidth_gbps > thresholds.alpha_gbps:
+        return AppClass.M
+    if metrics.memory_bandwidth_gbps > thresholds.beta_gbps:
+        return AppClass.MC
+    cache_pressure = (metrics.l2_to_l1_gbps > thresholds.gamma_gbps
+                      or metrics.mem_compute_ratio > thresholds.ratio)
+    if cache_pressure and metrics.ipc < thresholds.epsilon_ipc:
+        return AppClass.C
+    return AppClass.A
+
+
+def class_index(app_class: AppClass) -> int:
+    """Position of a class in :data:`CLASS_ORDER`."""
+    return CLASS_ORDER.index(app_class)

@@ -1,0 +1,133 @@
+"""Contention minimization via ILP (§3.2.3, Appendix A).
+
+Given a queue of classified applications and the interference model, the
+optimizer chooses how many times each class *pattern* should be formed
+(the integer variables ``L_1..L_NP``), maximizing the total inverse
+slowdown ``f = Σ e_i · L_i`` (Eq. 3.3) subject to class availability
+(Eq. 3.6, as ≤ per the Appendix) and the total group count (Eq. 3.7).
+The pattern counts are then *realized* into concrete application groups
+by matching queued applications FCFS within their class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ilp import Model, Solution, linear_sum
+
+from .classification import CLASS_ORDER, NUM_CLASSES, AppClass
+from .interference import InterferenceModel
+from .patterns import Pattern, enumerate_patterns
+
+
+@dataclass
+class GroupingPlan:
+    """Result of the ILP: pattern counts plus realized application groups."""
+
+    nc: int
+    pattern_counts: Dict[Pattern, int]
+    objective: float
+    groups: List[List[str]]
+    leftovers: List[str] = field(default_factory=list)
+    solution: Optional[Solution] = None
+
+    @property
+    def all_groups(self) -> List[List[str]]:
+        """Realized groups plus leftover apps chunked into final groups."""
+        extra = [self.leftovers[i:i + self.nc]
+                 for i in range(0, len(self.leftovers), self.nc)]
+        return self.groups + extra
+
+
+def class_counts(queue_classes: Sequence[AppClass]) -> List[int]:
+    """N_q^c per class (Eq. 3.5's decomposition of the queue)."""
+    counts = [0] * NUM_CLASSES
+    for cls in queue_classes:
+        counts[CLASS_ORDER.index(cls)] += 1
+    return counts
+
+
+def build_grouping_model(queue_classes: Sequence[AppClass], nc: int,
+                         coefficients: Sequence[float],
+                         patterns: Optional[Sequence[Pattern]] = None
+                         ) -> Tuple[Model, List[Pattern]]:
+    """Construct the Eq. 3.3–3.7 ILP for a queue.
+
+    Returns the model and the pattern list aligned with its variables
+    ``L0..L{NP-1}``.
+    """
+    patterns = list(patterns) if patterns is not None else enumerate_patterns(nc)
+    if len(coefficients) != len(patterns):
+        raise ValueError("one coefficient per pattern required")
+    total_groups = len(queue_classes) // nc
+    counts = class_counts(queue_classes)
+
+    model = Model(f"grouping-nc{nc}")
+    ls = [model.add_var(f"L{i}", lb=0, ub=total_groups, integer=True)
+          for i in range(len(patterns))]
+    # Eq. 3.6 (as inequalities, per Appendix Eq. 5.5): the chosen patterns
+    # cannot use more applications of a class than the queue holds.
+    for row, cls in enumerate(CLASS_ORDER):
+        usage = linear_sum(p.counts[row] * l for p, l in zip(patterns, ls))
+        model.add_constraint(usage <= counts[row], name=f"class_{cls}")
+    # Eq. 3.7: exactly L groups are formed.
+    model.add_constraint(linear_sum(ls) == total_groups, name="total_groups")
+    # Eq. 3.3.
+    model.maximize(linear_sum(e * l for e, l in zip(coefficients, ls)))
+    return model, patterns
+
+
+def realize_groups(queue: Sequence[Tuple[str, AppClass]],
+                   pattern_counts: Dict[Pattern, int],
+                   nc: int) -> Tuple[List[List[str]], List[str]]:
+    """Materialize pattern counts into named application groups.
+
+    Queued applications are consumed FCFS within their class, so two apps
+    of the same class keep their arrival order.  Returns (groups,
+    leftover app names).
+    """
+    pools: Dict[AppClass, List[str]] = {c: [] for c in CLASS_ORDER}
+    for name, cls in queue:
+        pools[cls].append(name)
+
+    groups: List[List[str]] = []
+    for pattern, count in pattern_counts.items():
+        for _ in range(count):
+            members = []
+            for cls in pattern.classes:
+                if not pools[cls]:
+                    raise ValueError(
+                        f"pattern {pattern.label} needs a {cls} app but the "
+                        f"queue has none left")
+            for cls in pattern.classes:
+                members.append(pools[cls].pop(0))
+            groups.append(members)
+    leftovers = [name for cls in CLASS_ORDER for name in pools[cls]]
+    return groups, leftovers
+
+
+def optimize_grouping(queue: Sequence[Tuple[str, AppClass]], nc: int,
+                      interference: InterferenceModel) -> GroupingPlan:
+    """Full §3.2.3 pipeline: build the ILP, solve it, realize the groups."""
+    if nc < 2:
+        raise ValueError("contention minimization needs NC >= 2")
+    queue = list(queue)
+    classes = [cls for _name, cls in queue]
+    patterns = enumerate_patterns(nc)
+    coefficients = interference.coefficients(patterns)
+    model, patterns = build_grouping_model(classes, nc, coefficients,
+                                           patterns)
+    solution = model.solve()
+    if not solution.is_optimal:
+        raise RuntimeError(f"grouping ILP not solved: {solution.status}")
+
+    pattern_counts = {
+        p: int(round(solution[f"L{i}"]))
+        for i, p in enumerate(patterns)
+        if round(solution[f"L{i}"]) > 0
+    }
+    groups, leftovers = realize_groups(queue, pattern_counts, nc)
+    return GroupingPlan(nc=nc, pattern_counts=pattern_counts,
+                        objective=solution.objective, groups=groups,
+                        leftovers=leftovers, solution=solution)

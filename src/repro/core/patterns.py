@@ -1,0 +1,83 @@
+"""Pattern enumeration for the contention-minimization ILP (§3.2.3).
+
+A *pattern* is a multiset of ``NC`` application classes that could run
+concurrently — Eq. 3.1 writes it as a count vector over the ``NT``
+classes.  The number of patterns is ``NP = C(NT + NC - 1, NC)`` (Eq. 3.2):
+10 for two concurrent applications over four classes, 20 for three.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .classification import CLASS_ORDER, NUM_CLASSES, AppClass
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A multiset of classes of size NC, as a count vector (Eq. 3.1)."""
+
+    counts: Tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.counts) != NUM_CLASSES:
+            raise ValueError("pattern must have one count per class")
+        if any(c < 0 for c in self.counts):
+            raise ValueError("pattern counts must be non-negative")
+
+    @property
+    def size(self) -> int:
+        """NC — how many applications the pattern describes."""
+        return sum(self.counts)
+
+    @property
+    def classes(self) -> Tuple[AppClass, ...]:
+        """The multiset expanded to a class tuple, e.g. (MC, MC)."""
+        out: List[AppClass] = []
+        for cls, count in zip(CLASS_ORDER, self.counts):
+            out.extend([cls] * count)
+        return tuple(out)
+
+    def count_of(self, app_class: AppClass) -> int:
+        return self.counts[CLASS_ORDER.index(app_class)]
+
+    @property
+    def label(self) -> str:
+        """Human-readable form, e.g. ``"M-C"`` or ``"MC-MC-A"``."""
+        return "-".join(str(c) for c in self.classes)
+
+    @classmethod
+    def from_classes(cls, classes: Iterable[AppClass]) -> "Pattern":
+        counts = [0] * NUM_CLASSES
+        for c in classes:
+            counts[CLASS_ORDER.index(c)] += 1
+        return cls(tuple(counts))
+
+
+def num_patterns(nc: int, nt: int = NUM_CLASSES) -> int:
+    """NP of Eq. 3.2: multisets of size `nc` over `nt` classes."""
+    return math.comb(nt + nc - 1, nc)
+
+
+def enumerate_patterns(nc: int) -> List[Pattern]:
+    """All patterns of size `nc`, in lexicographic class order.
+
+    For NC=2 this reproduces the Appendix A listing:
+    M-M, M-MC, M-C, M-A, MC-MC, MC-C, MC-A, C-C, C-A, A-A.
+    """
+    if nc < 1:
+        raise ValueError("NC must be >= 1")
+    patterns = [
+        Pattern.from_classes(combo)
+        for combo in itertools.combinations_with_replacement(CLASS_ORDER, nc)
+    ]
+    assert len(patterns) == num_patterns(nc)
+    return patterns
+
+
+def pattern_matrix(patterns: Sequence[Pattern]) -> List[List[int]]:
+    """The [P1 P2 ... PNP] matrix of Eq. 3.6 (rows = classes)."""
+    return [[p.counts[row] for p in patterns] for row in range(NUM_CLASSES)]

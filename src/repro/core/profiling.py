@@ -1,0 +1,92 @@
+"""Solo profiling of applications (step 1 of the methodology).
+
+Each application is executed alone on the full device; the profiler
+extracts the Table 3.2 metric vector — DRAM bandwidth, L2→L1 bandwidth,
+IPC, and memory-to-compute ratio — plus the solo completion time used as
+the denominator of every slowdown in §3.2.2.
+
+Profiles are memoized per (kernel-spec, device-config) pair, because the
+benchmark suite re-profiles the same 14 applications across many
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.gpusim import Application, DeviceResult, GPUConfig, KernelSpec, simulate
+
+
+@dataclass(frozen=True)
+class ProfileMetrics:
+    """Solo-run profile of one application (the Table 3.2 columns)."""
+
+    name: str
+    memory_bandwidth_gbps: float
+    l2_to_l1_gbps: float
+    ipc: float
+    mem_compute_ratio: float
+    solo_cycles: int
+    thread_instructions: int
+    utilization: float
+
+    @property
+    def columns(self) -> Tuple[float, float, float, float]:
+        """(MB, L2→L1, IPC, R) — the Table 3.2 metric columns."""
+        return (self.memory_bandwidth_gbps, self.l2_to_l1_gbps, self.ipc,
+                self.mem_compute_ratio)
+
+
+def metrics_from_result(result: DeviceResult, app_id: int = 0
+                        ) -> ProfileMetrics:
+    """Extract :class:`ProfileMetrics` from a finished solo run."""
+    stats = result.app_stats[app_id]
+    cycles = stats.finish_cycle if stats.finish_cycle else result.cycles
+    cfg = result.config
+    return ProfileMetrics(
+        name=result.app_names.get(app_id, stats.name),
+        memory_bandwidth_gbps=stats.memory_bandwidth_gbps(cycles, cfg),
+        l2_to_l1_gbps=stats.l2_to_l1_bandwidth_gbps(cycles, cfg),
+        ipc=stats.ipc(cycles),
+        mem_compute_ratio=stats.mem_compute_ratio,
+        solo_cycles=cycles,
+        thread_instructions=stats.thread_instructions,
+        utilization=stats.ipc(cycles) / cfg.peak_ipc)
+
+
+class Profiler:
+    """Runs and memoizes solo profiles."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self._cache: Dict[KernelSpec, ProfileMetrics] = {}
+
+    def profile(self, name: str, spec: KernelSpec) -> ProfileMetrics:
+        cached = self._cache.get(spec)
+        if cached is not None:
+            return cached
+        result = simulate(self.config, [Application(name, spec)])
+        metrics = metrics_from_result(result)
+        self._cache[spec] = metrics
+        return metrics
+
+    def solo_cycles(self, name: str, spec: KernelSpec) -> int:
+        return self.profile(name, spec).solo_cycles
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+
+#: Process-wide profiler cache, keyed by config.  The benchmark harness
+#: profiles the same suite dozens of times; sharing one profiler per
+#: configuration keeps the full figure suite tractable.
+_PROFILERS: Dict[GPUConfig, Profiler] = {}
+
+
+def shared_profiler(config: GPUConfig) -> Profiler:
+    profiler = _PROFILERS.get(config)
+    if profiler is None:
+        profiler = Profiler(config)
+        _PROFILERS[config] = profiler
+    return profiler

@@ -1,0 +1,142 @@
+"""Queue execution: run a policy's planned groups and collect results.
+
+The scheduler executes each planned group on a fresh device (groups run
+back-to-back, as in the paper's evaluation where the queue drains group
+by group), accumulates total cycles and instructions, and reports the
+device throughput of Eq. 1.1 plus per-application figures used by the
+per-benchmark charts (Fig. 4.4–4.8, 4.12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpusim import (Application, DeviceResult, GPU, GPUConfig,
+                          even_partition)
+
+from .classification import ClassificationThresholds
+from .interference import InterferenceModel, measure_interference
+from .policies import PlannedGroup, Policy, PolicyContext, Queue
+from .profiling import Profiler, shared_profiler
+from .smra import SMRAController, SMRAParams
+
+
+@dataclass
+class GroupOutcome:
+    """Result of one co-executed group."""
+
+    members: List[str]
+    cycles: int
+    result: DeviceResult
+    smra: Optional[SMRAController] = None
+
+    def finish_cycle_of(self, name: str) -> int:
+        return self.result.by_name(name).finish_cycle or self.cycles
+
+
+@dataclass
+class QueueOutcome:
+    """Result of draining a whole queue under one policy."""
+
+    policy: str
+    groups: List[GroupOutcome]
+    config: GPUConfig
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(g.cycles for g in self.groups)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(s.thread_instructions
+                   for g in self.groups
+                   for s in g.result.app_stats.values())
+
+    @property
+    def device_throughput(self) -> float:
+        """Eq. 1.1 over the full queue drain."""
+        return self.total_instructions / max(1, self.total_cycles)
+
+    def app_throughput(self, name: str) -> float:
+        """Per-application throughput: its instructions over its group's
+        completion time for it (the per-benchmark bars of Fig. 4.4)."""
+        for group in self.groups:
+            for member in group.members:
+                if member == name:
+                    stats = group.result.by_name(name)
+                    cycles = stats.finish_cycle or group.cycles
+                    return stats.thread_instructions / max(1, cycles)
+        raise KeyError(name)
+
+    def app_finish_cycles(self, name: str) -> int:
+        for group in self.groups:
+            if name in group.members:
+                return group.finish_cycle_of(name)
+        raise KeyError(name)
+
+    def group_of(self, name: str) -> GroupOutcome:
+        for group in self.groups:
+            if name in group.members:
+                return group
+        raise KeyError(name)
+
+
+def run_group(group: PlannedGroup, config: GPUConfig,
+              smra_params: SMRAParams = SMRAParams(),
+              max_cycles: int = 50_000_000) -> GroupOutcome:
+    """Co-execute one planned group on a fresh device."""
+    gpu = GPU(config)
+    apps = [Application(name, spec) for name, spec in group.members]
+    gpu.launch(apps, group.partitions)
+    controller: Optional[SMRAController] = None
+    callbacks = ()
+    if group.use_smra:
+        controller = SMRAController(smra_params)
+        callbacks = (controller.callback(),)
+    result = gpu.run(max_cycles=max_cycles, callbacks=callbacks)
+    return GroupOutcome(members=[name for name, _ in group.members],
+                        cycles=result.cycles, result=result, smra=controller)
+
+
+def run_queue(queue: Queue, policy: Policy, ctx: PolicyContext,
+              max_cycles: int = 50_000_000) -> QueueOutcome:
+    """Plan and execute `queue` under `policy`."""
+    groups = policy.plan(queue, ctx)
+    outcomes = [run_group(g, ctx.config, ctx.smra_params, max_cycles)
+                for g in groups]
+    return QueueOutcome(policy=policy.name, groups=outcomes,
+                        config=ctx.config)
+
+
+#: Memoized interference models — measuring the Fig. 3.4 matrix costs tens
+#: of co-runs, and every ILP-family policy in the benchmark suite needs it.
+_INTERFERENCE_CACHE: Dict[tuple, InterferenceModel] = {}
+
+
+def make_context(config: GPUConfig, suite: Optional[Dict] = None,
+                 need_interference: bool = False,
+                 samples_per_pair: int = 1,
+                 smra_params: SMRAParams = SMRAParams()) -> PolicyContext:
+    """Build a :class:`PolicyContext`, sharing the process-wide profiler.
+
+    When `need_interference` is set, the Fig. 3.4 class matrix is measured
+    from `suite` (required then); profiler and interference caches make
+    this a one-time cost per device configuration.
+    """
+    profiler = shared_profiler(config)
+    thresholds = ClassificationThresholds.for_device(config)
+    interference = None
+    if need_interference:
+        if suite is None:
+            raise ValueError("interference measurement requires a suite")
+        key = (config, tuple(sorted(suite.items())), samples_per_pair)
+        interference = _INTERFERENCE_CACHE.get(key)
+        if interference is None:
+            interference = measure_interference(
+                config, suite, profiler=profiler, thresholds=thresholds,
+                samples_per_pair=samples_per_pair)
+            _INTERFERENCE_CACHE[key] = interference
+    return PolicyContext(config=config, profiler=profiler,
+                         thresholds=thresholds, interference=interference,
+                         smra_params=smra_params)

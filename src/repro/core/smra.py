@@ -1,0 +1,162 @@
+"""Dynamic SM reallocation — Algorithm 1 of §3.2.4 (SMRA).
+
+Every ``TC`` cycles the controller samples per-application IPC and DRAM
+bandwidth utilization over the window, scores each application
+(+1 for IPC below ``IPCthr``, +2 for bandwidth above ``BWthr`` — so an
+app hitting both scores 3, exactly the paper's "if both conditions are
+true then V[i] = 3"), and migrates ``nr`` SMs from the highest-scoring
+application (low IPC and/or memory-hog: it wastes compute resources) to
+the lowest-scoring one.  If device throughput dropped since the previous
+window, the last migration is rolled back.  An application is never
+driven below ``Rmin`` SMs; at the floor its score is pinned negative so
+it becomes a preferred *recipient*, per the paper's description.
+
+SM migration uses the paper's method 3: the SM finishes its resident
+blocks, then flips to the new owner (implemented by the work
+distributor / SM drain logic in :mod:`repro.gpusim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpusim import GPU, Callback, GPUConfig
+
+
+@dataclass(frozen=True)
+class SMRAParams:
+    """Tunables of Algorithm 1."""
+
+    interval: int = 3000          # TC: cycles between reallocation decisions
+    ipc_thr: float = 150.0        # IPCthr (thread-instructions / cycle)
+    bw_thr: float = 0.45          # BWthr as a fraction of peak DRAM bandwidth
+    nr: int = 2                   # SMs moved per decision
+    r_min: int = 4                # Rmin: minimum SMs per application
+
+    def __post_init__(self):
+        if self.interval < 1 or self.nr < 1 or self.r_min < 1:
+            raise ValueError("interval, nr and r_min must be positive")
+
+
+@dataclass
+class SMRADecision:
+    """Record of one controller tick (for analysis / tests)."""
+
+    cycle: int
+    throughput: float
+    scores: Dict[int, int]
+    moved_from: Optional[int] = None
+    moved_to: Optional[int] = None
+    moved_sms: int = 0
+    reverted: bool = False
+
+
+class SMRAController:
+    """Algorithm 1, attached to a GPU run as a periodic callback."""
+
+    def __init__(self, params: SMRAParams = SMRAParams()):
+        self.params = params
+        self.decisions: List[SMRADecision] = []
+        self._prev_throughput: Optional[float] = None
+        self._last_move: Optional[Tuple[int, int, int]] = None
+
+    def callback(self) -> Callback:
+        return Callback(self.params.interval, self._tick)
+
+    # -- internals ----------------------------------------------------------
+    def _running_apps(self, gpu: GPU) -> List[int]:
+        return [app_id for app_id, app in gpu.apps.items() if not app.finished]
+
+    def _move_sms(self, gpu: GPU, src: int, dst: int, count: int) -> int:
+        """Migrate up to `count` SMs from app `src` to app `dst`."""
+        src_sms = gpu.distributor.sms_of(src)
+        movable = len(src_sms) - self.params.r_min
+        count = min(count, max(0, movable))
+        moved = 0
+        # Prefer idle SMs (they flip instantly); busy ones drain first
+        # per the paper's method 3 and only migrate when none are idle.
+        ordered = sorted(src_sms,
+                         key=lambda i: (not gpu.sms[i].idle, -i))
+        for sm_index in ordered:
+            if moved >= count:
+                break
+            gpu.distributor.set_sm_owner(sm_index, dst)
+            moved += 1
+        return moved
+
+    def _tick(self, gpu: GPU, now: int) -> None:
+        params = self.params
+        running = self._running_apps(gpu)
+        board = gpu.stats
+
+        # Window statistics (inputs (i)-(iii) of Algorithm 1).
+        window_instr = 0
+        window_cycles = 1
+        samples = {}
+        for app_id in running:
+            sample = board.window_delta(app_id, now)
+            samples[app_id] = sample
+            window_instr += sample.thread_instructions
+            window_cycles = max(window_cycles, sample.cycles)
+        throughput = window_instr / window_cycles
+        decision = SMRADecision(cycle=now, throughput=throughput, scores={})
+
+        if len(running) < 2:
+            board.mark_window(now)
+            self._prev_throughput = throughput
+            self._last_move = None
+            self.decisions.append(decision)
+            return
+
+        # Rollback: the previous move hurt device throughput.
+        if (self._last_move is not None and self._prev_throughput is not None
+                and throughput < self._prev_throughput):
+            src, dst, count = self._last_move
+            if src in running and dst in running:
+                self._move_sms(gpu, dst, src, count)
+                decision.reverted = True
+            self._last_move = None
+            self._prev_throughput = throughput
+            board.mark_window(now)
+            self.decisions.append(decision)
+            return
+
+        # Scoring.
+        scores: Dict[int, int] = {}
+        for app_id in running:
+            sample = samples[app_id]
+            score = 0
+            if sample.ipc < params.ipc_thr:
+                score += 1
+            if sample.bandwidth_utilization(gpu.config) > params.bw_thr:
+                score += 2
+            if len(gpu.distributor.sms_of(app_id)) <= params.r_min:
+                score = -1  # at the floor: becomes a preferred recipient
+            scores[app_id] = score
+        decision.scores = scores
+
+        worst = max(running, key=lambda a: (scores[a], a))
+        best = min(running, key=lambda a: (scores[a], a))
+        if scores[worst] > scores[best]:
+            moved = self._move_sms(gpu, worst, best, params.nr)
+            if moved:
+                decision.moved_from, decision.moved_to = worst, best
+                decision.moved_sms = moved
+                self._last_move = (worst, best, moved)
+            else:
+                self._last_move = None
+        else:
+            self._last_move = None
+
+        self._prev_throughput = throughput
+        board.mark_window(now)
+        self.decisions.append(decision)
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(d.moved_sms for d in self.decisions)
+
+    @property
+    def total_rollbacks(self) -> int:
+        return sum(1 for d in self.decisions if d.reverted)

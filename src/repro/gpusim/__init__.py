@@ -1,0 +1,35 @@
+"""Cycle-approximate GPU simulator (the GPGPU-Sim substitute).
+
+Public API
+----------
+:func:`gtx480`, :func:`small_test_config`, :class:`GPUConfig`
+    Device configurations (Table 4.1).
+:class:`KernelSpec`, :class:`Application`
+    Workload descriptions.
+:class:`GPU`, :func:`simulate`, :class:`DeviceResult`, :class:`Callback`
+    Device construction and execution.
+:func:`even_partition`, :func:`proportional_partition`
+    SM partitioning helpers.
+"""
+
+from .address import AddressMap, LineLocation
+from .cache import SetAssocCache
+from .config import DramTiming, GPUConfig, gtx480, small_test_config
+from .dispatcher import (WorkDistributor, even_partition,
+                         proportional_partition)
+from .dram import DramBank, MemoryPartition, MemorySystem
+from .gpu import GPU, Callback, DeviceResult, simulate
+from .kernel import (PATTERNS, AddressStream, Application, BlockContext,
+                     KernelSpec, WarpContext)
+from .sm import SM
+from .stats import AppStats, StatsBoard, WindowSample
+
+__all__ = [
+    "GPUConfig", "DramTiming", "gtx480", "small_test_config",
+    "KernelSpec", "Application", "PATTERNS",
+    "GPU", "simulate", "DeviceResult", "Callback",
+    "even_partition", "proportional_partition", "WorkDistributor",
+    "SetAssocCache", "MemorySystem", "MemoryPartition", "DramBank",
+    "AddressMap", "LineLocation", "AddressStream", "BlockContext",
+    "WarpContext", "SM", "AppStats", "StatsBoard", "WindowSample",
+]

@@ -1,0 +1,58 @@
+"""Physical address mapping: lines → partitions, banks, and DRAM rows.
+
+The mapping follows the common GPU interleaving scheme: consecutive cache
+lines round-robin across memory partitions (so streams use all partitions
+in parallel), lines local to a partition round-robin across its banks, and
+a DRAM row covers ``lines_per_row`` consecutive *local* lines of a bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import GPUConfig
+
+
+@dataclass(frozen=True)
+class LineLocation:
+    """Where a cache line lives in the memory system."""
+
+    partition: int
+    bank: int
+    row: int
+
+
+class AddressMap:
+    """Translates byte addresses / line addresses to memory-system places."""
+
+    def __init__(self, config: GPUConfig):
+        self._line_size = config.line_size
+        self._partitions = config.num_partitions
+        self._banks = config.banks_per_partition
+        self._lines_per_row = config.lines_per_row
+
+    def line_of(self, addr: int) -> int:
+        """Global line number of a byte address."""
+        return addr // self._line_size
+
+    def line_addr(self, addr: int) -> int:
+        """Line-aligned byte address."""
+        return (addr // self._line_size) * self._line_size
+
+    def partition_of_line(self, line: int) -> int:
+        return line % self._partitions
+
+    def locate_line(self, line: int) -> LineLocation:
+        """Partition, bank, and row of a global line number."""
+        partition = line % self._partitions
+        local = line // self._partitions
+        bank = local % self._banks
+        row = local // self._banks // self._lines_per_row
+        return LineLocation(partition, bank, row)
+
+    def locate(self, addr: int) -> LineLocation:
+        return self.locate_line(self.line_of(addr))
+
+    @property
+    def line_size(self) -> int:
+        return self._line_size

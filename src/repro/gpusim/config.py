@@ -1,0 +1,144 @@
+"""GPU hardware configuration (Table 4.1 of the paper).
+
+The default :func:`gtx480` configuration reproduces the paper's
+experimental setup: a GTX-480-like device with 60 SMs, 48 warps and
+8 blocks per SM, 16 kB L1 per SM, 768 kB shared L2, GTO warp scheduling
+and FR-FCFS memory scheduling.  :func:`small_test_config` is a scaled-down
+device used by the unit tests to keep runs fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Per-bank/bus service times in core cycles.
+
+    ``row_hit`` / ``row_miss`` are the bank-occupancy times of a request
+    that hits / misses the open row (the FR-FCFS approximation: row hits
+    occupy the bank for far fewer cycles, so streams with row locality see
+    proportionally more bandwidth — this is what makes class M favored by
+    the default memory scheduler, cf. §3.2.2).  ``bus`` is the data-bus
+    occupancy per line, which caps per-partition bandwidth.
+    """
+
+    row_hit: int = 3
+    row_miss: int = 40
+    bus: int = 3
+    extra_latency: int = 160  # fixed DRAM access latency component
+    #: FR-FCFS reordering capacity, modeled as a per-bank window of
+    #: recently open rows: a request "row-hits" when its row is among the
+    #: last `row_window` distinct rows the bank served.  Concurrent
+    #: streams beyond the window thrash each other — the mechanism behind
+    #: class M's destructive interference (§3.2.2).
+    row_window: int = 34
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Full device description consumed by :class:`repro.gpusim.gpu.GPU`."""
+
+    name: str = "GTX480"
+    num_sms: int = 60
+    core_clock_mhz: int = 700
+    max_warps_per_sm: int = 48
+    max_blocks_per_sm: int = 8
+    warp_size: int = 32
+    issue_width: int = 1
+    scheduler: str = "gto"  # "gto" | "lrr"
+
+    # Caches ------------------------------------------------------------
+    line_size: int = 128
+    l1_size_kb: int = 16
+    l1_assoc: int = 4
+    l1_latency: int = 28
+    l2_size_kb: int = 768
+    l2_assoc: int = 8
+    l2_latency: int = 100
+    l2_service: int = 2  # slice bus occupancy per line (cycles)
+    #: L2 insertion policy: "bip" (thrash-resistant bimodal insertion,
+    #: the default) or "lru" (classic MRU insertion; ablation knob).
+    l2_insertion: str = "bip"
+
+    # Memory system -------------------------------------------------------
+    num_partitions: int = 6
+    banks_per_partition: int = 8
+    row_size_bytes: int = 2048
+    dram: DramTiming = field(default_factory=DramTiming)
+    interconnect_latency: int = 10
+
+    # Memory scheduler: "frfcfs" charges row_hit/row_miss; "fcfs" charges
+    # the average of the two for every request (no row-hit prioritization).
+    mem_scheduler: str = "frfcfs"
+
+    def __post_init__(self):
+        if self.scheduler not in ("gto", "lrr"):
+            raise ValueError(f"unknown warp scheduler {self.scheduler!r}")
+        if self.mem_scheduler not in ("frfcfs", "fcfs"):
+            raise ValueError(f"unknown memory scheduler {self.mem_scheduler!r}")
+        if self.l2_insertion not in ("bip", "lru"):
+            raise ValueError(f"unknown L2 insertion {self.l2_insertion!r}")
+        if self.num_sms < 1 or self.num_partitions < 1:
+            raise ValueError("device must have at least one SM and partition")
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def l1_lines(self) -> int:
+        return self.l1_size_kb * 1024 // self.line_size
+
+    @property
+    def l1_sets(self) -> int:
+        return self.l1_lines // self.l1_assoc
+
+    @property
+    def l2_slice_kb(self) -> int:
+        return self.l2_size_kb // self.num_partitions
+
+    @property
+    def l2_slice_sets(self) -> int:
+        return self.l2_slice_kb * 1024 // self.line_size // self.l2_assoc
+
+    @property
+    def lines_per_row(self) -> int:
+        return self.row_size_bytes // self.line_size
+
+    @property
+    def peak_ipc(self) -> float:
+        """Device peak thread-instructions per cycle."""
+        return float(self.num_sms * self.issue_width * self.warp_size)
+
+    @property
+    def peak_dram_bandwidth_gbps(self) -> float:
+        """Peak DRAM bandwidth implied by the bus service time."""
+        lines_per_cycle = self.num_partitions / self.dram.bus
+        return lines_per_cycle * self.line_size * self.core_clock_mhz * 1e6 / 1e9
+
+    def bytes_per_cycle_to_gbps(self, bytes_per_cycle: float) -> float:
+        """Convert an on-chip rate (bytes/core-cycle) to GB/s."""
+        return bytes_per_cycle * self.core_clock_mhz * 1e6 / 1e9
+
+    def with_sms(self, num_sms: int) -> "GPUConfig":
+        """A copy with a different SM count (used by scalability sweeps)."""
+        return replace(self, num_sms=num_sms)
+
+
+def gtx480(**overrides) -> GPUConfig:
+    """The paper's experimental setup (Table 4.1)."""
+    return replace(GPUConfig(), **overrides) if overrides else GPUConfig()
+
+
+def small_test_config(**overrides) -> GPUConfig:
+    """A small fast device for unit tests (4 SMs, 2 partitions)."""
+    base = GPUConfig(
+        name="TestGPU",
+        num_sms=4,
+        max_warps_per_sm=16,
+        max_blocks_per_sm=4,
+        l1_size_kb=4,
+        l2_size_kb=64,
+        num_partitions=2,
+        banks_per_partition=4,
+    )
+    return replace(base, **overrides) if overrides else base

@@ -1,0 +1,134 @@
+"""Work distributor: assigns SMs to applications and dispatches blocks.
+
+This models the modified stream-queue / work-distributor of Fig. 2.2: each
+SM has exactly one owner application at a time; thread blocks of an
+application are only dispatched to SMs it owns.  SM reallocation (SMRA)
+goes through :meth:`WorkDistributor.set_sm_owner`, which follows the
+paper's method 3 — the SM finishes its resident blocks, then flips owner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .kernel import (AddressStream, Application, BlockContext, WarpContext)
+
+
+def even_partition(num_sms: int, n_apps: int) -> List[List[int]]:
+    """Split SM indices into `n_apps` contiguous near-equal groups."""
+    if n_apps < 1:
+        raise ValueError("need at least one application")
+    base, extra = divmod(num_sms, n_apps)
+    groups, start = [], 0
+    for i in range(n_apps):
+        size = base + (1 if i < extra else 0)
+        groups.append(list(range(start, start + size)))
+        start += size
+    return groups
+
+
+def proportional_partition(num_sms: int, weights: Sequence[float]
+                           ) -> List[List[int]]:
+    """Split SMs proportionally to `weights` (each app gets >= 1 SM)."""
+    n = len(weights)
+    if n < 1:
+        raise ValueError("need at least one weight")
+    if num_sms < n:
+        raise ValueError("fewer SMs than applications")
+    total = sum(weights)
+    if total <= 0:
+        return even_partition(num_sms, n)
+    raw = [max(1.0, w / total * num_sms) for w in weights]
+    counts = [int(r) for r in raw]
+    # Distribute the remainder to the largest fractional parts.
+    remainder = num_sms - sum(counts)
+    order = sorted(range(n), key=lambda i: raw[i] - counts[i], reverse=True)
+    for i in range(abs(remainder)):
+        counts[order[i % n]] += 1 if remainder > 0 else -1
+    counts = [max(1, c) for c in counts]
+    while sum(counts) > num_sms:
+        counts[counts.index(max(counts))] -= 1
+    groups, start = [], 0
+    for c in counts:
+        groups.append(list(range(start, start + c)))
+        start += c
+    return groups
+
+
+class WorkDistributor:
+    """Owns the SM→application map and dispatches thread blocks."""
+
+    def __init__(self, gpu):
+        self._gpu = gpu
+        self._programs: Dict[int, list] = {}  # app_id -> shared program
+
+    # -- SM ownership -------------------------------------------------------
+    def assign(self, app: Application, sm_indices: Sequence[int]) -> None:
+        for idx in sm_indices:
+            self._gpu.sms[idx].set_owner(app.app_id)
+
+    def set_sm_owner(self, sm_index: int, app_id: Optional[int]) -> None:
+        self._gpu.sms[sm_index].set_owner(app_id)
+
+    def sms_of(self, app_id: int) -> List[int]:
+        """SMs currently owned by (or draining toward) the application."""
+        out = []
+        for sm in self._gpu.sms:
+            effective = sm.pending_owner if sm.draining else sm.owner
+            if effective == app_id:
+                out.append(sm.index)
+        return out
+
+    # -- block dispatch -----------------------------------------------------
+    def _program_of(self, app: Application) -> list:
+        program = self._programs.get(app.app_id)
+        if program is None:
+            program = app.spec.build_program()
+            self._programs[app.app_id] = program
+        return program
+
+    def _make_block(self, app: Application, now: int):
+        cfg = self._gpu.config
+        spec = app.spec
+        block_id = app.blocks_dispatched
+        block = BlockContext(app.app_id, block_id, spec.warps_per_block)
+        program = self._program_of(app)
+        warps = []
+        row_stride = cfg.num_partitions * cfg.banks_per_partition
+        for w in range(spec.warps_per_block):
+            warp_index = block_id * spec.warps_per_block + w
+            stream = AddressStream(spec, app.base_line, warp_index,
+                                   cfg.line_size, cfg.lines_per_row,
+                                   row_stride=row_stride)
+            warps.append(WarpContext(app.app_id, block, program, stream,
+                                     age=0, dep_gap=spec.dep_gap))
+        app.blocks_dispatched += 1
+        return block, warps
+
+    def dispatch(self, now: int) -> int:
+        """Fill free SM capacity with pending blocks.  Returns #dispatched.
+
+        Blocks are handed out round-robin over the owning application's
+        SMs so occupancy stays balanced (one block per SM per sweep).
+        """
+        dispatched = 0
+        progress = True
+        while progress:
+            progress = False
+            for sm in self._gpu.sms:
+                if sm.owner is None or sm.draining:
+                    continue
+                app = self._gpu.apps.get(sm.owner)
+                if app is None or not app.dispatchable:
+                    continue
+                if not sm.can_host(app.spec.warps_per_block):
+                    continue
+                cap = app.spec.max_blocks_per_sm
+                if cap is not None and sum(
+                        1 for b in sm.blocks if b.app_id == app.app_id) >= cap:
+                    continue
+                block, warps = self._make_block(app, now)
+                sm.admit_block(block, warps, now)
+                dispatched += 1
+                progress = True
+        return dispatched

@@ -1,0 +1,174 @@
+"""Memory partitions: shared L2 slices plus DRAM banks with row buffers.
+
+Timing model
+------------
+Each partition is a pair of fluid servers plus per-bank row-buffer state:
+
+* The **L2 slice** is a set-associative cache with a slice bus that can
+  move one line every ``l2_service`` cycles.  L2 hits never touch DRAM.
+* Each **bank** tracks its open row and a ``busy_until`` time.  A request
+  occupies its bank for ``row_hit`` cycles when it targets the open row and
+  ``row_miss`` cycles otherwise (precharge + activate).  This approximates
+  FR-FCFS: row-locality-rich streams occupy banks briefly and therefore
+  achieve far higher service rates — the mechanism by which class M
+  monopolizes memory controllers in the paper (§3.2.2).  With
+  ``mem_scheduler="fcfs"`` every request is charged the hit/miss average,
+  removing the streaming advantage (used by the ablation bench).
+* The **data bus** of a partition moves one line per ``bus`` cycles,
+  capping partition bandwidth; queueing delay under load is
+  ``max(0, busy_until - arrival)`` on both servers, so co-running
+  applications slow each other exactly through these queues.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .address import AddressMap
+from .cache import SetAssocCache
+from .config import GPUConfig
+from .stats import StatsBoard
+
+
+class DramBank:
+    """One DRAM bank behind an FR-FCFS scheduler.
+
+    The scheduler's request-queue reordering is modeled as a window of the
+    last ``row_window`` distinct rows: a request whose row is inside the
+    window is served as a row hit (FR-FCFS would have batched it with the
+    other requests of that row), otherwise it pays the precharge+activate
+    miss cost.  When more concurrent streams than the window can hold
+    target one bank, they evict each other's rows and every stream
+    degrades — which is exactly how memory-intensive applications destroy
+    their co-runners in the paper.
+    """
+
+    __slots__ = ("rows", "window", "busy_until", "accesses", "row_hits")
+
+    def __init__(self, window: int = 16):
+        self.rows: Dict[int, None] = {}
+        self.window = max(1, window)
+        self.busy_until: int = 0
+        self.accesses = 0
+        self.row_hits = 0
+
+    def service(self, row: int, arrival: int, t_hit: int, t_miss: int,
+                fcfs_time: Optional[int]) -> tuple:
+        """Serve a request for `row` arriving at `arrival`.
+
+        Returns ``(finish_time, was_row_hit)``.  ``fcfs_time`` overrides
+        the hit/miss split when the FCFS ablation scheduler is active.
+        """
+        start = max(arrival, self.busy_until)
+        rows = self.rows
+        hit = row in rows
+        if hit:
+            del rows[row]  # refresh recency
+        elif len(rows) >= self.window:
+            rows.pop(next(iter(rows)))
+        rows[row] = None
+        if fcfs_time is not None:
+            occupancy = fcfs_time
+        else:
+            occupancy = t_hit if hit else t_miss
+        self.busy_until = start + occupancy
+        self.accesses += 1
+        if hit:
+            self.row_hits += 1
+        return self.busy_until, hit
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+class MemoryPartition:
+    """An L2 slice plus its DRAM channel (banks + data bus)."""
+
+    def __init__(self, index: int, config: GPUConfig, stats: StatsBoard):
+        self.index = index
+        self.config = config
+        self.stats = stats
+        self.l2 = SetAssocCache(config.l2_slice_sets, config.l2_assoc,
+                                insertion=config.l2_insertion)
+        self.banks: List[DramBank] = [
+            DramBank(config.dram.row_window)
+            for _ in range(config.banks_per_partition)]
+        self.l2_busy_until = 0
+        self.bus_busy_until = 0
+        self._fcfs_time: Optional[int] = None
+        if config.mem_scheduler == "fcfs":
+            # No row-hit prioritization: everyone pays the blended cost.
+            self._fcfs_time = (config.dram.row_hit + config.dram.row_miss) // 2
+
+    def access(self, line: int, bank: int, row: int, arrival: int,
+               app_id: int) -> int:
+        """Serve one line request; returns the completion cycle.
+
+        The L2 slice is probed first.  A hit is served across the slice
+        bus; a miss goes to the bank and data bus and fills the L2.
+        """
+        cfg = self.config
+        app = self.stats[app_id]
+
+        l2_start = max(arrival, self.l2_busy_until)
+        self.l2_busy_until = l2_start + cfg.l2_service
+        if self.l2.access(line):
+            app.l2_hits += 1
+            app.l2_to_l1_bytes += cfg.line_size
+            return l2_start + cfg.l2_latency
+
+        # L2 miss → DRAM.  (The line was allocated by the L2 access above,
+        # modeling fill-on-miss.)
+        bank_done, row_hit = self.banks[bank].service(
+            row, l2_start, cfg.dram.row_hit, cfg.dram.row_miss,
+            self._fcfs_time)
+        bus_start = max(bank_done, self.bus_busy_until)
+        self.bus_busy_until = bus_start + cfg.dram.bus
+        done = bus_start + cfg.dram.bus + cfg.dram.extra_latency
+
+        app.dram_accesses += 1
+        app.dram_bytes += cfg.line_size
+        if row_hit:
+            app.dram_row_hits += 1
+        return done
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2.hit_rate
+
+    def row_hit_rate(self) -> float:
+        total = sum(b.accesses for b in self.banks)
+        hits = sum(b.row_hits for b in self.banks)
+        return hits / total if total else 0.0
+
+
+class MemorySystem:
+    """All partitions behind the interconnect."""
+
+    def __init__(self, config: GPUConfig, stats: StatsBoard):
+        self.config = config
+        self.amap = AddressMap(config)
+        self.partitions = [MemoryPartition(i, config, stats)
+                           for i in range(config.num_partitions)]
+
+    def access_line(self, line: int, now: int, app_id: int) -> int:
+        """Route one line request through interconnect + partition.
+
+        Returns the cycle at which data is back at the SM.
+        """
+        loc = self.amap.locate_line(line)
+        arrival = now + self.config.interconnect_latency
+        done = self.partitions[loc.partition].access(
+            line, loc.bank, loc.row, arrival, app_id)
+        return done + self.config.interconnect_latency
+
+    def l2_hit_rate(self) -> float:
+        hits = sum(p.l2.hits for p in self.partitions)
+        total = sum(p.l2.accesses for p in self.partitions)
+        return hits / total if total else 0.0
+
+    def row_hit_rate(self) -> float:
+        total = sum(b.accesses for p in self.partitions for b in p.banks)
+        hits = sum(b.row_hits for p in self.partitions for b in p.banks)
+        return hits / total if total else 0.0

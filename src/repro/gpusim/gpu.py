@@ -1,0 +1,218 @@
+"""Top-level GPU device: event loop, concurrent kernels, results.
+
+The device advances through an event heap of SM wake-up times (plus
+periodic controller callbacks, e.g. the SMRA interval).  Because the
+memory system is a set of fluid servers, nothing needs to run on idle
+cycles and simulation cost is proportional to instructions executed, not
+cycles simulated.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .config import GPUConfig
+from .dispatcher import WorkDistributor, even_partition
+from .dram import MemorySystem
+from .kernel import Application, BlockContext
+from .sm import SM
+from .stats import AppStats, StatsBoard
+
+
+@dataclass
+class DeviceResult:
+    """Outcome of a simulation run."""
+
+    config: GPUConfig
+    cycles: int
+    app_stats: Dict[int, AppStats]
+    app_names: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def device_throughput(self) -> float:
+        """Thread-instructions per cycle over the whole run (Eq. 1.1)."""
+        total = sum(s.thread_instructions for s in self.app_stats.values())
+        return total / max(1, self.cycles)
+
+    @property
+    def device_utilization(self) -> float:
+        return self.device_throughput / self.config.peak_ipc
+
+    def app_cycles(self, app_id: int) -> int:
+        s = self.app_stats[app_id]
+        return (s.finish_cycle if s.finish_cycle is not None else self.cycles)
+
+    def by_name(self, name: str) -> AppStats:
+        for app_id, app_name in self.app_names.items():
+            if app_name == name:
+                return self.app_stats[app_id]
+        raise KeyError(name)
+
+
+class Callback:
+    """A periodic controller hook run every `interval` cycles."""
+
+    __slots__ = ("interval", "fn", "next_at")
+
+    def __init__(self, interval: int, fn: Callable[["GPU", int], None]):
+        if interval < 1:
+            raise ValueError("callback interval must be >= 1 cycle")
+        self.interval = interval
+        self.fn = fn
+        self.next_at = interval
+
+
+class GPU:
+    """A simulated GPU executing one or more applications concurrently."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.stats = StatsBoard(config)
+        self.memory = MemorySystem(config, self.stats)
+        self.sms: List[SM] = [
+            SM(i, config, self.memory, self.stats, self._block_done)
+            for i in range(config.num_sms)]
+        self.distributor = WorkDistributor(self)
+        self.apps: Dict[int, Application] = {}
+        self.cycle = 0
+        self.reassign_on_finish = True
+
+        self._heap: List = []
+        self._seq = itertools.count()
+        self._dispatch_needed = False
+        self._next_app_id = 0
+
+    # -- launch -------------------------------------------------------------
+    def launch(self, apps: Sequence[Application],
+               partitions: Optional[Sequence[Sequence[int]]] = None) -> None:
+        """Launch applications, each owning a group of SMs.
+
+        `partitions[i]` lists the SM indices of `apps[i]`; defaults to an
+        even contiguous split (the paper's Even baseline allocation).
+        """
+        apps = list(apps)
+        if not apps:
+            raise ValueError("launch requires at least one application")
+        if partitions is None:
+            partitions = even_partition(self.config.num_sms, len(apps))
+        if len(partitions) != len(apps):
+            raise ValueError("one SM group per application required")
+        seen: set = set()
+        for group in partitions:
+            for idx in group:
+                if idx in seen:
+                    raise ValueError(f"SM {idx} assigned twice")
+                seen.add(idx)
+        for app, group in zip(apps, partitions):
+            if not group:
+                raise ValueError(f"application {app.name} got no SMs")
+            app.app_id = self._next_app_id
+            self._next_app_id += 1
+            app.blocks_dispatched = 0
+            app.blocks_completed = 0
+            self.apps[app.app_id] = app
+            self.stats.register(app.app_id, app.name, start_cycle=self.cycle)
+            self.distributor.assign(app, group)
+        self._dispatch_needed = True
+
+    # -- event plumbing -------------------------------------------------------
+    def _push_sm(self, sm: SM) -> None:
+        t = sm.next_event()
+        if t is not None:
+            heapq.heappush(self._heap, (t, next(self._seq), sm.index))
+
+    def _block_done(self, sm: SM, block: BlockContext) -> None:
+        app = self.apps[block.app_id]
+        app.blocks_completed += 1
+        self.stats[block.app_id].blocks_completed += 1
+        self._dispatch_needed = True
+        if app.finished:
+            self.stats[app.app_id].finish_cycle = self.cycle
+            if self.reassign_on_finish:
+                self._redistribute_sms_of(app)
+
+    def _redistribute_sms_of(self, done_app: Application) -> None:
+        """Hand the finished application's SMs to the remaining apps."""
+        survivors = [a for a in self.apps.values() if not a.finished]
+        freed = [sm for sm in self.sms
+                 if sm.owner == done_app.app_id or
+                 (sm.draining and sm.pending_owner == done_app.app_id)]
+        if not survivors:
+            for sm in freed:
+                sm.set_owner(None)
+            return
+        for i, sm in enumerate(freed):
+            sm.set_owner(survivors[i % len(survivors)].app_id)
+
+    def _all_finished(self) -> bool:
+        return all(a.finished for a in self.apps.values())
+
+    # -- main loop ------------------------------------------------------------
+    def run(self, max_cycles: int = 50_000_000,
+            callbacks: Sequence[Callback] = ()) -> DeviceResult:
+        """Run until every launched application completes."""
+        if not self.apps:
+            raise RuntimeError("no applications launched")
+        callbacks = list(callbacks)
+        for cb in callbacks:
+            cb.next_at = self.cycle + cb.interval
+
+        if self._dispatch_needed:
+            self.distributor.dispatch(self.cycle)
+            self._dispatch_needed = False
+            for sm in self.sms:
+                self._push_sm(sm)
+
+        while not self._all_finished():
+            if not self._heap:
+                # Everything blocked on dispatch (e.g. after migration).
+                if self.distributor.dispatch(self.cycle):
+                    for sm in self.sms:
+                        self._push_sm(sm)
+                    continue
+                raise RuntimeError(
+                    "simulation deadlock: no events and nothing to dispatch")
+            t, _seq, sm_index = heapq.heappop(self._heap)
+            sm = self.sms[sm_index]
+            if sm.next_event() != t:
+                continue  # stale entry
+            if t > max_cycles:
+                self.cycle = max_cycles
+                break
+
+            # Fire periodic callbacks scheduled before this event.
+            for cb in callbacks:
+                while cb.next_at <= t:
+                    self.cycle = cb.next_at
+                    cb.fn(self, self.cycle)
+                    cb.next_at += cb.interval
+
+            self.cycle = t
+            sm.step(t)
+            self._push_sm(sm)
+            if self._dispatch_needed:
+                self._dispatch_needed = False
+                if self.distributor.dispatch(self.cycle):
+                    for s in self.sms:
+                        self._push_sm(s)
+        return self.result()
+
+    def result(self) -> DeviceResult:
+        return DeviceResult(
+            config=self.config,
+            cycles=self.cycle,
+            app_stats=dict(self.stats.apps),
+            app_names={i: a.name for i, a in self.apps.items()})
+
+
+def simulate(config: GPUConfig, apps: Sequence[Application],
+             partitions: Optional[Sequence[Sequence[int]]] = None,
+             callbacks: Sequence[Callback] = (),
+             max_cycles: int = 50_000_000) -> DeviceResult:
+    """Convenience one-shot simulation of `apps` on a fresh device."""
+    gpu = GPU(config)
+    gpu.launch(apps, partitions)
+    return gpu.run(max_cycles=max_cycles, callbacks=callbacks)

@@ -1,0 +1,303 @@
+"""Kernels, thread blocks, warps, and their synthetic instruction streams.
+
+A :class:`KernelSpec` describes a kernel statistically: grid shape,
+instructions per warp, the fraction that are memory operations, the
+dependency gap between issues, coalescing, working-set size, and the
+memory access pattern.  Warps execute the spec as a sequence of
+**segments** — a run of ALU instructions optionally terminated by one
+memory instruction — which is the standard trace-driven compression of a
+GPU instruction stream (compute gap + memory access).
+
+Addresses are generated deterministically per warp (seeded by application,
+block, and warp ids) so simulations are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple  # noqa: F401 (Optional in hints)
+
+#: Memory access patterns understood by :class:`AddressStream`.
+PATTERNS = ("stream", "strided", "random", "row_local")
+
+#: Each application gets a disjoint line-number region this many lines wide.
+APP_REGION_LINES = 1 << 30
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Statistical description of a kernel.
+
+    Parameters
+    ----------
+    blocks, warps_per_block:
+        Grid shape.  Total parallelism = ``blocks * warps_per_block`` warps.
+    instr_per_warp:
+        Warp instructions each warp executes.
+    mem_fraction:
+        Fraction of instructions that are global-memory operations.
+    dep_gap:
+        Average cycles between dependent issues of one warp (pipeline +
+        RAW stalls).  Together with occupancy this sets compute IPC.
+    tx_per_access:
+        Memory transactions (cache lines) per memory instruction — 1 for a
+        fully coalesced access, up to 32 for scatter/gather.
+    working_set_kb:
+        Footprint the addresses are drawn from.  Below L1 size ⇒ L1
+        resident; between L1 and the L2 share ⇒ cache-sensitive (class C);
+        far above L2 ⇒ streaming/memory bound.
+    pattern:
+        One of ``stream``, ``strided``, ``random``, ``row_local``.
+    row_locality:
+        For ``row_local``: probability that the next access stays in the
+        current DRAM row.
+    stride_lines:
+        For ``strided``: line distance between consecutive accesses.
+    hot_fraction, hot_set_kb:
+        With probability ``hot_fraction`` an access goes to a random line
+        of a shared "hot" region of ``hot_set_kb`` (lookup tables,
+        stencil halos, …).  A hot region larger than L1 but resident in
+        L2 is what generates sustained L2→L1 traffic.
+    """
+
+    name: str
+    blocks: int
+    warps_per_block: int
+    instr_per_warp: int
+    mem_fraction: float
+    dep_gap: float = 2.0
+    tx_per_access: int = 1
+    working_set_kb: int = 1024
+    pattern: str = "stream"
+    row_locality: float = 0.0
+    stride_lines: int = 1
+    hot_fraction: float = 0.0
+    hot_set_kb: int = 256
+    #: Occupancy cap from shared-memory / register pressure: at most this
+    #: many blocks of the kernel fit on one SM (None = device limit only).
+    max_blocks_per_sm: Optional[int] = None
+    #: The application invokes the kernel this many times back-to-back
+    #: (BFS iterations, BP layers, stencil timesteps, ...).  Launch k+1
+    #: only dispatches after launch k fully completes, so SMs gained at
+    #: run time (SMRA migration, a finished co-runner) are picked up at
+    #: the next launch boundary — as on real devices.
+    kernel_launches: int = 1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"unknown access pattern {self.pattern!r}")
+        if not 0.0 <= self.mem_fraction <= 1.0:
+            raise ValueError("mem_fraction must be in [0, 1]")
+        if self.blocks < 1 or self.warps_per_block < 1:
+            raise ValueError("grid must have >= 1 block and warp")
+        if self.instr_per_warp < 1:
+            raise ValueError("instr_per_warp must be >= 1")
+        if self.tx_per_access < 1 or self.tx_per_access > 32:
+            raise ValueError("tx_per_access must be in [1, 32]")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.kernel_launches < 1:
+            raise ValueError("kernel_launches must be >= 1")
+
+    @property
+    def total_warps(self) -> int:
+        """Warps of one launch (the unit of residency)."""
+        return self.blocks * self.warps_per_block
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks across all launches."""
+        return self.blocks * self.kernel_launches
+
+    @property
+    def total_warp_instructions(self) -> int:
+        return self.total_warps * self.instr_per_warp * self.kernel_launches
+
+    def scaled(self, factor: float) -> "KernelSpec":
+        """A copy with the instruction count scaled (for fast tests)."""
+        return replace(self, instr_per_warp=max(1, int(self.instr_per_warp * factor)))
+
+    def build_program(self) -> List[Tuple[int, int]]:
+        """Segment list ``[(alu_count, n_transactions), ...]``.
+
+        Memory instructions are spread evenly through the stream; each
+        contributes ``tx_per_access`` transactions.
+        """
+        n_mem = int(round(self.instr_per_warp * self.mem_fraction))
+        n_mem = min(n_mem, self.instr_per_warp)
+        n_alu = self.instr_per_warp - n_mem
+        if n_mem == 0:
+            return [(n_alu, 0)] if n_alu else []
+        base, extra = divmod(n_alu, n_mem)
+        program = []
+        for i in range(n_mem):
+            alu = base + (1 if i < extra else 0)
+            program.append((alu, self.tx_per_access))
+        return program
+
+
+class AddressStream:
+    """Deterministic per-warp generator of memory line numbers."""
+
+    __slots__ = ("_spec", "_rng", "_base_line", "_ws_lines", "_cursor",
+                 "_lines_per_row", "_hot_lines", "_row_stride")
+
+    def __init__(self, spec: KernelSpec, base_line: int, warp_index: int,
+                 line_size: int, lines_per_row: int, row_stride: int = 1):
+        self._spec = spec
+        self._rng = random.Random((spec.seed << 20) ^ (warp_index * 2654435761))
+        self._base_line = base_line
+        self._ws_lines = max(1, spec.working_set_kb * 1024 // line_size)
+        self._lines_per_row = max(1, lines_per_row)
+        self._hot_lines = max(1, spec.hot_set_kb * 1024 // line_size)
+        # Distance (in global line numbers) between two lines that land in
+        # the same DRAM row of the same bank: partitions * banks.  The
+        # ``row_local`` pattern steps by this stride so its locality is
+        # locality *at the bank*, which is what the FR-FCFS model rewards.
+        self._row_stride = max(1, row_stride)
+        # Warps start evenly spread through the working set so a streaming
+        # grid touches the whole footprint (and all partitions) at once;
+        # successive kernel launches continue into fresh slices rather
+        # than re-walking the previous launch's lines.
+        total = max(1, spec.total_warps * spec.kernel_launches)
+        self._cursor = (warp_index * self._ws_lines // total) % self._ws_lines
+
+    def next_lines(self, n_tx: int) -> List[int]:
+        spec, ws = self._spec, self._ws_lines
+        if spec.hot_fraction and self._rng.random() < spec.hot_fraction:
+            # Hot-region access: random lines in the shared lookup region
+            # (offset past the streaming working set so the two never mix).
+            hot_base = self._base_line + ws
+            rand = self._rng.randrange
+            return [hot_base + rand(self._hot_lines) for _ in range(n_tx)]
+        out = []
+        cursor = self._cursor
+        if spec.pattern == "stream":
+            for _ in range(n_tx):
+                out.append(self._base_line + cursor)
+                cursor = (cursor + 1) % ws
+        elif spec.pattern == "strided":
+            for _ in range(n_tx):
+                out.append(self._base_line + cursor)
+                cursor = (cursor + spec.stride_lines) % ws
+        elif spec.pattern == "random":
+            rand = self._rng.randrange
+            for _ in range(n_tx):
+                cursor = rand(ws)
+                out.append(self._base_line + cursor)
+        else:  # row_local
+            rand, uniform = self._rng.randrange, self._rng.random
+            lpr, stride = self._lines_per_row, self._row_stride
+            base = self._base_line
+            for _ in range(n_tx):
+                if uniform() < spec.row_locality:
+                    # Stay within the current DRAM row: jump to another of
+                    # the row's lines (same partition, bank, and row).  Row
+                    # membership is defined on *global* line numbers, so
+                    # compute there and translate back.
+                    g = base + cursor
+                    row_base = g - (g // stride % lpr) * stride
+                    new_cursor = row_base + rand(lpr) * stride - base
+                    if 0 <= new_cursor < ws:
+                        cursor = new_cursor
+                    else:
+                        cursor = rand(ws)
+                else:
+                    cursor = rand(ws)
+                out.append(base + cursor)
+        self._cursor = cursor
+        return out
+
+
+class WarpContext:
+    """Execution state of one warp resident on an SM."""
+
+    __slots__ = ("app_id", "block", "program", "pc", "ready_at", "age",
+                 "addr_stream", "done", "dep_gap", "mem_pending")
+
+    def __init__(self, app_id: int, block: "BlockContext",
+                 program: List[Tuple[int, int]], addr_stream: AddressStream,
+                 age: int, dep_gap: float = 2.0):
+        self.app_id = app_id
+        self.block = block
+        self.program = program
+        self.pc = 0
+        self.ready_at = 0
+        self.age = age
+        self.addr_stream = addr_stream
+        self.done = not program
+        self.dep_gap = dep_gap
+        #: True when the current segment's ALU run has issued and the
+        #: trailing memory instruction is waiting to execute.  Memory is a
+        #: separate event so requests reach the memory system at their
+        #: true arrival time (never time-travel into the servers).
+        self.mem_pending = False
+
+    def current_segment(self) -> Tuple[int, int]:
+        return self.program[self.pc]
+
+    def advance(self) -> None:
+        self.pc += 1
+        if self.pc >= len(self.program):
+            self.done = True
+
+
+class BlockContext:
+    """A thread block resident on an SM (tracks live warps)."""
+
+    __slots__ = ("app_id", "block_id", "live_warps")
+
+    def __init__(self, app_id: int, block_id: int, warps: int):
+        self.app_id = app_id
+        self.block_id = block_id
+        self.live_warps = warps
+
+    def warp_finished(self) -> bool:
+        """Decrement live warps; True when the block just completed."""
+        self.live_warps -= 1
+        return self.live_warps == 0
+
+
+@dataclass
+class Application:
+    """A named workload: one kernel spec plus launch bookkeeping."""
+
+    name: str
+    spec: KernelSpec
+    app_id: int = -1
+
+    #: Populated at launch.
+    blocks_dispatched: int = field(default=0, compare=False)
+    blocks_completed: int = field(default=0, compare=False)
+
+    @property
+    def base_line(self) -> int:
+        if self.app_id < 0:
+            raise RuntimeError(f"application {self.name} not launched yet")
+        return (self.app_id + 1) * APP_REGION_LINES
+
+    @property
+    def current_launch(self) -> int:
+        """Index of the kernel launch currently executing (0-based)."""
+        return min(self.blocks_completed // self.spec.blocks,
+                   self.spec.kernel_launches - 1)
+
+    @property
+    def launch_barrier_open(self) -> bool:
+        """True when the next block to dispatch belongs to a launch whose
+        predecessor has fully completed (launches are serialized)."""
+        return self.blocks_dispatched < (self.current_launch + 1) * self.spec.blocks
+
+    @property
+    def all_dispatched(self) -> bool:
+        return self.blocks_dispatched >= self.spec.total_blocks
+
+    @property
+    def dispatchable(self) -> bool:
+        return not self.all_dispatched and self.launch_barrier_open
+
+    @property
+    def finished(self) -> bool:
+        return self.blocks_completed >= self.spec.total_blocks

@@ -1,0 +1,208 @@
+"""Streaming Multiprocessor model: warp residency, scheduling, and issue.
+
+The SM executes warp *segments* (a run of ALU instructions optionally
+ending in a memory instruction, see :mod:`repro.gpusim.kernel`).  Three
+fluid servers shape timing:
+
+* the **issue pipeline** — ``issue_width`` warp instructions per cycle
+  across all warps;
+* the **dependency chain** of each warp — a segment of ``n`` instructions
+  keeps its warp busy for ``n * dep_gap`` cycles;
+* the **load/store unit** — one memory transaction per cycle.
+
+Ready warps are kept in a heap ordered by (ready time, scheduler key):
+GTO (greedy-then-oldest, the paper's Table 4.1 scheduler) prefers the
+warp that issued last and then the oldest warp; LRR rotates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from .cache import SetAssocCache
+from .config import GPUConfig
+from .dram import MemorySystem
+from .kernel import BlockContext, WarpContext
+from .stats import StatsBoard
+
+#: Cycles between block dispatch and first issue of its warps.
+DISPATCH_LATENCY = 5
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(self, index: int, config: GPUConfig, memory: MemorySystem,
+                 stats: StatsBoard,
+                 on_block_complete: Callable[["SM", BlockContext], None]):
+        self.index = index
+        self.config = config
+        self.memory = memory
+        self.stats = stats
+        self.on_block_complete = on_block_complete
+
+        self.l1 = SetAssocCache(config.l1_sets, config.l1_assoc)
+        self.owner: Optional[int] = None          # app_id assigned to this SM
+        self.pending_owner: Optional[int] = None  # SMRA migration target
+        self.blocks: List[BlockContext] = []
+        self.resident_warps = 0
+
+        self._ready: List[Tuple[int, float, int, WarpContext]] = []
+        self._issue_free = 0.0
+        self._lsu_free = 0.0
+        self._age_counter = 0
+        self._last_issued_age = -1  # GTO greediness
+        self._rr_pointer = 0.0      # LRR rotation
+
+    # -- capacity ---------------------------------------------------------
+    @property
+    def free_block_slots(self) -> int:
+        return self.config.max_blocks_per_sm - len(self.blocks)
+
+    def can_host(self, warps_per_block: int) -> bool:
+        return (self.free_block_slots > 0 and
+                self.resident_warps + warps_per_block
+                <= self.config.max_warps_per_sm)
+
+    @property
+    def draining(self) -> bool:
+        """True when an SMRA migration is waiting for blocks to finish."""
+        return self.pending_owner is not None
+
+    @property
+    def idle(self) -> bool:
+        return not self.blocks
+
+    # -- block residency ----------------------------------------------------
+    def admit_block(self, block: BlockContext, warps: List[WarpContext],
+                    now: int) -> None:
+        if not self.can_host(len(warps)):
+            raise RuntimeError(f"SM{self.index} cannot host block "
+                               f"{block.block_id} of app {block.app_id}")
+        self.blocks.append(block)
+        self.resident_warps += len(warps)
+        for warp in warps:
+            self._age_counter += 1
+            warp.age = self._age_counter
+            warp.ready_at = now + DISPATCH_LATENCY
+            if warp.done:  # degenerate empty program
+                self._finish_warp(warp, len(warps))
+                continue
+            heapq.heappush(
+                self._ready,
+                (warp.ready_at, self._sched_key(warp), warp.age, warp))
+
+    def set_owner(self, app_id: Optional[int]) -> None:
+        """Assign or migrate the SM to `app_id` (paper's method 3: drain)."""
+        if self.owner == app_id:
+            self.pending_owner = None
+            return
+        if self.idle:
+            self._apply_owner(app_id)
+        else:
+            self.pending_owner = app_id
+
+    def _apply_owner(self, app_id: Optional[int]) -> None:
+        self.owner = app_id
+        self.pending_owner = None
+        self.l1.invalidate_all()  # a new application starts cold
+
+    # -- scheduling ---------------------------------------------------------
+    def _sched_key(self, warp: WarpContext) -> float:
+        if self.config.scheduler == "gto":
+            # Greedy: the last-issued warp sorts first; then oldest age.
+            return -1.0 if warp.age == self._last_issued_age else float(warp.age)
+        # LRR: rotate priority across warps.
+        return float((warp.age - self._rr_pointer) % 1_000_000)
+
+    def next_event(self) -> Optional[int]:
+        return self._ready[0][0] if self._ready else None
+
+    def step(self, now: int) -> None:
+        """Issue segments from all warps that are ready at `now`."""
+        issued = 0
+        max_issue = max(1, self.config.issue_width) * 4  # per-event batch cap
+        while (self._ready and self._ready[0][0] <= now
+               and issued < max_issue):
+            _t, _k, _age, warp = heapq.heappop(self._ready)
+            if warp.done:
+                # Retire event: the warp's final segment just completed.
+                self._finish_warp(warp, warp.block.live_warps)
+                continue
+            self._issue_segment(warp, now)
+            issued += 1
+        if self.config.scheduler == "lrr":
+            self._rr_pointer += issued
+
+    def _issue_segment(self, warp: WarpContext, now: int) -> None:
+        """Issue the next event of `warp`.
+
+        A segment ``(alu_n, n_tx)`` runs as two events: the ALU run issues
+        now and wakes the warp at its completion; the memory instruction
+        then executes as its own event, so requests enter the memory
+        system at their true arrival time (the fluid servers are
+        call-ordered and must never receive far-future arrivals).
+        """
+        cfg = self.config
+        alu_n, n_tx = warp.current_segment()
+        app = self.stats[warp.app_id]
+
+        if warp.mem_pending:
+            # Phase 2: the trailing memory instruction executes now.
+            app.warp_instructions += 1
+            app.thread_instructions += cfg.warp_size
+            app.mem_instructions += 1
+            app.mem_transactions += n_tx
+            issue_start = max(now, self._issue_free)
+            self._issue_free = issue_start + 1.0 / cfg.issue_width
+            completion = float(issue_start)
+            for line in warp.addr_stream.next_lines(n_tx):
+                tx_start = max(issue_start, self._lsu_free)
+                self._lsu_free = tx_start + 1.0
+                if self.l1.access(line):
+                    app.l1_hits += 1
+                    done = tx_start + cfg.l1_latency
+                else:
+                    done = self.memory.access_line(line, int(tx_start),
+                                                   warp.app_id)
+                completion = max(completion, done)
+            warp.mem_pending = False
+            warp.advance()
+            ready = completion
+        else:
+            # Phase 1: the ALU run (possibly empty) issues.
+            issue_start = max(now, self._issue_free)
+            self._issue_free = issue_start + alu_n / cfg.issue_width
+            app.warp_instructions += alu_n
+            app.thread_instructions += alu_n * cfg.warp_size
+            app.alu_instructions += alu_n
+            ready = issue_start + alu_n * warp.dep_gap
+            if n_tx:
+                warp.mem_pending = True  # memory event follows at `ready`
+            else:
+                warp.advance()
+        # A segment cannot complete before the SM has issued all of it.
+        ready = max(ready, self._issue_free)
+
+        self._last_issued_age = warp.age
+        # Requeue: the warp wakes for its next event (memory phase, next
+        # segment, or — when done — a retire event so block lifetime
+        # includes the final segment's latency).
+        warp.ready_at = max(int(ready), now + 1)
+        heapq.heappush(
+            self._ready,
+            (warp.ready_at, self._sched_key(warp), warp.age, warp))
+
+    def _finish_warp(self, warp: WarpContext, _live: int) -> None:
+        self.resident_warps = max(0, self.resident_warps - 1)
+        if warp.block.warp_finished():
+            block = warp.block
+            self.blocks.remove(block)
+            self.on_block_complete(self, block)
+        if self.idle and self.pending_owner is not None:
+            self._apply_owner(self.pending_owner)
+
+    def __repr__(self):
+        return (f"SM({self.index}, owner={self.owner}, "
+                f"blocks={len(self.blocks)}, warps={self.resident_warps})")

@@ -1,0 +1,123 @@
+"""Statistics counters for the device and each running application.
+
+``AppStats`` counts thread-instructions (warp instructions × warp size),
+memory traffic split by the level that served it, and completion times.
+``window_snapshot``/``window_delta`` support the SMRA controller, which
+needs per-interval IPC and bandwidth-utilization figures (Algorithm 1
+inputs (i)–(iii)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .config import GPUConfig
+
+
+@dataclass
+class AppStats:
+    """Counters for one application."""
+
+    app_id: int
+    name: str = ""
+    warp_instructions: int = 0
+    thread_instructions: int = 0
+    alu_instructions: int = 0
+    mem_instructions: int = 0
+    mem_transactions: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    dram_accesses: int = 0
+    dram_row_hits: int = 0
+    dram_bytes: int = 0
+    l2_to_l1_bytes: int = 0
+    blocks_completed: int = 0
+    start_cycle: int = 0
+    finish_cycle: Optional[int] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_cycle is not None
+
+    def cycles(self, now: int) -> int:
+        end = self.finish_cycle if self.finish_cycle is not None else now
+        return max(1, end - self.start_cycle)
+
+    def ipc(self, now: int) -> float:
+        """Thread-instructions per cycle over the app's lifetime."""
+        return self.thread_instructions / self.cycles(now)
+
+    def memory_bandwidth_gbps(self, now: int, config: GPUConfig) -> float:
+        return config.bytes_per_cycle_to_gbps(self.dram_bytes / self.cycles(now))
+
+    def l2_to_l1_bandwidth_gbps(self, now: int, config: GPUConfig) -> float:
+        return config.bytes_per_cycle_to_gbps(
+            self.l2_to_l1_bytes / self.cycles(now))
+
+    @property
+    def mem_compute_ratio(self) -> float:
+        """R of Table 3.2: memory instructions over compute instructions."""
+        return (self.mem_instructions / self.alu_instructions
+                if self.alu_instructions else float("inf"))
+
+
+@dataclass
+class WindowSample:
+    """Per-app deltas over one SMRA observation window."""
+
+    thread_instructions: int = 0
+    dram_bytes: int = 0
+    cycles: int = 1
+
+    @property
+    def ipc(self) -> float:
+        return self.thread_instructions / max(1, self.cycles)
+
+    def bandwidth_utilization(self, config: GPUConfig) -> float:
+        """Fraction of peak DRAM bandwidth consumed in the window."""
+        gbps = config.bytes_per_cycle_to_gbps(
+            self.dram_bytes / max(1, self.cycles))
+        return gbps / config.peak_dram_bandwidth_gbps
+
+
+class StatsBoard:
+    """All per-app stats plus device-level aggregation."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.apps: Dict[int, AppStats] = {}
+        self._window_marks: Dict[int, tuple] = {}
+
+    def register(self, app_id: int, name: str, start_cycle: int = 0) -> AppStats:
+        stats = AppStats(app_id=app_id, name=name, start_cycle=start_cycle)
+        self.apps[app_id] = stats
+        return stats
+
+    def __getitem__(self, app_id: int) -> AppStats:
+        return self.apps[app_id]
+
+    def device_throughput(self, now: int) -> float:
+        """Paper Eq. 1.1: Σ instructions / total cycles simulated."""
+        total_instr = sum(a.thread_instructions for a in self.apps.values())
+        return total_instr / max(1, now)
+
+    def device_utilization(self, now: int) -> float:
+        return self.device_throughput(now) / self.config.peak_ipc
+
+    # -- SMRA windows -------------------------------------------------------
+    def mark_window(self, now: int) -> None:
+        """Snapshot counters; subsequent :meth:`window_delta` is relative."""
+        for app_id, s in self.apps.items():
+            self._window_marks[app_id] = (
+                now, s.thread_instructions, s.dram_bytes)
+
+    def window_delta(self, app_id: int, now: int) -> WindowSample:
+        mark = self._window_marks.get(app_id)
+        s = self.apps[app_id]
+        if mark is None:
+            return WindowSample(s.thread_instructions, s.dram_bytes,
+                                max(1, now - s.start_cycle))
+        t0, instr0, bytes0 = mark
+        return WindowSample(s.thread_instructions - instr0,
+                            s.dram_bytes - bytes0, max(1, now - t0))

@@ -1,0 +1,33 @@
+"""From-scratch linear and integer programming toolkit.
+
+Public API
+----------
+:class:`Model`
+    Build a model: :meth:`Model.add_var`, :meth:`Model.add_constraint`,
+    :meth:`Model.maximize` / :meth:`Model.minimize`, :meth:`Model.solve`.
+:class:`Variable`, :class:`LinExpr`, :class:`Constraint`, :func:`linear_sum`
+    Expression building blocks.
+:func:`solve_lp`
+    Two-phase primal simplex for raw array-form LPs.
+:func:`solve_milp`
+    Branch-and-bound MILP solve of a :class:`Model`.
+:func:`solve_enumerate`, :func:`solve_all_optima`
+    Exact enumeration for small bounded integer programs.
+:class:`Solution` plus status constants.
+"""
+
+from .branch_bound import solve as solve_milp
+from .enumerate_solver import solve_all_optima, solve_enumerate
+from .expr import Constraint, LinExpr, Variable, linear_sum
+from .model import MAXIMIZE, MINIMIZE, Model
+from .simplex import SimplexResult, solve_lp
+from .solution import (INFEASIBLE, ITERATION_LIMIT, OPTIMAL, UNBOUNDED,
+                       Solution)
+
+__all__ = [
+    "Model", "Variable", "LinExpr", "Constraint", "linear_sum",
+    "solve_lp", "SimplexResult", "solve_milp", "solve_enumerate",
+    "solve_all_optima", "Solution",
+    "OPTIMAL", "INFEASIBLE", "UNBOUNDED", "ITERATION_LIMIT",
+    "MAXIMIZE", "MINIMIZE",
+]

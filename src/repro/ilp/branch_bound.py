@@ -1,0 +1,128 @@
+"""Best-first branch-and-bound MILP solver on top of the simplex LP engine.
+
+The search keeps a priority queue of subproblems ordered by their LP
+relaxation bound; at each node the most fractional integer variable is
+branched into floor/ceil children.  For the tiny pattern-selection ILPs in
+this reproduction the tree is a handful of nodes, but the implementation is
+a complete general-purpose solver (bounded or unbounded integer variables,
+mixed continuous/integer models, maximize or minimize).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .model import MAXIMIZE, Model
+from .simplex import solve_lp
+from .solution import (INFEASIBLE, ITERATION_LIMIT, OPTIMAL, UNBOUNDED,
+                       Solution)
+
+_INT_TOL = 1e-6
+
+
+def _most_fractional(x: np.ndarray, int_idx: List[int]) -> Optional[int]:
+    """Index of the fractional integer variable closest to .5, or None."""
+    best_idx, best_score = None, math.inf
+    for i in int_idx:
+        frac = abs(x[i] - round(x[i]))
+        if frac > _INT_TOL:
+            score = abs(frac - 0.5)  # prefer the most ambiguous variable
+            if score < best_score:
+                best_idx, best_score = i, score
+    return best_idx
+
+
+def solve(model: Model, max_nodes: int = 100000,
+          gap_tol: float = 1e-9) -> Solution:
+    """Solve `model` exactly.  Returns a :class:`Solution`.
+
+    Parameters
+    ----------
+    max_nodes:
+        Safety cap on explored nodes; :data:`ITERATION_LIMIT` is reported
+        when exceeded (with the incumbent if one exists).
+    gap_tol:
+        Absolute bound/incumbent gap at which a node is pruned.
+    """
+    c, A_ub, b_ub, A_eq, b_eq, bounds = model.to_arrays()
+    int_idx = model.integer_indices
+    names = [v.name for v in model.variables]
+    sign = -1.0 if model.sense == MAXIMIZE else 1.0
+
+    def lp(node_bounds) -> Tuple[str, Optional[np.ndarray], float]:
+        res = solve_lp(c, A_ub if A_ub.size else None,
+                       b_ub if b_ub.size else None,
+                       A_eq if A_eq.size else None,
+                       b_eq if b_eq.size else None, node_bounds)
+        return res.status, res.x, res.objective
+
+    root_status, root_x, root_obj = lp(bounds)
+    if root_status == INFEASIBLE:
+        return Solution(INFEASIBLE, nodes=1)
+    if root_status == UNBOUNDED:
+        return Solution(UNBOUNDED, nodes=1)
+    if root_status != OPTIMAL:
+        return Solution(ITERATION_LIMIT, nodes=1)
+
+    if not int_idx:
+        values = dict(zip(names, (float(v) for v in root_x)))
+        return Solution(OPTIMAL, sign * root_obj, values, nodes=1)
+
+    counter = itertools.count()
+    # Heap entries: (lp_bound_min_sense, tiebreak, bounds, x, obj)
+    heap = [(root_obj, next(counter), bounds, root_x, root_obj)]
+    incumbent_obj = math.inf  # minimization sense
+    incumbent_x: Optional[np.ndarray] = None
+    nodes = 0
+
+    while heap and nodes < max_nodes:
+        bound, _tie, node_bounds, x, obj = heapq.heappop(heap)
+        nodes += 1
+        if bound >= incumbent_obj - gap_tol:
+            continue  # cannot improve on the incumbent
+
+        branch_var = _most_fractional(x, int_idx)
+        if branch_var is None:
+            # Integral LP optimum — candidate incumbent.
+            if obj < incumbent_obj - gap_tol:
+                incumbent_obj, incumbent_x = obj, x
+            continue
+
+        val = x[branch_var]
+        lo, hi = node_bounds[branch_var]
+        for new_lo, new_hi in (
+                (lo, math.floor(val)),          # x <= floor(val)
+                (math.ceil(val), hi)):          # x >= ceil(val)
+            if new_hi is not None and new_hi < new_lo:
+                continue
+            child = list(node_bounds)
+            child[branch_var] = (float(new_lo),
+                                 None if new_hi is None else float(new_hi))
+            status, cx, cobj = lp(child)
+            if status != OPTIMAL:
+                continue
+            if cobj >= incumbent_obj - gap_tol:
+                continue
+            if _most_fractional(cx, int_idx) is None:
+                if cobj < incumbent_obj - gap_tol:
+                    incumbent_obj, incumbent_x = cobj, cx
+            else:
+                heapq.heappush(heap, (cobj, next(counter), child, cx, cobj))
+
+    if incumbent_x is None:
+        status = ITERATION_LIMIT if heap else INFEASIBLE
+        return Solution(status, nodes=nodes)
+
+    int_set = set(int_idx)
+    values: Dict[str, float] = {
+        name: float(round(v)) if i in int_set else float(v)
+        for i, (name, v) in enumerate(zip(names, incumbent_x))
+    }
+    hit_node_limit = bool(heap) and nodes >= max_nodes
+    status = ITERATION_LIMIT if hit_node_limit else OPTIMAL
+    return Solution(status, sign * incumbent_obj, values, nodes=nodes)

@@ -1,0 +1,127 @@
+"""Exact enumeration solver for small, fully bounded integer programs.
+
+The pattern-selection ILPs of the paper (Appendix A: 10 variables, each
+bounded by the group count L = 7) are small enough to enumerate.  This
+solver is used in tests as an independent oracle against branch-and-bound,
+and by the contention minimizer when asked for *all* optimal solution sets
+(the paper's ILP can have ties; enumerating them makes the benchmarks
+deterministic and lets ablations inspect the tie structure).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .model import MAXIMIZE, Model
+from .solution import INFEASIBLE, OPTIMAL, Solution
+
+
+def _integer_box(model: Model) -> List[Tuple[str, int, int]]:
+    """(name, lb, ub) for every variable; all must be integer and bounded."""
+    box = []
+    for var in model.variables:
+        if not var.integer:
+            raise ValueError(f"enumeration requires integer vars ({var.name})")
+        if var.ub is None or not math.isfinite(var.ub):
+            raise ValueError(f"enumeration requires bounded vars ({var.name})")
+        box.append((var.name, int(math.ceil(var.lb)), int(math.floor(var.ub))))
+    return box
+
+
+def _assignments(box: List[Tuple[str, int, int]],
+                 model: Model) -> Iterator[Dict[str, int]]:
+    """Depth-first enumeration with partial-assignment constraint pruning.
+
+    Pruning rule: a ``<=`` constraint whose remaining (unassigned) variables
+    all have non-negative coefficients can be checked early with the
+    remaining variables at their lower bounds (symmetrically for ``>=``).
+    """
+    names = [b[0] for b in box]
+    n = len(box)
+
+    # Precompute, per constraint, min/max contribution of each variable.
+    cons = []
+    for con in model.constraints:
+        coeffs = con.coefficients()
+        cons.append((con, coeffs))
+
+    assignment: Dict[str, int] = {}
+
+    def remaining_extremes(coeffs: Dict[str, float], depth: int):
+        """(min, max) achievable contribution of variables at depth.. end."""
+        lo = hi = 0.0
+        for name, vlo, vhi in box[depth:]:
+            c = coeffs.get(name, 0.0)
+            if c >= 0:
+                lo += c * vlo
+                hi += c * vhi
+            else:
+                lo += c * vhi
+                hi += c * vlo
+        return lo, hi
+
+    def feasible_so_far(depth: int) -> bool:
+        for con, coeffs in cons:
+            fixed = con.expr.constant + sum(
+                coeffs.get(nm, 0.0) * assignment[nm] for nm in names[:depth]
+                if nm in coeffs)
+            lo, hi = remaining_extremes(coeffs, depth)
+            if con.sense == "<=" and fixed + lo > 1e-9:
+                return False
+            if con.sense == ">=" and fixed + hi < -1e-9:
+                return False
+            if con.sense == "==" and (fixed + lo > 1e-9 or fixed + hi < -1e-9):
+                return False
+        return True
+
+    def recurse(depth: int) -> Iterator[Dict[str, int]]:
+        if depth == n:
+            yield dict(assignment)
+            return
+        name, lo, hi = box[depth]
+        for val in range(lo, hi + 1):
+            assignment[name] = val
+            if feasible_so_far(depth + 1):
+                yield from recurse(depth + 1)
+        del assignment[name]
+
+    yield from recurse(0)
+
+
+def solve_enumerate(model: Model) -> Solution:
+    """Exhaustively solve a small bounded pure-integer model."""
+    best = solve_all_optima(model, limit=1)
+    if not best:
+        return Solution(INFEASIBLE)
+    values, objective, explored = best[0]
+    return Solution(OPTIMAL, objective,
+                    {k: float(v) for k, v in values.items()}, nodes=explored)
+
+
+def solve_all_optima(model: Model, tol: float = 1e-9,
+                     limit: Optional[int] = None
+                     ) -> List[Tuple[Dict[str, int], float, int]]:
+    """All optimal integer assignments as (values, objective, explored).
+
+    ``limit`` caps how many optima are returned (the search still scans the
+    full box to certify optimality).
+    """
+    box = _integer_box(model)
+    sign = 1.0 if model.sense == MAXIMIZE else -1.0
+    best_obj = -math.inf
+    optima: List[Dict[str, int]] = []
+    explored = 0
+    for assignment in _assignments(box, model):
+        explored += 1
+        obj = sign * model.objective_value(assignment)
+        if obj > best_obj + tol:
+            best_obj = obj
+            optima = [assignment]
+        elif abs(obj - best_obj) <= tol:
+            optima.append(assignment)
+    if not optima:
+        return []
+    if limit is not None:
+        optima = optima[:limit]
+    return [(a, sign * best_obj, explored) for a in optima]

@@ -1,0 +1,222 @@
+"""Linear expressions and constraints for the ILP modeling layer.
+
+The modeling objects here are deliberately small: a :class:`Variable` is a
+named column, a :class:`LinExpr` is a sparse mapping from variable names to
+coefficients plus a constant offset, and a :class:`Constraint` is a linear
+expression compared against zero.  Arithmetic operators build expressions,
+and comparison operators build constraints, so models read like algebra::
+
+    x = Variable("x", lb=0, ub=10, integer=True)
+    y = Variable("y", lb=0, ub=10, integer=True)
+    model.add_constraint(2 * x + y <= 14)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Number = Union[int, float]
+
+#: Comparison senses supported by :class:`Constraint`.
+LE, GE, EQ = "<=", ">=", "=="
+
+
+class Variable:
+    """A decision variable.
+
+    Parameters
+    ----------
+    name:
+        Unique name used as the key in solutions.
+    lb, ub:
+        Inclusive bounds.  ``ub=None`` means unbounded above.
+    integer:
+        When true, branch-and-bound enforces integrality.
+    """
+
+    __slots__ = ("name", "lb", "ub", "integer")
+
+    def __init__(self, name: str, lb: Number = 0.0, ub: Number = None,
+                 integer: bool = False):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        if ub is not None and ub < lb:
+            raise ValueError(f"variable {name}: ub {ub} < lb {lb}")
+        self.name = name
+        self.lb = float(lb)
+        self.ub = None if ub is None else float(ub)
+        self.integer = bool(integer)
+
+    # -- arithmetic ------------------------------------------------------
+    def _expr(self) -> "LinExpr":
+        return LinExpr({self.name: 1.0})
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return (-self._expr()) + other
+
+    def __mul__(self, other: Number):
+        return self._expr() * other
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self._expr() * -1.0
+
+    # -- comparisons -----------------------------------------------------
+    def __le__(self, other):
+        return self._expr() <= other
+
+    def __ge__(self, other):
+        return self._expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._expr() == other
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def __repr__(self):
+        kind = "int" if self.integer else "cont"
+        return f"Variable({self.name!r}, [{self.lb}, {self.ub}], {kind})"
+
+
+class LinExpr:
+    """A sparse linear expression ``sum(coeff_i * var_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[str, Number] = None,
+                 constant: Number = 0.0):
+        self.coeffs: Dict[str, float] = {
+            k: float(v) for k, v in (coeffs or {}).items() if v != 0
+        }
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(other) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return other._expr()
+        if isinstance(other, (int, float)):
+            return LinExpr({}, other)
+        raise TypeError(f"cannot build a linear expression from {other!r}")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.coeffs), self.constant)
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other):
+        other = self._coerce(other)
+        out = dict(self.coeffs)
+        for name, coeff in other.coeffs.items():
+            out[name] = out.get(name, 0.0) + coeff
+        return LinExpr(out, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other):
+        return (self * -1.0) + other
+
+    def __mul__(self, scalar: Number):
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("linear expressions only scale by numbers")
+        return LinExpr({k: v * scalar for k, v in self.coeffs.items()},
+                       self.constant * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self * -1.0
+
+    # -- comparisons -----------------------------------------------------
+    def __le__(self, other):
+        return Constraint(self - self._coerce(other), LE)
+
+    def __ge__(self, other):
+        return Constraint(self - self._coerce(other), GE)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Constraint(self - self._coerce(other), EQ)
+
+    def __hash__(self):
+        return id(self)
+
+    # -- evaluation ------------------------------------------------------
+    def value(self, assignment: Mapping[str, Number]) -> float:
+        """Evaluate the expression under a variable assignment."""
+        return self.constant + sum(
+            coeff * float(assignment.get(name, 0.0))
+            for name, coeff in self.coeffs.items()
+        )
+
+    def variables(self) -> Iterable[str]:
+        return self.coeffs.keys()
+
+    def __repr__(self):
+        terms = " + ".join(f"{v:g}*{k}" for k, v in sorted(self.coeffs.items()))
+        if self.constant:
+            terms = f"{terms} + {self.constant:g}" if terms else f"{self.constant:g}"
+        return f"LinExpr({terms or '0'})"
+
+
+def linear_sum(terms: Iterable[Union[LinExpr, Variable, Number]]) -> LinExpr:
+    """Sum an iterable of expressions/variables/numbers into one LinExpr."""
+    total = LinExpr()
+    for term in terms:
+        total = total + LinExpr._coerce(term)
+    return total
+
+
+@dataclass
+class Constraint:
+    """``expr (<=|>=|==) 0`` — the right-hand side is folded into the expr."""
+
+    expr: LinExpr
+    sense: str
+    name: str = field(default="")
+
+    def __post_init__(self):
+        if self.sense not in (LE, GE, EQ):
+            raise ValueError(f"bad constraint sense {self.sense!r}")
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side when written as ``coeffs . x (sense) rhs``."""
+        return -self.expr.constant
+
+    def coefficients(self) -> Dict[str, float]:
+        return dict(self.expr.coeffs)
+
+    def satisfied(self, assignment: Mapping[str, Number],
+                  tol: float = 1e-7) -> bool:
+        lhs = self.expr.value(assignment)
+        if self.sense == LE:
+            return lhs <= tol
+        if self.sense == GE:
+            return lhs >= -tol
+        return abs(lhs) <= tol
+
+    def violation(self, assignment: Mapping[str, Number]) -> float:
+        """Non-negative violation magnitude (0 when satisfied)."""
+        lhs = self.expr.value(assignment)
+        if self.sense == LE:
+            return max(0.0, lhs)
+        if self.sense == GE:
+            return max(0.0, -lhs)
+        return abs(lhs)
+
+    def __repr__(self):
+        return f"Constraint({self.expr!r} {self.sense} 0)"

@@ -1,0 +1,161 @@
+"""ILP model container: variables, constraints, objective, and matrix export."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .expr import EQ, GE, LE, Constraint, LinExpr, Variable
+
+MAXIMIZE = "maximize"
+MINIMIZE = "minimize"
+
+
+class Model:
+    """A small linear/integer programming model.
+
+    Usage::
+
+        m = Model("pairing")
+        x = m.add_var("x", lb=0, ub=5, integer=True)
+        y = m.add_var("y", lb=0, ub=5, integer=True)
+        m.add_constraint(x + y <= 7)
+        m.maximize(3 * x + 2 * y)
+        sol = m.solve()
+    """
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self._vars: Dict[str, Variable] = {}
+        self._order: List[str] = []
+        self.constraints: List[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self.sense: str = MINIMIZE
+
+    # -- variables -------------------------------------------------------
+    def add_var(self, name: str, lb: float = 0.0, ub: Optional[float] = None,
+                integer: bool = False) -> Variable:
+        if name in self._vars:
+            raise ValueError(f"duplicate variable {name!r}")
+        var = Variable(name, lb=lb, ub=ub, integer=integer)
+        self._vars[name] = var
+        self._order.append(name)
+        return var
+
+    def add_vars(self, names: Sequence[str], lb: float = 0.0,
+                 ub: Optional[float] = None,
+                 integer: bool = False) -> List[Variable]:
+        return [self.add_var(n, lb=lb, ub=ub, integer=integer) for n in names]
+
+    @property
+    def variables(self) -> List[Variable]:
+        return [self._vars[n] for n in self._order]
+
+    def variable(self, name: str) -> Variable:
+        return self._vars[name]
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._order)
+
+    # -- constraints / objective ------------------------------------------
+    def add_constraint(self, constraint: Constraint,
+                       name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise TypeError("expected a Constraint (use <=, >=, ==)")
+        unknown = set(constraint.expr.coeffs) - set(self._vars)
+        if unknown:
+            raise ValueError(f"constraint uses unknown variables {unknown}")
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def _set_objective(self, expr: Union[LinExpr, Variable], sense: str) -> None:
+        expr = LinExpr._coerce(expr)
+        unknown = set(expr.coeffs) - set(self._vars)
+        if unknown:
+            raise ValueError(f"objective uses unknown variables {unknown}")
+        self.objective = expr
+        self.sense = sense
+
+    def maximize(self, expr: Union[LinExpr, Variable]) -> None:
+        self._set_objective(expr, MAXIMIZE)
+
+    def minimize(self, expr: Union[LinExpr, Variable]) -> None:
+        self._set_objective(expr, MINIMIZE)
+
+    # -- matrix export -----------------------------------------------------
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray, np.ndarray,
+                                 List[Tuple[float, Optional[float]]]]:
+        """Export as (c, A_ub, b_ub, A_eq, b_eq, bounds), minimization sense.
+
+        ``>=`` rows are negated into ``<=`` rows; the objective is negated
+        when the model maximizes.
+        """
+        index = {name: i for i, name in enumerate(self._order)}
+        n = len(self._order)
+        c = np.zeros(n)
+        for name, coeff in self.objective.coeffs.items():
+            c[index[name]] = coeff
+        if self.sense == MAXIMIZE:
+            c = -c
+
+        ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
+        for con in self.constraints:
+            row = np.zeros(n)
+            for name, coeff in con.expr.coeffs.items():
+                row[index[name]] = coeff
+            rhs = con.rhs
+            if con.sense == LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif con.sense == GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            elif con.sense == EQ:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        A_ub = np.array(ub_rows) if ub_rows else np.zeros((0, n))
+        b_ub = np.array(ub_rhs) if ub_rhs else np.zeros(0)
+        A_eq = np.array(eq_rows) if eq_rows else np.zeros((0, n))
+        b_eq = np.array(eq_rhs) if eq_rhs else np.zeros(0)
+        bounds = [(self._vars[name].lb, self._vars[name].ub)
+                  for name in self._order]
+        return c, A_ub, b_ub, A_eq, b_eq, bounds
+
+    @property
+    def integer_indices(self) -> List[int]:
+        return [i for i, name in enumerate(self._order)
+                if self._vars[name].integer]
+
+    def objective_value(self, assignment: Dict[str, float]) -> float:
+        return self.objective.value(assignment)
+
+    def is_feasible(self, assignment: Dict[str, float],
+                    tol: float = 1e-7) -> bool:
+        """Check constraints, bounds, and integrality of an assignment."""
+        for name in self._order:
+            var = self._vars[name]
+            val = float(assignment.get(name, 0.0))
+            if val < var.lb - tol:
+                return False
+            if var.ub is not None and val > var.ub + tol:
+                return False
+            if var.integer and abs(val - round(val)) > tol:
+                return False
+        return all(con.satisfied(assignment, tol) for con in self.constraints)
+
+    def solve(self, **kwargs):
+        """Solve with branch-and-bound (falls through to pure LP when no
+        integer variables exist).  See :func:`repro.ilp.branch_bound.solve`.
+        """
+        from .branch_bound import solve as bb_solve
+        return bb_solve(self, **kwargs)
+
+    def __repr__(self):
+        return (f"Model({self.name!r}, {self.num_vars} vars, "
+                f"{len(self.constraints)} constraints, {self.sense})")

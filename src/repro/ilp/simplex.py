@@ -1,0 +1,248 @@
+"""Dense two-phase primal simplex solver.
+
+This is a from-scratch LP solver used as the relaxation engine of the
+branch-and-bound MILP solver.  The interface is deliberately close to
+``scipy.optimize.linprog`` (minimize ``c @ x`` subject to
+``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq``, ``lb <= x <= ub``) so tests can
+cross-check the two.
+
+Implementation notes
+--------------------
+* Variables are shifted so every lower bound becomes 0; finite upper bounds
+  are appended as extra ``<=`` rows.  This keeps the tableau logic simple —
+  the problems solved here (pattern-selection ILPs with tens of variables)
+  are tiny, so the extra rows are irrelevant for performance.
+* Phase 1 minimizes the sum of artificial variables; phase 2 proceeds on
+  the feasible basis.  Bland's rule is used when degeneracy is detected to
+  guarantee termination.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .solution import INFEASIBLE, ITERATION_LIMIT, OPTIMAL, UNBOUNDED
+
+_TOL = 1e-9
+
+
+class SimplexResult:
+    """Raw result of :func:`solve_lp` (minimization sense)."""
+
+    __slots__ = ("status", "x", "objective", "iterations")
+
+    def __init__(self, status: str, x: Optional[np.ndarray],
+                 objective: float, iterations: int):
+        self.status = status
+        self.x = x
+        self.objective = objective
+        self.iterations = iterations
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == OPTIMAL
+
+
+def _pivot(tableau: np.ndarray, basis: List[int], row: int, col: int) -> None:
+    """Pivot the tableau so `col` enters the basis at `row`."""
+    pivot_val = tableau[row, col]
+    tableau[row] /= pivot_val
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > _TOL:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _choose_entering(costs: np.ndarray, allowed: int, bland: bool) -> int:
+    """Most-negative reduced cost (or Bland's lowest index). -1 = optimal."""
+    best, best_col = -_TOL, -1
+    for j in range(allowed):
+        cj = costs[j]
+        if cj < best:
+            if bland:
+                return j
+            best, best_col = cj, j
+    return best_col
+
+
+def _choose_leaving(tableau: np.ndarray, col: int, bland: bool) -> int:
+    """Minimum-ratio test over rows. -1 = unbounded."""
+    m = tableau.shape[0] - 1
+    best_ratio, best_row = math.inf, -1
+    for i in range(m):
+        a = tableau[i, col]
+        if a > _TOL:
+            ratio = tableau[i, -1] / a
+            if ratio < best_ratio - _TOL or (
+                    bland and abs(ratio - best_ratio) <= _TOL
+                    and best_row != -1 and i < best_row):
+                best_ratio, best_row = ratio, i
+    return best_row
+
+
+def _run_simplex(tableau: np.ndarray, basis: List[int], n_cols: int,
+                 max_iter: int) -> Tuple[str, int]:
+    """Iterate pivots until optimal/unbounded. Returns (status, iterations)."""
+    degenerate_streak = 0
+    for it in range(max_iter):
+        bland = degenerate_streak > 2 * tableau.shape[0]
+        col = _choose_entering(tableau[-1, :n_cols], n_cols, bland)
+        if col < 0:
+            return OPTIMAL, it
+        row = _choose_leaving(tableau, col, bland)
+        if row < 0:
+            return UNBOUNDED, it
+        if tableau[row, -1] <= _TOL:
+            degenerate_streak += 1
+        else:
+            degenerate_streak = 0
+        _pivot(tableau, basis, row, col)
+    return ITERATION_LIMIT, max_iter
+
+
+def solve_lp(c: Sequence[float],
+             A_ub: Optional[Sequence[Sequence[float]]] = None,
+             b_ub: Optional[Sequence[float]] = None,
+             A_eq: Optional[Sequence[Sequence[float]]] = None,
+             b_eq: Optional[Sequence[float]] = None,
+             bounds: Optional[Sequence[Tuple[float, Optional[float]]]] = None,
+             max_iter: int = 10000) -> SimplexResult:
+    """Minimize ``c @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x == b_eq``,
+    ``bounds[i][0] <= x_i <= bounds[i][1]``.
+
+    ``bounds`` defaults to ``(0, None)`` for every variable.  Lower bounds
+    must be finite (the modeling layer guarantees this).
+    """
+    c = np.asarray(c, dtype=float)
+    n = c.size
+    bounds = list(bounds) if bounds is not None else [(0.0, None)] * n
+    if len(bounds) != n:
+        raise ValueError("bounds length must match c")
+    lower = np.array([b[0] for b in bounds], dtype=float)
+    if not np.all(np.isfinite(lower)):
+        raise ValueError("all lower bounds must be finite")
+
+    A_ub = np.asarray(A_ub, dtype=float) if A_ub is not None else np.zeros((0, n))
+    b_ub = np.asarray(b_ub, dtype=float) if b_ub is not None else np.zeros(0)
+    A_eq = np.asarray(A_eq, dtype=float) if A_eq is not None else np.zeros((0, n))
+    b_eq = np.asarray(b_eq, dtype=float) if b_eq is not None else np.zeros(0)
+    if A_ub.size and A_ub.shape[1] != n:
+        raise ValueError("A_ub column count must match c")
+    if A_eq.size and A_eq.shape[1] != n:
+        raise ValueError("A_eq column count must match c")
+
+    # Shift x' = x - lb so all variables are >= 0.
+    b_ub_s = b_ub - A_ub @ lower if A_ub.size else b_ub.copy()
+    b_eq_s = b_eq - A_eq @ lower if A_eq.size else b_eq.copy()
+    shift_obj = float(c @ lower)
+
+    # Finite upper bounds become extra <= rows on the shifted variables.
+    ub_rows, ub_rhs = [], []
+    for i, (lo, hi) in enumerate(bounds):
+        if hi is not None and math.isfinite(hi):
+            row = np.zeros(n)
+            row[i] = 1.0
+            ub_rows.append(row)
+            ub_rhs.append(hi - lo)
+    if ub_rows:
+        A_ub_s = np.vstack([A_ub, np.array(ub_rows)]) if A_ub.size else np.array(ub_rows)
+        b_ub_s = np.concatenate([b_ub_s, np.array(ub_rhs)])
+    else:
+        A_ub_s = A_ub
+
+    m_ub, m_eq = A_ub_s.shape[0] if A_ub_s.size else 0, A_eq.shape[0] if A_eq.size else 0
+    m = m_ub + m_eq
+
+    # Assemble A x (+ slack) = b with b >= 0 by flipping negative rows.
+    A = np.zeros((m, n + m_ub))
+    b = np.zeros(m)
+    slack_sign = np.ones(m_ub)
+    if m_ub:
+        A[:m_ub, :n] = A_ub_s
+        b[:m_ub] = b_ub_s
+        for i in range(m_ub):
+            A[i, n + i] = 1.0
+            if b[i] < 0:
+                A[i] *= -1.0
+                b[i] *= -1.0
+                slack_sign[i] = -1.0
+    if m_eq:
+        A[m_ub:, :n] = A_eq
+        b[m_ub:] = b_eq_s
+        for i in range(m_ub, m):
+            if b[i] < 0:
+                A[i] *= -1.0
+                b[i] *= -1.0
+
+    n_struct = n + m_ub  # structural + slack columns
+
+    # Basis: slack column when it has +1 coefficient, else artificial.
+    basis: List[int] = [-1] * m
+    artificial_cols: List[int] = []
+    for i in range(m_ub):
+        if slack_sign[i] > 0:
+            basis[i] = n + i
+    n_art = sum(1 for bi in basis if bi < 0)
+    A_full = np.hstack([A, np.zeros((m, n_art))])
+    art = 0
+    for i in range(m):
+        if basis[i] < 0:
+            col = n_struct + art
+            A_full[i, col] = 1.0
+            basis[i] = col
+            artificial_cols.append(col)
+            art += 1
+
+    total_cols = n_struct + n_art
+    tableau = np.zeros((m + 1, total_cols + 1))
+    tableau[:m, :total_cols] = A_full
+    tableau[:m, -1] = b
+
+    iterations = 0
+    if n_art:
+        # Phase 1: minimize the sum of artificials.
+        tableau[-1, :] = 0.0
+        for col in artificial_cols:
+            tableau[-1, col] = 1.0
+        for i in range(m):
+            if basis[i] in artificial_cols:
+                tableau[-1] -= tableau[i]
+        status, its = _run_simplex(tableau, basis, total_cols, max_iter)
+        iterations += its
+        if status != OPTIMAL:
+            return SimplexResult(status, None, math.nan, iterations)
+        if tableau[-1, -1] < -1e-7:
+            return SimplexResult(INFEASIBLE, None, math.nan, iterations)
+        # Drive any remaining artificials out of the basis.
+        for i in range(m):
+            if basis[i] in artificial_cols:
+                for j in range(n_struct):
+                    if abs(tableau[i, j]) > _TOL:
+                        _pivot(tableau, basis, i, j)
+                        break
+        # Drop artificial columns.
+        keep = list(range(n_struct)) + [tableau.shape[1] - 1]
+        tableau = tableau[:, keep]
+
+    # Phase 2 objective row: reduced costs of c over the current basis.
+    tableau[-1, :] = 0.0
+    tableau[-1, :n] = c
+    for i in range(m):
+        bi = basis[i]
+        if bi < n_struct and abs(tableau[-1, bi]) > _TOL:
+            tableau[-1] -= tableau[-1, bi] * tableau[i]
+    status, its = _run_simplex(tableau, basis, n_struct, max_iter)
+    iterations += its
+    if status != OPTIMAL:
+        return SimplexResult(status, None, math.nan, iterations)
+
+    x_shift = np.zeros(n_struct)
+    for i in range(m):
+        if basis[i] < n_struct:
+            x_shift[basis[i]] = tableau[i, -1]
+    x = x_shift[:n] + lower
+    objective = float(c @ x_shift[:n]) + shift_obj
+    return SimplexResult(OPTIMAL, x, objective, iterations)

@@ -1,0 +1,47 @@
+"""Solution containers returned by the LP/ILP solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Solver statuses.
+OPTIMAL = "optimal"
+INFEASIBLE = "infeasible"
+UNBOUNDED = "unbounded"
+ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass
+class Solution:
+    """Outcome of a solve.
+
+    Attributes
+    ----------
+    status:
+        One of :data:`OPTIMAL`, :data:`INFEASIBLE`, :data:`UNBOUNDED`,
+        :data:`ITERATION_LIMIT`.
+    objective:
+        Objective value in the *user's* sense (max problems report the
+        maximum).  ``nan`` unless optimal.
+    values:
+        Variable name → value.  Empty unless optimal.
+    nodes:
+        Branch-and-bound nodes explored (0 for pure LPs).
+    """
+
+    status: str
+    objective: float = float("nan")
+    values: Dict[str, float] = field(default_factory=dict)
+    nodes: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == OPTIMAL
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+    def rounded(self, ndigits: int = 9) -> Dict[str, float]:
+        """Values rounded for display / integer extraction."""
+        return {k: round(v, ndigits) for k, v in self.values.items()}

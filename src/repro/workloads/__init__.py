@@ -1,0 +1,19 @@
+"""Workloads: the calibrated Rodinia benchmark models and queue builders."""
+
+from .queues import (DISTRIBUTIONS, PAPER_QUEUE_ORDER,
+                     PAPER_QUEUE_ORDER_THREE, QueueEntry, distribution_queue,
+                     paper_queue, paper_queue_three, queue_class_counts)
+from .rodinia import (ALL_BENCHMARKS, BENCHMARK_ORDER, RODINIA_SPECS,
+                      TABLE_3_2_CLASSES, base_benchmark_name, benchmark_spec,
+                      make_application)
+from .synthetic import CLASSES, synthetic_spec
+
+__all__ = [
+    "RODINIA_SPECS", "TABLE_3_2_CLASSES", "ALL_BENCHMARKS",
+    "BENCHMARK_ORDER", "benchmark_spec", "make_application",
+    "base_benchmark_name",
+    "paper_queue", "paper_queue_three", "distribution_queue",
+    "queue_class_counts", "DISTRIBUTIONS", "QueueEntry",
+    "PAPER_QUEUE_ORDER", "PAPER_QUEUE_ORDER_THREE",
+    "synthetic_spec", "CLASSES",
+]

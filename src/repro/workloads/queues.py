@@ -1,0 +1,128 @@
+"""Application queue builders for the paper's evaluation scenarios.
+
+Chapter 4 evaluates two queue families:
+
+* the **14-application queue** of Fig. 4.1/4.2 — exactly the benchmark
+  suite (2 class M, 5 class MC, 2 class C, 5 class A applications);
+* **20-application queues** with controlled class distributions
+  (Fig. 4.3): equal distribution, or 55 % of one class and 15 % of each
+  other class.
+
+Queues are arrival-ordered lists of ``(unique name, kernel spec)``; the
+same benchmark may appear several times (``"HS#1"``, ``"HS#2"`` …).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.gpusim import KernelSpec
+
+from .rodinia import RODINIA_SPECS, TABLE_3_2_CLASSES, benchmark_spec
+
+#: Queue entry type.
+QueueEntry = Tuple[str, KernelSpec]
+
+#: The five distributions of §4.1 (key → oriented class, None = equal).
+DISTRIBUTIONS: Dict[str, str] = {
+    "equal": "",
+    "M": "M",
+    "MC": "MC",
+    "C": "C",
+    "A": "A",
+}
+
+#: Benchmarks per class, in Table 3.2 order.
+BENCHMARKS_BY_CLASS: Dict[str, List[str]] = {}
+for _name, _cls in TABLE_3_2_CLASSES.items():
+    BENCHMARKS_BY_CLASS.setdefault(_cls, []).append(_name)
+
+
+#: Arrival order of the paper's 14-application queue.  Fig. 4.2(b) shows
+#: the FCFS pairs (BFS2-GUPS, FFT-SPMV, 3DS-BP, JPEG-BLK, LUD-HS,
+#: LPS-SAD, NN-RAY), which pins down the arrival order the authors used.
+PAPER_QUEUE_ORDER: List[str] = [
+    "BFS2", "GUPS", "FFT", "SPMV", "3DS", "BP", "JPEG",
+    "BLK", "LUD", "HS", "LPS", "SAD", "NN", "RAY",
+]
+
+
+def paper_queue(scale: float = 1.0) -> List[QueueEntry]:
+    """The 14-application queue of Fig. 4.1/4.2 (2 M + 5 MC + 2 C + 5 A
+    applications, in the arrival order implied by the paper's FCFS
+    pairs)."""
+    return [(name, benchmark_spec(name, scale)) for name in PAPER_QUEUE_ORDER]
+
+
+def _class_shares(oriented: str) -> Dict[str, float]:
+    if not oriented:
+        return {c: 0.25 for c in ("M", "MC", "C", "A")}
+    if oriented not in ("M", "MC", "C", "A"):
+        raise ValueError(f"unknown orientation {oriented!r}")
+    return {c: (0.55 if c == oriented else 0.15)
+            for c in ("M", "MC", "C", "A")}
+
+
+def _apportion(shares: Dict[str, float], length: int) -> Dict[str, int]:
+    """Largest-remainder apportionment of `length` slots to classes."""
+    raw = {c: s * length for c, s in shares.items()}
+    counts = {c: int(r) for c, r in raw.items()}
+    remaining = length - sum(counts.values())
+    by_frac = sorted(raw, key=lambda c: raw[c] - counts[c], reverse=True)
+    for c in by_frac[:remaining]:
+        counts[c] += 1
+    return counts
+
+
+#: Arrival order of the 12-application queue used by the three-app
+#: experiments (Fig. 4.9/4.10).  Fig. 4.10(b)'s FCFS triples
+#: (BFS2-GUPS-FFT, SPMV-3DS-BP, JPEG-BLK-LUD, HS-LPS-SAD) pin it down.
+PAPER_QUEUE_ORDER_THREE: List[str] = [
+    "BFS2", "GUPS", "FFT", "SPMV", "3DS", "BP",
+    "JPEG", "BLK", "LUD", "HS", "LPS", "SAD",
+]
+
+
+def paper_queue_three(scale: float = 1.0) -> List[QueueEntry]:
+    """The 12-application queue of the three-app experiments."""
+    return [(name, benchmark_spec(name, scale))
+            for name in PAPER_QUEUE_ORDER_THREE]
+
+
+def distribution_queue(distribution: str, length: int = 20, seed: int = 0,
+                       scale: float = 1.0) -> List[QueueEntry]:
+    """A queue with the requested class distribution (Fig. 4.3's five).
+
+    `distribution` is one of ``equal``, ``M``, ``MC``, ``C``, ``A``.
+    Benchmarks are drawn round-robin within each class and the final
+    arrival order is a deterministic shuffle of `seed`.
+    """
+    if distribution not in DISTRIBUTIONS:
+        raise ValueError(f"unknown distribution {distribution!r}; "
+                         f"expected one of {sorted(DISTRIBUTIONS)}")
+    counts = _apportion(_class_shares(DISTRIBUTIONS[distribution]), length)
+
+    entries: List[QueueEntry] = []
+    used: Dict[str, int] = {}
+    for cls in ("M", "MC", "C", "A"):
+        pool = BENCHMARKS_BY_CLASS[cls]
+        for k in range(counts[cls]):
+            name = pool[k % len(pool)]
+            instance = used.get(name, 0)
+            used[name] = instance + 1
+            unique = name if instance == 0 else f"{name}#{instance}"
+            entries.append((unique, benchmark_spec(name, scale)))
+
+    rng = random.Random(seed)
+    rng.shuffle(entries)
+    return entries
+
+
+def queue_class_counts(queue: Sequence[QueueEntry]) -> Dict[str, int]:
+    """Class histogram of a queue (by Table 3.2 labels)."""
+    counts = {c: 0 for c in ("M", "MC", "C", "A")}
+    for name, _spec in queue:
+        base = name.split("#", 1)[0]
+        counts[TABLE_3_2_CLASSES[base]] += 1
+    return counts

@@ -1,0 +1,144 @@
+"""Synthetic models of the 14 Rodinia-suite benchmarks used by the paper.
+
+Each model is a :class:`~repro.gpusim.KernelSpec` whose parameters were
+calibrated so that solo profiling on the GTX-480 configuration reproduces
+the benchmark's Table 3.2 operating point — memory bandwidth, L2→L1
+bandwidth, IPC, memory-to-compute ratio — and therefore its class
+(M / MC / C / A), as well as the Fig. 3.5 scalability personality
+(LUD's flat curve comes from its 12-block grid, GUPS's negative scaling
+from row-buffer interference between SM streams, HS/SAD's near-ideal
+scaling from abundant compute-bound parallelism).
+
+The exact constants are not meaningful individually; they are the tuning
+knobs of the substitution documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gpusim import Application, KernelSpec
+
+#: Grid/behaviour of each benchmark model (calibrated; see module docstring).
+RODINIA_SPECS: Dict[str, KernelSpec] = {
+    # -- class M ----------------------------------------------------------
+    # BlackScholes: bank-affine tiled streaming over huge option arrays.
+    "BLK": KernelSpec(
+        "BLK", blocks=107, warps_per_block=3, instr_per_warp=225,
+        mem_fraction=0.026, dep_gap=2.0, tx_per_access=4,
+        working_set_kb=16384, pattern="strided", stride_lines=48,
+        hot_fraction=0.30, hot_set_kb=128, kernel_launches=4, seed=101),
+    # GUPS/RandomAccess: random table updates with weak batch locality.
+    "GUPS": KernelSpec(
+        "GUPS", blocks=48, warps_per_block=4, instr_per_warp=30,
+        mem_fraction=0.1, dep_gap=2.0, tx_per_access=16,
+        working_set_kb=65536, pattern="row_local", row_locality=0.3,
+        kernel_launches=4, seed=102),
+
+    # -- class MC ---------------------------------------------------------
+    # Backprop: layer sweeps (streams) + weight-table reuse (L2).
+    "BP": KernelSpec(
+        "BP", blocks=130, warps_per_block=3, instr_per_warp=297,
+        mem_fraction=0.041, dep_gap=2.6, tx_per_access=2,
+        working_set_kb=8192, pattern="stream",
+        hot_fraction=0.63, hot_set_kb=128, kernel_launches=4, seed=103),
+    "FFT": KernelSpec(
+        "FFT", blocks=128, warps_per_block=3, instr_per_warp=150,
+        mem_fraction=0.058, dep_gap=2.3, tx_per_access=2,
+        working_set_kb=8192, pattern="stream",
+        hot_fraction=0.58, hot_set_kb=128, kernel_launches=4, seed=104),
+    "3DS": KernelSpec(
+        "3DS", blocks=154, warps_per_block=3, instr_per_warp=179,
+        mem_fraction=0.092, dep_gap=2.0, tx_per_access=1,
+        working_set_kb=6144, pattern="stream",
+        hot_fraction=0.56, hot_set_kb=128, kernel_launches=4, seed=105),
+    "LPS": KernelSpec(
+        "LPS", blocks=110, warps_per_block=3, instr_per_warp=190,
+        mem_fraction=0.046, dep_gap=2.0, tx_per_access=2,
+        working_set_kb=6144, pattern="stream",
+        hot_fraction=0.59, hot_set_kb=128, kernel_launches=4, seed=106),
+    # Raytracing: divergent rays, moderate bandwidth, poor L2 reuse.
+    "RAY": KernelSpec(
+        "RAY", blocks=89, warps_per_block=3, instr_per_warp=400,
+        mem_fraction=0.030, dep_gap=3.4, tx_per_access=2,
+        working_set_kb=6144, pattern="stream",
+        hot_fraction=0.53, hot_set_kb=96, kernel_launches=4, seed=107),
+
+    # -- class C ----------------------------------------------------------
+    # BFS: scatter/gather over a frontier that lives in L2.
+    "BFS2": KernelSpec(
+        "BFS2", blocks=60, warps_per_block=1, instr_per_warp=80,
+        mem_fraction=0.16, dep_gap=4.0, tx_per_access=16,
+        working_set_kb=384, pattern="random", kernel_launches=4, seed=108),
+    # SpMV: irregular column gathers, matrix mostly L2-resident.
+    "SPMV": KernelSpec(
+        "SPMV", blocks=120, warps_per_block=2, instr_per_warp=110,
+        mem_fraction=0.065, dep_gap=2.5, tx_per_access=8,
+        working_set_kb=320, pattern="random", kernel_launches=4, seed=109),
+
+    # -- class A ----------------------------------------------------------
+    # LU decomposition: tiny 12-block grid, register-resident tiles.
+    "LUD": KernelSpec(
+        "LUD", blocks=12, warps_per_block=1, instr_per_warp=400,
+        mem_fraction=0.004, dep_gap=7.0, tx_per_access=1,
+        working_set_kb=12, pattern="stream", kernel_launches=4, seed=110),
+    "JPEG": KernelSpec(
+        "JPEG", blocks=132, warps_per_block=1, instr_per_warp=500,
+        mem_fraction=0.02, dep_gap=5.0, tx_per_access=2,
+        working_set_kb=512, pattern="stream",
+        hot_fraction=0.72, hot_set_kb=128, kernel_launches=4, seed=111),
+    # Hotspot: stencil timesteps with halo reuse, compute bound.
+    "HS": KernelSpec(
+        "HS", blocks=120, warps_per_block=1, instr_per_warp=1300,
+        mem_fraction=0.008, dep_gap=2.6, tx_per_access=2,
+        working_set_kb=4096, pattern="stream",
+        hot_fraction=0.62, hot_set_kb=128, kernel_launches=4, seed=112),
+    "SAD": KernelSpec(
+        "SAD", blocks=160, warps_per_block=1, instr_per_warp=825,
+        mem_fraction=0.012, dep_gap=2.9, tx_per_access=2,
+        working_set_kb=4096, pattern="stream",
+        hot_fraction=0.68, hot_set_kb=96, kernel_launches=4, seed=113),
+    # Nearest neighbour: small record set, L2-resident after warm-up.
+    "NN": KernelSpec(
+        "NN", blocks=30, warps_per_block=2, instr_per_warp=200,
+        mem_fraction=0.13, dep_gap=4.0, tx_per_access=2,
+        working_set_kb=64, pattern="random", kernel_launches=4, seed=114),
+}
+
+#: The classes the paper assigns in Table 3.2 (ground truth for tests).
+TABLE_3_2_CLASSES: Dict[str, str] = {
+    "BFS2": "C", "BLK": "M", "BP": "MC", "LUD": "A", "FFT": "MC",
+    "JPEG": "A", "3DS": "MC", "HS": "A", "LPS": "MC", "RAY": "MC",
+    "GUPS": "M", "SPMV": "C", "SAD": "A", "NN": "A",
+}
+
+#: Benchmark order used by the paper's per-benchmark charts (Fig. 4.4).
+BENCHMARK_ORDER: List[str] = [
+    "BLK", "GUPS", "BP", "FFT", "3DS", "LPS", "RAY",
+    "BFS2", "SPMV", "LUD", "HS", "SAD", "NN",
+]
+
+ALL_BENCHMARKS: List[str] = list(RODINIA_SPECS)
+
+
+def benchmark_spec(name: str, scale: float = 1.0) -> KernelSpec:
+    """The kernel spec of a benchmark, optionally scaled for fast tests."""
+    spec = RODINIA_SPECS[name]
+    return spec if scale == 1.0 else spec.scaled(scale)
+
+
+def make_application(name: str, scale: float = 1.0,
+                     instance: int = 0) -> Application:
+    """A fresh :class:`Application` running `name`.
+
+    `instance` disambiguates repeated copies of the same benchmark in a
+    queue (the Application object is mutated at launch, so each queue slot
+    needs its own instance).
+    """
+    app_name = name if instance == 0 else f"{name}#{instance}"
+    return Application(app_name, benchmark_spec(name, scale))
+
+
+def base_benchmark_name(app_name: str) -> str:
+    """Strip the ``#instance`` suffix from an application name."""
+    return app_name.split("#", 1)[0]

@@ -1,0 +1,87 @@
+"""Tests for the evaluation metrics."""
+
+import pytest
+
+from repro.analysis import (average_normalized_turnaround, fairness,
+                            geometric_mean, harmonic_mean, normalize,
+                            slowdown, speedup, throughput, utilization,
+                            weighted_speedup)
+
+
+class TestBasicMetrics:
+    def test_throughput(self):
+        assert throughput(1000, 100) == pytest.approx(10.0)
+
+    def test_throughput_zero_cycles_guarded(self):
+        assert throughput(100, 0) == pytest.approx(100.0)
+
+    def test_utilization(self):
+        assert utilization(960.0, 1920.0) == pytest.approx(0.5)
+
+    def test_utilization_validation(self):
+        with pytest.raises(ValueError):
+            utilization(1.0, 0.0)
+
+    def test_speedup_and_slowdown_inverse(self):
+        assert speedup(200, 100) == pytest.approx(2.0)
+        assert slowdown(100, 200) == pytest.approx(2.0)
+
+
+class TestMultiProgramMetrics:
+    SOLO = {"a": 100, "b": 200}
+    SHARED = {"a": 150, "b": 250}
+
+    def test_weighted_speedup(self):
+        ws = weighted_speedup(self.SOLO, self.SHARED)
+        assert ws == pytest.approx(100 / 150 + 200 / 250)
+
+    def test_antt(self):
+        antt = average_normalized_turnaround(self.SOLO, self.SHARED)
+        assert antt == pytest.approx((150 / 100 + 250 / 200) / 2)
+
+    def test_fairness_bounds(self):
+        f = fairness(self.SOLO, self.SHARED)
+        assert 0 < f <= 1.0
+
+    def test_perfect_fairness(self):
+        assert fairness({"a": 10, "b": 20},
+                        {"a": 20, "b": 40}) == pytest.approx(1.0)
+
+    def test_mismatched_sets_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup({"a": 1}, {"b": 1})
+        with pytest.raises(ValueError):
+            average_normalized_turnaround({"a": 1}, {"b": 1})
+
+    def test_empty_sets_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup({}, {})
+        with pytest.raises(ValueError):
+            fairness({}, {})
+
+
+class TestMeans:
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4 / 3)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+
+class TestNormalize:
+    def test_normalize_to_baseline(self):
+        values = {"Even": 2.0, "ILP": 3.0}
+        normed = normalize(values, "Even")
+        assert normed == {"Even": 1.0, "ILP": 1.5}
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize({"Even": 0.0, "ILP": 1.0}, "Even")

@@ -1,0 +1,67 @@
+"""Tests for the markdown report builder."""
+
+import pytest
+
+from repro.analysis.report import (Report, Section, load_results_dir,
+                                   write_report)
+
+
+class TestSection:
+    def test_markdown_structure(self):
+        s = Section("Fig 4.1", "throughput", "Serial 1.0\nILP 1.3",
+                    commentary="shape holds", verdict="reproduced")
+        md = s.to_markdown()
+        assert md.startswith("## Fig 4.1 — throughput")
+        assert "```text" in md
+        assert "Serial 1.0" in md
+        assert "**Verdict:** reproduced" in md
+        assert "shape holds" in md
+
+    def test_minimal_section(self):
+        md = Section("T1", "x", "body").to_markdown()
+        assert "Verdict" not in md
+
+
+class TestReport:
+    def test_add_and_get(self):
+        r = Report()
+        r.add("Fig 1", "one", "a")
+        r.add("Fig 2", "two", "b")
+        assert r.section_ids() == ["Fig 1", "Fig 2"]
+        assert r.get("Fig 2").body == "b"
+        with pytest.raises(KeyError):
+            r.get("Fig 3")
+
+    def test_markdown_contains_toc(self):
+        r = Report(title="T", preamble="intro")
+        r.add("Fig 1", "one", "a")
+        md = r.to_markdown()
+        assert md.startswith("# T")
+        assert "intro" in md
+        assert "- Fig 1 — one" in md
+
+    def test_empty_report(self):
+        md = Report(title="empty").to_markdown()
+        assert "Contents" not in md
+
+
+class TestFilesystem:
+    def test_load_results_dir(self, tmp_path):
+        (tmp_path / "fig1_x.txt").write_text("table one\n")
+        (tmp_path / "fig2_y.txt").write_text("table two\n")
+        report = load_results_dir(tmp_path, titles={"fig1_x": "First"})
+        assert report.section_ids() == ["fig1_x", "fig2_y"]
+        assert report.get("fig1_x").title == "First"
+        assert report.get("fig2_y").title == "fig2 y"
+
+    def test_load_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results_dir(tmp_path / "nope")
+
+    def test_write_report_roundtrip(self, tmp_path):
+        r = Report(title="T")
+        r.add("A", "a", "body")
+        out = write_report(r, tmp_path / "report.md")
+        text = out.read_text()
+        assert text.startswith("# T")
+        assert "body" in text

@@ -1,0 +1,73 @@
+"""Tests for the plain-text table and bar chart renderers."""
+
+import pytest
+
+from repro.analysis import render_bars, render_grouped_bars, render_table
+
+
+class TestRenderTable:
+    def test_basic_table(self):
+        out = render_table(["name", "value"], [["a", 1.234], ["bb", 5]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert lines[1].startswith("-")
+        assert "1.23" in out and "5" in out
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_ndigits(self):
+        out = render_table(["x"], [[1.23456]], ndigits=4)
+        assert "1.2346" in out
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_alignment(self):
+        out = render_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert len(lines[2]) <= len(lines[1]) + 2
+
+
+class TestRenderBars:
+    def test_bars_scale_to_max(self):
+        out = render_bars({"a": 1.0, "b": 2.0}, width=10)
+        a_line, b_line = out.splitlines()
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_baseline_marker(self):
+        out = render_bars({"a": 0.5, "b": 2.0}, width=20, baseline=1.0)
+        assert "|" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars({})
+
+    def test_title_included(self):
+        out = render_bars({"a": 1.0}, title="Fig 4.1")
+        assert out.splitlines()[0] == "Fig 4.1"
+
+    def test_zero_values_handled(self):
+        out = render_bars({"a": 0.0})
+        assert "a" in out
+
+
+class TestRenderGroupedBars:
+    def test_grouped(self):
+        groups = {"BLK": {"Even": 1.0, "ILP": 1.2},
+                  "HS": {"Even": 1.0, "ILP": 1.4}}
+        out = render_grouped_bars(groups, series_order=["Even", "ILP"])
+        assert "BLK" in out and "HS" in out
+        assert "Even" in out and "ILP" in out
+
+    def test_missing_series_nan(self):
+        groups = {"X": {"Even": 1.0}}
+        out = render_grouped_bars(groups, series_order=["Even", "ILP"])
+        assert "nan" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_grouped_bars({})

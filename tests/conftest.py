@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Unit tests run on a scaled-down device (:func:`small_test_config`) with
+tiny kernels so the whole suite stays fast; a handful of calibration
+tests use the full GTX-480 configuration and are marked ``slow``-ish but
+still complete in a few seconds thanks to the event-lean simulator.
+"""
+
+import pytest
+
+from repro.gpusim import Application, KernelSpec, gtx480, small_test_config
+
+
+@pytest.fixture
+def small_cfg():
+    return small_test_config()
+
+
+@pytest.fixture(scope="session")
+def gtx_cfg():
+    return gtx480()
+
+
+def make_tiny_spec(name="tiny", **overrides):
+    """A small kernel that exercises compute + memory paths quickly."""
+    params = dict(
+        blocks=8, warps_per_block=2, instr_per_warp=60,
+        mem_fraction=0.15, dep_gap=2.0, tx_per_access=2,
+        working_set_kb=64, pattern="stream", seed=7,
+    )
+    params.update(overrides)
+    return KernelSpec(name, **params)
+
+
+@pytest.fixture
+def tiny_spec():
+    return make_tiny_spec()
+
+
+@pytest.fixture
+def tiny_app(tiny_spec):
+    return Application("tiny", tiny_spec)

@@ -1,0 +1,116 @@
+"""Tests for application classification (Tables 3.1/3.2)."""
+
+import pytest
+
+from repro.core import (CLASS_ORDER, AppClass, ClassificationThresholds,
+                        class_index, classify)
+from repro.core.profiling import ProfileMetrics
+
+
+def metrics(name, mb, l2l1, ipc, r):
+    return ProfileMetrics(name=name, memory_bandwidth_gbps=mb,
+                          l2_to_l1_gbps=l2l1, ipc=ipc, mem_compute_ratio=r,
+                          solo_cycles=1000, thread_instructions=1000,
+                          utilization=0.5)
+
+
+#: The paper's Table 3.2 rows: (MB, L2→L1, IPC, R) → class.  Classified
+#: with the paper's GTX-480 thresholds (α=107, β=50, γ=100, ε=200; SPMV's
+#: IPC of 208.7 sits above the stated ε — the known Table 3.1/3.2
+#: inconsistency — so it is listed separately below).
+TABLE_3_2 = [
+    ("BFS2", 35.5, 132.9, 19.4, 0.19, AppClass.C),
+    ("BLK", 116.2, 83.13, 577.1, 0.05, AppClass.M),
+    ("BP", 84.06, 142.7, 808.3, 0.06, AppClass.MC),
+    ("LUD", 0.19, 8.14, 40.1, 0.03, AppClass.A),
+    ("FFT", 105.8, 122.8, 405.7, 0.08, AppClass.MC),
+    ("JPEG", 47.2, 77.7, 386.4, 0.07, AppClass.A),
+    ("3DS", 81.4, 102.75, 533.9, 0.11, AppClass.MC),
+    ("HS", 43.93, 97.3, 984.0, 0.01, AppClass.A),
+    ("LPS", 80.6, 115.4, 540.9, 0.03, AppClass.MC),
+    ("RAY", 59.7, 69.1, 523.9, 0.1, AppClass.MC),
+    ("GUPS", 108.75, 97.1, 10.61, 0.1, AppClass.M),
+    ("SAD", 57.35, 46.1, 781.9, 0.01, AppClass.MC),  # see note below
+    ("NN", 1.3, 35.3, 56.8, 0.15, AppClass.A),
+]
+
+PAPER_THRESHOLDS = ClassificationThresholds(
+    alpha_gbps=107.0, beta_gbps=50.0, gamma_gbps=100.0, epsilon_ipc=200.0)
+
+
+class TestPaperTable32:
+    @pytest.mark.parametrize(
+        "name,mb,l2l1,ipc,r,expected",
+        [row for row in TABLE_3_2 if row[0] != "SAD"])
+    def test_row_classifies_as_table(self, name, mb, l2l1, ipc, r, expected):
+        assert classify(metrics(name, mb, l2l1, ipc, r),
+                        PAPER_THRESHOLDS) == expected
+
+    def test_sad_inconsistency_documented(self):
+        """Table 3.2 labels SAD class A although its MB (57.35) exceeds
+        the stated β=50 — a known internal inconsistency of the thesis
+        (DESIGN.md §6).  The rule tree classifies by the printed
+        thresholds, hence MC here; the calibrated SAD model in
+        repro.workloads sits below β so the suite-level class is A."""
+        row = next(r for r in TABLE_3_2 if r[0] == "SAD")
+        assert classify(metrics(*row[:5]), PAPER_THRESHOLDS) == AppClass.MC
+
+    def test_spmv_with_relaxed_epsilon(self):
+        """SPMV (IPC 208.7, ε=200) is another off-by-a-hair row; with ε
+        at 210 the paper's label (C) is reproduced."""
+        relaxed = ClassificationThresholds(107.0, 50.0, 100.0, 210.0)
+        m = metrics("SPMV", 48.1, 121.3, 208.7, 0.07)
+        assert classify(m, relaxed) == AppClass.C
+        assert classify(m, PAPER_THRESHOLDS) == AppClass.A
+
+
+class TestRuleTree:
+    def test_m_checked_first(self):
+        # Very high MB wins even with class-A-looking IPC.
+        assert classify(metrics("x", 150, 0, 900, 0.01),
+                        PAPER_THRESHOLDS) == AppClass.M
+
+    def test_mc_band(self):
+        assert classify(metrics("x", 75, 0, 900, 0.01),
+                        PAPER_THRESHOLDS) == AppClass.MC
+
+    def test_c_requires_low_ipc(self):
+        high_ipc = metrics("x", 10, 150, 500, 0.01)
+        assert classify(high_ipc, PAPER_THRESHOLDS) == AppClass.A
+        low_ipc = metrics("x", 10, 150, 50, 0.01)
+        assert classify(low_ipc, PAPER_THRESHOLDS) == AppClass.C
+
+    def test_c_via_ratio_branch(self):
+        # Low L2→L1 but high memory-to-compute ratio also qualifies as C.
+        m = metrics("x", 10, 20, 50, 0.3)
+        assert classify(m, PAPER_THRESHOLDS) == AppClass.C
+
+    def test_a_fallthrough(self):
+        m = metrics("x", 5, 20, 50, 0.05)
+        assert classify(m, PAPER_THRESHOLDS) == AppClass.A
+
+    def test_boundaries_are_strict(self):
+        at_alpha = metrics("x", 107.0, 0, 900, 0.01)
+        assert classify(at_alpha, PAPER_THRESHOLDS) == AppClass.MC
+        at_beta = metrics("x", 50.0, 0, 900, 0.01)
+        assert classify(at_beta, PAPER_THRESHOLDS) == AppClass.A
+
+
+class TestThresholds:
+    def test_for_device_scales_with_peak(self, gtx_cfg):
+        t = ClassificationThresholds.for_device(gtx_cfg)
+        peak = gtx_cfg.peak_dram_bandwidth_gbps
+        assert t.alpha_gbps == pytest.approx(0.55 * peak)
+        assert t.beta_gbps == pytest.approx(0.30 * peak)
+
+    def test_alpha_must_exceed_beta(self):
+        with pytest.raises(ValueError):
+            ClassificationThresholds(alpha_gbps=50, beta_gbps=107)
+
+    def test_class_order_and_index(self):
+        assert len(CLASS_ORDER) == 4
+        assert class_index(AppClass.M) == 0
+        assert class_index(AppClass.A) == 3
+
+    def test_appclass_str(self):
+        assert str(AppClass.MC) == "MC"

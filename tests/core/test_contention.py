@@ -1,0 +1,141 @@
+"""Tests for the contention-minimization ILP (§3.2.3, Appendix A)."""
+
+import pytest
+
+from repro.core import (AppClass, PAPER_APPENDIX_E, InterferenceModel,
+                        Pattern, build_grouping_model, class_counts,
+                        enumerate_patterns, optimize_grouping, realize_groups)
+from repro.ilp import solve_all_optima
+
+APPENDIX_QUEUE_CLASSES = (
+    [AppClass.M] * 2 + [AppClass.MC] * 5 + [AppClass.C] * 2 + [AppClass.A] * 5)
+
+
+class TestAppendixA:
+    """The worked example of Appendix A must be reproduced exactly."""
+
+    def test_solution_vector(self):
+        model, patterns = build_grouping_model(
+            APPENDIX_QUEUE_CLASSES, 2, PAPER_APPENDIX_E)
+        sol = model.solve()
+        assert sol.is_optimal
+        counts = {patterns[i].label: round(sol[f"L{i}"])
+                  for i in range(len(patterns)) if round(sol[f"L{i}"]) > 0}
+        # Eq. 5.7: 2×p3 (M-C), 2×p5 (MC-MC), 1×p7 (MC-A), 2×p10 (A-A).
+        assert counts == {"M-C": 2, "MC-MC": 2, "MC-A": 1, "A-A": 2}
+
+    def test_objective_value(self):
+        model, _ = build_grouping_model(
+            APPENDIX_QUEUE_CLASSES, 2, PAPER_APPENDIX_E)
+        sol = model.solve()
+        expected = 2 * 0.0146 + 2 * 0.0204 + 0.0698 + 2 * 0.166
+        assert sol.objective == pytest.approx(expected)
+
+    def test_solution_unique(self):
+        model, _ = build_grouping_model(
+            APPENDIX_QUEUE_CLASSES, 2, PAPER_APPENDIX_E)
+        assert len(solve_all_optima(model)) == 1
+
+    def test_total_groups_equals_seven(self):
+        model, _ = build_grouping_model(
+            APPENDIX_QUEUE_CLASSES, 2, PAPER_APPENDIX_E)
+        sol = model.solve()
+        assert sum(sol.values.values()) == pytest.approx(7)  # Eq. 5.6
+
+
+class TestModelConstruction:
+    def test_class_counts(self):
+        counts = class_counts(APPENDIX_QUEUE_CLASSES)
+        assert counts == [2, 5, 2, 5]  # Eq. 5.3
+
+    def test_coefficient_length_validated(self):
+        with pytest.raises(ValueError):
+            build_grouping_model(APPENDIX_QUEUE_CLASSES, 2, [1.0, 2.0])
+
+    def test_class_constraints_are_inequalities(self):
+        model, _ = build_grouping_model(
+            APPENDIX_QUEUE_CLASSES, 2, PAPER_APPENDIX_E)
+        senses = [c.sense for c in model.constraints]
+        assert senses.count("<=") == 4  # one per class (Eq. 5.5)
+        assert senses.count("==") == 1  # total groups (Eq. 5.6)
+
+
+class TestRealizeGroups:
+    def test_fcfs_within_class(self):
+        queue = [("m1", AppClass.M), ("a1", AppClass.A),
+                 ("m2", AppClass.M), ("a2", AppClass.A)]
+        pattern = Pattern.from_classes([AppClass.M, AppClass.A])
+        groups, leftovers = realize_groups(queue, {pattern: 2}, 2)
+        assert groups == [["m1", "a1"], ["m2", "a2"]]
+        assert leftovers == []
+
+    def test_leftovers_preserved(self):
+        queue = [("m1", AppClass.M), ("a1", AppClass.A),
+                 ("c1", AppClass.C)]
+        pattern = Pattern.from_classes([AppClass.M, AppClass.A])
+        groups, leftovers = realize_groups(queue, {pattern: 1}, 2)
+        assert groups == [["m1", "a1"]]
+        assert leftovers == ["c1"]
+
+    def test_missing_class_raises(self):
+        queue = [("a1", AppClass.A), ("a2", AppClass.A)]
+        pattern = Pattern.from_classes([AppClass.M, AppClass.A])
+        with pytest.raises(ValueError):
+            realize_groups(queue, {pattern: 1}, 2)
+
+
+def uniform_interference(value: float = 2.0) -> InterferenceModel:
+    return InterferenceModel(tuple(tuple(value for _ in range(4))
+                                   for _ in range(4)))
+
+
+class TestOptimizeGrouping:
+    def _queue(self):
+        names = [f"app{i}" for i in range(len(APPENDIX_QUEUE_CLASSES))]
+        return list(zip(names, APPENDIX_QUEUE_CLASSES))
+
+    def test_full_pipeline_with_fig3_4_style_matrix(self):
+        """With a matrix structured like Fig. 3.4 (M hurts everyone, A is
+        benign), the optimizer must return the true optimum (checked
+        against exhaustive enumeration) and never pick the worst pairing
+        (M with MC — the paper's most destructive combination)."""
+        matrix = (
+            (3.0, 2.2, 2.0, 1.3),
+            (3.5, 2.4, 2.1, 1.2),
+            (3.2, 2.1, 1.9, 1.1),
+            (2.0, 1.4, 1.2, 1.05),
+        )
+        interference = InterferenceModel(matrix)
+        plan = optimize_grouping(self._queue(), 2, interference)
+        assert len(plan.groups) == 7
+        used = [name for g in plan.groups for name in g]
+        assert len(used) == len(set(used))  # each app scheduled once
+        assert "M-MC" not in {p.label for p in plan.pattern_counts}
+        # The branch-and-bound optimum must match brute-force enumeration.
+        model, _ = build_grouping_model(
+            APPENDIX_QUEUE_CLASSES, 2,
+            interference.coefficients(enumerate_patterns(2)))
+        optima = solve_all_optima(model)
+        assert plan.objective == pytest.approx(optima[0][1])
+
+    def test_all_groups_include_leftovers(self):
+        queue = self._queue()[:5]  # 5 apps, NC=2 → one leftover
+        plan = optimize_grouping(queue, 2, uniform_interference())
+        assert len(plan.groups) == 2
+        assert len(plan.leftovers) == 1
+        assert len(plan.all_groups) == 3
+
+    def test_nc3_grouping(self):
+        plan = optimize_grouping(self._queue()[:12], 3,
+                                 uniform_interference())
+        assert len(plan.groups) == 4
+        assert all(len(g) == 3 for g in plan.groups)
+
+    def test_nc1_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_grouping(self._queue(), 1, uniform_interference())
+
+    def test_uniform_matrix_any_grouping_same_objective(self):
+        plan = optimize_grouping(self._queue(), 2, uniform_interference(2.0))
+        # e = 1/2 for every pattern → objective = 7 * 0.5.
+        assert plan.objective == pytest.approx(3.5)

@@ -1,0 +1,108 @@
+"""Tests for the interference model (§3.2.2, Fig. 3.4)."""
+
+import pytest
+
+from repro.core import (AppClass, InterferenceModel, Pattern,
+                        enumerate_patterns, measure_interference)
+from repro.gpusim import small_test_config
+
+from ..conftest import make_tiny_spec
+
+
+def model(matrix):
+    return InterferenceModel(tuple(tuple(row) for row in matrix))
+
+
+SAMPLE = model([
+    [2.0, 1.8, 1.6, 1.2],
+    [2.5, 1.9, 1.7, 1.3],
+    [2.2, 1.7, 1.8, 1.1],
+    [1.5, 1.3, 1.2, 1.05],
+])
+
+
+class TestInterferenceModel:
+    def test_matrix_shape_validated(self):
+        with pytest.raises(ValueError):
+            model([[1.0, 1.0], [1.0, 1.0]])
+
+    def test_slowdowns_below_one_rejected(self):
+        bad = [[1.0] * 4 for _ in range(4)]
+        bad[2][1] = 0.5
+        with pytest.raises(ValueError):
+            model(bad)
+
+    def test_pair_slowdown_lookup(self):
+        assert SAMPLE.pair_slowdown(AppClass.MC, AppClass.M) == 2.5
+        assert SAMPLE.pair_slowdown(AppClass.M, AppClass.MC) == 1.8
+
+    def test_group_slowdown_single_partner(self):
+        assert SAMPLE.group_slowdown(AppClass.C, [AppClass.M]) == 2.2
+
+    def test_group_slowdown_additive(self):
+        # S(a|{b,c}) = S(a|b) + S(a|c) - 1.
+        s = SAMPLE.group_slowdown(AppClass.A, [AppClass.M, AppClass.MC])
+        assert s == pytest.approx(1.5 + 1.3 - 1.0)
+
+    def test_group_slowdown_empty(self):
+        assert SAMPLE.group_slowdown(AppClass.A, []) == 1.0
+
+    def test_pattern_coefficient_eq_3_4(self):
+        p = Pattern.from_classes([AppClass.M, AppClass.A])
+        e = SAMPLE.pattern_coefficient(p)
+        expected = 0.5 * (1 / SAMPLE.pair_slowdown(AppClass.M, AppClass.A)
+                          + 1 / SAMPLE.pair_slowdown(AppClass.A, AppClass.M))
+        assert e == pytest.approx(expected)
+
+    def test_same_class_pattern_coefficient(self):
+        p = Pattern.from_classes([AppClass.MC, AppClass.MC])
+        assert SAMPLE.pattern_coefficient(p) == pytest.approx(1 / 1.9)
+
+    def test_coefficients_align_with_patterns(self):
+        patterns = enumerate_patterns(2)
+        coeffs = SAMPLE.coefficients(patterns)
+        assert len(coeffs) == len(patterns)
+        assert all(0 < e <= 1.0 for e in coeffs)
+
+    def test_benign_pairs_score_higher(self):
+        patterns = enumerate_patterns(2)
+        coeffs = dict(zip([p.label for p in patterns],
+                          SAMPLE.coefficients(patterns)))
+        assert coeffs["A-A"] > coeffs["M-M"]
+        assert coeffs["M-A"] > coeffs["M-MC"]
+
+
+class TestMeasurement:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        """A measured matrix from a 4-benchmark toy suite on the small
+        device (one benchmark per class region is not guaranteed at this
+        scale; the test only checks mechanics and invariants)."""
+        cfg = small_test_config()
+        suite = {
+            "mem": make_tiny_spec("mem", mem_fraction=0.4, blocks=8,
+                                  working_set_kb=8192, pattern="random",
+                                  tx_per_access=8),
+            "comp": make_tiny_spec("comp", mem_fraction=0.01, blocks=8),
+            "cache": make_tiny_spec("cache", mem_fraction=0.3, blocks=4,
+                                    working_set_kb=48, pattern="random",
+                                    tx_per_access=4, dep_gap=4.0),
+        }
+        return measure_interference(cfg, suite, samples_per_pair=1)
+
+    def test_matrix_is_complete(self, measured):
+        assert len(measured.slowdown) == 4
+        assert all(len(row) == 4 for row in measured.slowdown)
+
+    def test_all_slowdowns_at_least_one(self, measured):
+        assert all(s >= 1.0 for row in measured.slowdown for s in row)
+
+    def test_unmeasured_cells_default_to_one(self, measured):
+        # The toy suite cannot populate every class; empty cells are 1.0.
+        flat = [s for row in measured.slowdown for s in row]
+        assert any(s == 1.0 for s in flat)
+
+    def test_samples_recorded(self, measured):
+        assert measured.samples
+        for (_a, _b), (s_a, s_b) in measured.samples.items():
+            assert s_a >= 1.0 and s_b >= 1.0

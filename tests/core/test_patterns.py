@@ -1,0 +1,98 @@
+"""Tests for class-pattern enumeration (Eq. 3.1/3.2, Appendix A)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (AppClass, Pattern, enumerate_patterns, num_patterns,
+                        pattern_matrix)
+
+
+class TestPatternCounts:
+    def test_np_formula_nc2(self):
+        # NP = C(NT + NC - 1, NC) = C(5, 2) = 10 (Appendix A).
+        assert num_patterns(2) == 10
+
+    def test_np_formula_nc3(self):
+        assert num_patterns(3) == math.comb(6, 3) == 20
+
+    @pytest.mark.parametrize("nc", [1, 2, 3, 4, 5])
+    def test_enumeration_matches_formula(self, nc):
+        assert len(enumerate_patterns(nc)) == num_patterns(nc)
+
+    def test_nc_zero_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_patterns(0)
+
+
+class TestAppendixAListing:
+    def test_nc2_pattern_order(self):
+        """The Appendix A listing: M-M, M-MC, M-C, M-A, MC-MC, MC-C,
+        MC-A, C-C, C-A, A-A."""
+        labels = [p.label for p in enumerate_patterns(2)]
+        assert labels == [
+            "M-M", "M-MC", "M-C", "M-A", "MC-MC", "MC-C", "MC-A",
+            "C-C", "C-A", "A-A",
+        ]
+
+    def test_pattern_matrix_matches_eq_5_2(self):
+        """The [P1 .. P10] matrix of Eq. 5.2."""
+        matrix = pattern_matrix(enumerate_patterns(2))
+        assert matrix == [
+            [2, 1, 1, 1, 0, 0, 0, 0, 0, 0],
+            [0, 1, 0, 0, 2, 1, 1, 0, 0, 0],
+            [0, 0, 1, 0, 0, 1, 0, 2, 1, 0],
+            [0, 0, 0, 1, 0, 0, 1, 0, 1, 2],
+        ]
+
+
+class TestPattern:
+    def test_from_classes_roundtrip(self):
+        p = Pattern.from_classes([AppClass.MC, AppClass.MC])
+        assert p.counts == (0, 2, 0, 0)  # Eq. 3.1's example
+        assert p.classes == (AppClass.MC, AppClass.MC)
+
+    def test_size(self):
+        p = Pattern.from_classes([AppClass.M, AppClass.A, AppClass.A])
+        assert p.size == 3
+
+    def test_count_of(self):
+        p = Pattern.from_classes([AppClass.M, AppClass.A])
+        assert p.count_of(AppClass.M) == 1
+        assert p.count_of(AppClass.C) == 0
+
+    def test_label(self):
+        p = Pattern.from_classes([AppClass.A, AppClass.M])
+        assert p.label == "M-A"  # canonical class order
+
+    def test_hashable(self):
+        a = Pattern.from_classes([AppClass.M, AppClass.A])
+        b = Pattern.from_classes([AppClass.A, AppClass.M])
+        assert a == b and hash(a) == hash(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pattern((1, 2))
+        with pytest.raises(ValueError):
+            Pattern((1, -1, 0, 0))
+
+
+class TestPatternProperties:
+    @given(nc=st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_all_patterns_have_size_nc(self, nc):
+        assert all(p.size == nc for p in enumerate_patterns(nc))
+
+    @given(nc=st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_patterns_unique(self, nc):
+        patterns = enumerate_patterns(nc)
+        assert len(set(patterns)) == len(patterns)
+
+    @given(nc=st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_classes_expansion_consistent(self, nc):
+        for p in enumerate_patterns(nc):
+            assert Pattern.from_classes(p.classes) == p

@@ -1,0 +1,116 @@
+"""Tests for the scheduling policies (plan shapes and SM partitioning)."""
+
+import pytest
+
+from repro.core import (EvenPolicy, FCFSPolicy, ILPPolicy, ILPSMRAPolicy,
+                        InterferenceModel, PolicyContext, ProfileBasedPolicy,
+                        Profiler, SerialPolicy, ClassificationThresholds,
+                        default_policies, sm_demand)
+from repro.gpusim import small_test_config
+
+from ..conftest import make_tiny_spec
+
+
+@pytest.fixture
+def ctx(small_cfg):
+    matrix = tuple(tuple(1.5 for _ in range(4)) for _ in range(4))
+    return PolicyContext(
+        config=small_cfg,
+        profiler=Profiler(small_cfg),
+        thresholds=ClassificationThresholds.for_device(small_cfg),
+        interference=InterferenceModel(matrix))
+
+
+@pytest.fixture
+def queue():
+    return [(f"app{i}", make_tiny_spec(f"app{i}", seed=i)) for i in range(6)]
+
+
+class TestSerialPolicy:
+    def test_one_group_per_app(self, ctx, queue):
+        groups = SerialPolicy().plan(queue, ctx)
+        assert len(groups) == 6
+        assert all(len(g.members) == 1 for g in groups)
+        assert all(g.partitions is None for g in groups)
+        assert not any(g.use_smra for g in groups)
+
+
+class TestEvenAndFCFS:
+    def test_chunks_in_arrival_order(self, ctx, queue):
+        groups = EvenPolicy(2).plan(queue, ctx)
+        assert [m[0] for g in groups for m in g.members] == [
+            f"app{i}" for i in range(6)]
+        assert all(len(g.members) == 2 for g in groups)
+
+    def test_nc3(self, ctx, queue):
+        groups = EvenPolicy(3).plan(queue, ctx)
+        assert [len(g.members) for g in groups] == [3, 3]
+
+    def test_ragged_tail(self, ctx, queue):
+        groups = EvenPolicy(4).plan(queue, ctx)
+        assert [len(g.members) for g in groups] == [4, 2]
+
+    def test_fcfs_is_even(self, ctx, queue):
+        even = EvenPolicy(2).plan(queue, ctx)
+        fcfs = FCFSPolicy(2).plan(queue, ctx)
+        assert [[m[0] for m in g.members] for g in even] == \
+               [[m[0] for m in g.members] for g in fcfs]
+        assert FCFSPolicy(2).name == "FCFS"
+
+    def test_bad_nc(self):
+        with pytest.raises(ValueError):
+            EvenPolicy(0)
+
+
+class TestProfileBased:
+    def test_partitions_proportional_to_demand(self, ctx, small_cfg):
+        wide = ("wide", make_tiny_spec("wide", blocks=64))
+        narrow = ("narrow", make_tiny_spec("narrow", blocks=1))
+        groups = ProfileBasedPolicy(2).plan([wide, narrow], ctx)
+        parts = groups[0].partitions
+        assert parts is not None
+        assert len(parts[0]) > len(parts[1])
+        assert len(parts[0]) + len(parts[1]) == small_cfg.num_sms
+
+    def test_sm_demand_caps(self, small_cfg):
+        assert sm_demand(make_tiny_spec(blocks=1), small_cfg) == 1
+        assert sm_demand(make_tiny_spec(blocks=1000), small_cfg) == \
+            small_cfg.num_sms
+
+    def test_single_member_group_gets_full_device(self, ctx, queue):
+        groups = ProfileBasedPolicy(4).plan(queue[:5], ctx)
+        assert groups[-1].partitions is None  # lone tail app
+
+
+class TestILPPolicies:
+    def test_groups_cover_queue(self, ctx, queue):
+        groups = ILPPolicy(2).plan(queue, ctx)
+        names = sorted(m[0] for g in groups for m in g.members)
+        assert names == sorted(name for name, _ in queue)
+
+    def test_requires_interference(self, small_cfg, queue):
+        bare = PolicyContext(
+            config=small_cfg, profiler=Profiler(small_cfg),
+            thresholds=ClassificationThresholds.for_device(small_cfg))
+        with pytest.raises(ValueError):
+            ILPPolicy(2).plan(queue, bare)
+
+    def test_nc1_rejected(self):
+        with pytest.raises(ValueError):
+            ILPPolicy(1)
+
+    def test_smra_flag_only_on_multi_member_groups(self, ctx, queue):
+        groups = ILPSMRAPolicy(2).plan(queue[:5], ctx)
+        for g in groups:
+            assert g.use_smra == (len(g.members) > 1)
+
+    def test_plain_ilp_never_uses_smra(self, ctx, queue):
+        assert not any(g.use_smra for g in ILPPolicy(2).plan(queue, ctx))
+
+
+class TestDefaults:
+    def test_default_policies_roster(self):
+        names = [p.name for p in default_policies(2)]
+        assert names == ["Even", "Profile-based", "ILP", "ILP-SMRA"]
+        assert all(p.nc == 2 for p in default_policies(2))
+        assert all(p.nc == 3 for p in default_policies(3))

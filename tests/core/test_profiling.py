@@ -1,0 +1,75 @@
+"""Tests for solo profiling and the process-wide profiler cache."""
+
+import pytest
+
+from repro.core import Profiler, metrics_from_result, shared_profiler
+from repro.gpusim import Application, simulate, small_test_config
+
+from ..conftest import make_tiny_spec
+
+
+class TestProfiler:
+    def test_profile_produces_metrics(self, small_cfg, tiny_spec):
+        p = Profiler(small_cfg)
+        m = p.profile("tiny", tiny_spec)
+        assert m.solo_cycles > 0
+        assert m.ipc > 0
+        assert 0 <= m.utilization <= 1
+        assert m.thread_instructions == (
+            tiny_spec.total_warp_instructions * small_cfg.warp_size)
+
+    def test_cache_hit_returns_same_object(self, small_cfg, tiny_spec):
+        p = Profiler(small_cfg)
+        assert p.profile("tiny", tiny_spec) is p.profile("tiny", tiny_spec)
+
+    def test_invalidate_clears_cache(self, small_cfg, tiny_spec):
+        p = Profiler(small_cfg)
+        first = p.profile("tiny", tiny_spec)
+        p.invalidate()
+        second = p.profile("tiny", tiny_spec)
+        assert first is not second
+        assert first.solo_cycles == second.solo_cycles  # deterministic
+
+    def test_different_specs_profiled_separately(self, small_cfg):
+        p = Profiler(small_cfg)
+        a = p.profile("a", make_tiny_spec(mem_fraction=0.0))
+        b = p.profile("b", make_tiny_spec(mem_fraction=0.4,
+                                          working_set_kb=4096,
+                                          pattern="random"))
+        assert a.memory_bandwidth_gbps < b.memory_bandwidth_gbps
+
+    def test_solo_cycles_shortcut(self, small_cfg, tiny_spec):
+        p = Profiler(small_cfg)
+        assert p.solo_cycles("tiny", tiny_spec) == \
+            p.profile("tiny", tiny_spec).solo_cycles
+
+
+class TestSharedProfiler:
+    def test_shared_per_config(self):
+        cfg = small_test_config()
+        assert shared_profiler(cfg) is shared_profiler(cfg)
+
+    def test_distinct_configs_distinct_profilers(self):
+        a = shared_profiler(small_test_config())
+        b = shared_profiler(small_test_config(num_sms=2))
+        assert a is not b
+
+
+class TestMetricsFromResult:
+    def test_columns_tuple(self, small_cfg, tiny_spec):
+        res = simulate(small_cfg, [Application("x", tiny_spec)])
+        m = metrics_from_result(res)
+        mb, l2l1, ipc, r = m.columns
+        assert mb == m.memory_bandwidth_gbps
+        assert l2l1 == m.l2_to_l1_gbps
+        assert ipc == m.ipc
+        assert r == m.mem_compute_ratio
+
+    def test_metrics_use_finish_cycle(self, small_cfg):
+        short = make_tiny_spec("short", blocks=2, instr_per_warp=30)
+        long_ = make_tiny_spec("long", blocks=8, instr_per_warp=600)
+        res = simulate(small_cfg, [Application("short", short),
+                                   Application("long", long_)])
+        m = metrics_from_result(res, app_id=0)
+        assert m.solo_cycles == res.app_stats[0].finish_cycle
+        assert m.solo_cycles < res.cycles

@@ -1,0 +1,105 @@
+"""Integration tests: queue execution under every policy (small device)."""
+
+import pytest
+
+from repro.core import (EvenPolicy, ILPPolicy, ILPSMRAPolicy, SerialPolicy,
+                        ProfileBasedPolicy, SMRAParams, make_context,
+                        run_queue)
+from repro.gpusim import small_test_config
+
+from ..conftest import make_tiny_spec
+
+
+def toy_suite():
+    return {
+        "mem": make_tiny_spec("mem", mem_fraction=0.4, blocks=8,
+                              working_set_kb=8192, pattern="random",
+                              tx_per_access=8, seed=1),
+        "comp": make_tiny_spec("comp", mem_fraction=0.01, blocks=8, seed=2),
+        "cache": make_tiny_spec("cache", mem_fraction=0.3, blocks=4,
+                                working_set_kb=48, pattern="random",
+                                tx_per_access=4, dep_gap=4.0, seed=3),
+        "small": make_tiny_spec("small", blocks=2, instr_per_warp=40, seed=4),
+    }
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_context(small_test_config(), suite=toy_suite(),
+                        need_interference=True, samples_per_pair=1,
+                        smra_params=SMRAParams(interval=500))
+
+
+@pytest.fixture
+def queue():
+    return list(toy_suite().items())
+
+
+class TestRunQueue:
+    @pytest.mark.parametrize("policy_cls", [
+        SerialPolicy, lambda: EvenPolicy(2), lambda: ProfileBasedPolicy(2),
+        lambda: ILPPolicy(2), lambda: ILPSMRAPolicy(2)])
+    def test_every_policy_drains_queue(self, ctx, queue, policy_cls):
+        policy = policy_cls()
+        outcome = run_queue(queue, policy, ctx)
+        assert outcome.total_cycles > 0
+        ran = sorted(n for g in outcome.groups for n in g.members)
+        assert ran == sorted(n for n, _ in queue)
+
+    def test_total_instructions_conserved(self, ctx, queue):
+        serial = run_queue(queue, SerialPolicy(), ctx)
+        even = run_queue(queue, EvenPolicy(2), ctx)
+        assert serial.total_instructions == even.total_instructions
+
+    def test_device_throughput_definition(self, ctx, queue):
+        out = run_queue(queue, EvenPolicy(2), ctx)
+        assert out.device_throughput == pytest.approx(
+            out.total_instructions / out.total_cycles)
+
+    def test_app_accessors(self, ctx, queue):
+        out = run_queue(queue, EvenPolicy(2), ctx)
+        for name, _spec in queue:
+            assert out.app_throughput(name) > 0
+            assert out.app_finish_cycles(name) > 0
+            assert name in out.group_of(name).members
+        with pytest.raises(KeyError):
+            out.app_throughput("ghost")
+        with pytest.raises(KeyError):
+            out.app_finish_cycles("ghost")
+        with pytest.raises(KeyError):
+            out.group_of("ghost")
+
+    def test_smra_controller_attached(self, ctx, queue):
+        out = run_queue(queue, ILPSMRAPolicy(2), ctx)
+        multi = [g for g in out.groups if len(g.members) > 1]
+        assert multi and all(g.smra is not None for g in multi)
+
+    def test_plain_ilp_has_no_controller(self, ctx, queue):
+        out = run_queue(queue, ILPPolicy(2), ctx)
+        assert all(g.smra is None for g in out.groups)
+
+    def test_policy_name_recorded(self, ctx, queue):
+        assert run_queue(queue, SerialPolicy(), ctx).policy == "Serial"
+
+
+class TestMakeContext:
+    def test_interference_requires_suite(self):
+        with pytest.raises(ValueError):
+            make_context(small_test_config(), need_interference=True)
+
+    def test_interference_cached(self):
+        cfg = small_test_config()
+        a = make_context(cfg, suite=toy_suite(), need_interference=True,
+                         samples_per_pair=1)
+        b = make_context(cfg, suite=toy_suite(), need_interference=True,
+                         samples_per_pair=1)
+        assert a.interference is b.interference
+
+    def test_context_without_interference(self):
+        ctx = make_context(small_test_config())
+        assert ctx.interference is None
+
+    def test_classify_queue(self, ctx, queue):
+        classified = ctx.classify_queue(queue)
+        assert len(classified) == len(queue)
+        assert all(cls is not None for _n, cls in classified)

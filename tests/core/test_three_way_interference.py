@@ -1,0 +1,74 @@
+"""Validate the additive 3-way slowdown composition against direct
+3-way co-runs (the NC=3 modeling assumption of DESIGN.md §4/§6).
+
+The additive model ``S(a|{b,c}) = S(a|b) + S(a|c) − 1`` is a first-order
+approximation; these tests check it is *predictive* (correlated and
+within a tolerance band) on the small device, not exact.
+"""
+
+import pytest
+
+from repro.gpusim import Application, simulate, small_test_config
+
+from ..conftest import make_tiny_spec
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return small_test_config(num_sms=6)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return {
+        "mem": make_tiny_spec("mem", mem_fraction=0.4, blocks=6,
+                              working_set_kb=8192, pattern="random",
+                              tx_per_access=8, seed=11),
+        "comp": make_tiny_spec("comp", mem_fraction=0.01, blocks=6,
+                               seed=12),
+        "cache": make_tiny_spec("cache", mem_fraction=0.3, blocks=6,
+                                working_set_kb=48, pattern="random",
+                                tx_per_access=4, seed=13),
+    }
+
+
+def solo_cycles(cfg, spec):
+    return simulate(cfg, [Application(spec.name, spec)]).app_stats[0] \
+        .finish_cycle
+
+
+def pair_slowdown(cfg, victim, other, solo):
+    res = simulate(cfg, [Application("v", victim), Application("o", other)])
+    return max(1.0, res.app_stats[0].finish_cycle / solo)
+
+
+class TestAdditiveComposition:
+    def test_three_way_slowdown_within_band(self, cfg, specs):
+        """Predicted 3-way slowdown from pairwise data must land within
+        a generous band of the direct measurement."""
+        victim = specs["comp"]
+        others = [specs["mem"], specs["cache"]]
+        solo = solo_cycles(cfg, victim)
+        s_pair = [pair_slowdown(cfg, victim, o, solo) for o in others]
+        predicted = 1.0 + sum(s - 1.0 for s in s_pair)
+
+        res = simulate(cfg, [Application("v", victim),
+                             Application("o1", others[0]),
+                             Application("o2", others[1])])
+        measured = max(1.0, res.app_stats[0].finish_cycle / solo)
+        assert measured == pytest.approx(predicted, rel=0.6), (
+            f"additive model predicted {predicted:.2f}, "
+            f"measured {measured:.2f}")
+
+    def test_more_aggressors_never_speed_up(self, cfg, specs):
+        victim = specs["cache"]
+        solo = solo_cycles(cfg, victim)
+        one = pair_slowdown(cfg, victim, specs["mem"], solo)
+        res = simulate(cfg, [Application("v", victim),
+                             Application("o1", specs["mem"]),
+                             Application("o2", specs["comp"])])
+        two = max(1.0, res.app_stats[0].finish_cycle / solo)
+        # Partition shrinks from 1/2 to 1/3 of the device and a second
+        # aggressor joins: the victim cannot get faster (small slack for
+        # dispatch/partition rounding).
+        assert two >= one * 0.9

@@ -1,0 +1,95 @@
+"""Tests for the address → (partition, bank, row) mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import AddressMap, gtx480, small_test_config
+
+
+@pytest.fixture
+def amap(gtx_cfg):
+    return AddressMap(gtx_cfg)
+
+
+class TestBasicMapping:
+    def test_line_of(self, amap):
+        assert amap.line_of(0) == 0
+        assert amap.line_of(127) == 0
+        assert amap.line_of(128) == 1
+
+    def test_line_addr_alignment(self, amap):
+        assert amap.line_addr(130) == 128
+        assert amap.line_addr(128) == 128
+
+    def test_consecutive_lines_round_robin_partitions(self, amap, gtx_cfg):
+        parts = [amap.locate_line(i).partition
+                 for i in range(gtx_cfg.num_partitions * 2)]
+        assert parts[:gtx_cfg.num_partitions] == list(
+            range(gtx_cfg.num_partitions))
+        assert parts == parts[:gtx_cfg.num_partitions] * 2
+
+    def test_partition_local_lines_round_robin_banks(self, amap, gtx_cfg):
+        p = gtx_cfg.num_partitions
+        banks = [amap.locate_line(i * p).bank
+                 for i in range(gtx_cfg.banks_per_partition)]
+        assert banks == list(range(gtx_cfg.banks_per_partition))
+
+    def test_row_advances_after_full_span(self, amap, gtx_cfg):
+        span = (gtx_cfg.num_partitions * gtx_cfg.banks_per_partition
+                * gtx_cfg.lines_per_row)
+        assert amap.locate_line(0).row == 0
+        assert amap.locate_line(span - 1).row == 0
+        assert amap.locate_line(span).row == 1
+
+    def test_locate_matches_locate_line(self, amap):
+        addr = 12345 * 128 + 17
+        assert amap.locate(addr) == amap.locate_line(12345)
+
+
+class TestMappingProperties:
+    @given(line=st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=200, deadline=None)
+    def test_location_in_bounds(self, line):
+        cfg = gtx480()
+        loc = AddressMap(cfg).locate_line(line)
+        assert 0 <= loc.partition < cfg.num_partitions
+        assert 0 <= loc.bank < cfg.banks_per_partition
+        assert loc.row >= 0
+
+    @given(line=st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=200, deadline=None)
+    def test_row_stride_lands_in_same_bank_row(self, line):
+        """Lines `stride = P*B` apart share partition and bank, and share
+        the row as long as they stay inside one row span (the invariant
+        the row_local address generator and BLK's strided pattern use)."""
+        cfg = gtx480()
+        amap = AddressMap(cfg)
+        stride = cfg.num_partitions * cfg.banks_per_partition
+        a = amap.locate_line(line)
+        b = amap.locate_line(line + stride)
+        assert a.partition == b.partition
+        assert a.bank == b.bank
+        assert b.row in (a.row, a.row + 1)
+
+    @given(line=st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=100, deadline=None)
+    def test_mapping_deterministic(self, line):
+        cfg = small_test_config()
+        amap = AddressMap(cfg)
+        assert amap.locate_line(line) == amap.locate_line(line)
+
+    @given(lines=st.lists(st.integers(min_value=0, max_value=10**7),
+                          min_size=2, max_size=50, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_lines_same_bank_row_only_if_congruent(self, lines):
+        """Two different lines map to the same (partition, bank) only when
+        congruent mod P*B."""
+        cfg = small_test_config()
+        amap = AddressMap(cfg)
+        stride = cfg.num_partitions * cfg.banks_per_partition
+        for i, a in enumerate(lines):
+            for b in lines[i + 1:]:
+                la, lb = amap.locate_line(a), amap.locate_line(b)
+                if (la.partition, la.bank) == (lb.partition, lb.bank):
+                    assert a % stride == b % stride

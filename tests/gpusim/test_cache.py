@@ -1,0 +1,156 @@
+"""Tests for the set-associative cache (LRU and BIP insertion)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import SetAssocCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = SetAssocCache(4, 2)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_probe_does_not_allocate(self):
+        c = SetAssocCache(4, 2)
+        assert not c.probe(0)
+        c.access(0)
+        assert c.probe(0)
+        assert c.hits == 0 or c.hits == 0  # probe never counts
+
+    def test_different_sets_do_not_conflict(self):
+        c = SetAssocCache(4, 1)
+        c.access(0)
+        c.access(1)  # different set (line % num_sets)
+        assert c.probe(0) and c.probe(1)
+
+    def test_lru_eviction_order(self):
+        c = SetAssocCache(1, 2)
+        c.access(10)
+        c.access(20)
+        c.access(10)      # refresh 10 → 20 is now LRU
+        c.access(30)      # evicts 20
+        assert c.probe(10) and c.probe(30)
+        assert not c.probe(20)
+
+    def test_eviction_count(self):
+        c = SetAssocCache(1, 2)
+        for line in (0, 1, 2, 3):
+            c.access(line)
+        assert c.evictions == 2
+
+    def test_invalidate_all(self):
+        c = SetAssocCache(4, 2)
+        c.access(0)
+        c.invalidate_all()
+        assert not c.probe(0)
+        assert c.occupancy == 0
+
+    def test_hit_rate(self):
+        c = SetAssocCache(4, 2)
+        c.access(0)
+        c.access(0)
+        c.access(0)
+        assert c.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty(self):
+        assert SetAssocCache(4, 2).hit_rate == 0.0
+
+    def test_reset_stats_keeps_contents(self):
+        c = SetAssocCache(4, 2)
+        c.access(0)
+        c.reset_stats()
+        assert c.misses == 0
+        assert c.probe(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(0, 2)
+        with pytest.raises(ValueError):
+            SetAssocCache(4, 0)
+        with pytest.raises(ValueError):
+            SetAssocCache(4, 2, insertion="rrip")
+
+
+class TestBipInsertion:
+    def test_streaming_does_not_evict_reused_set(self):
+        """The thrash-resistance property: an established (re-referenced)
+        working set survives a pass of never-reused streaming lines."""
+        c = SetAssocCache(1, 8, insertion="bip", bip_epsilon=10**9)
+        hot = list(range(0, 4))
+        for line in hot:          # establish
+            c.access(line)
+        for line in hot:          # promote to MRU
+            assert c.access(line)
+        for stream in range(100, 160):  # a long streaming sweep
+            c.access(stream)
+        for line in hot:
+            assert c.probe(line), "hot line was washed out under BIP"
+
+    def test_lru_insertion_washes_reused_set(self):
+        """Contrast: classic LRU insertion lets the stream evict the set."""
+        c = SetAssocCache(1, 8, insertion="lru")
+        hot = list(range(0, 4))
+        for line in hot:
+            c.access(line)
+            c.access(line)
+        for stream in range(100, 160):
+            c.access(stream)
+        assert not any(c.probe(line) for line in hot)
+
+    def test_bip_line_promoted_on_reuse(self):
+        c = SetAssocCache(1, 4, insertion="bip", bip_epsilon=10**9)
+        c.access(1)
+        c.access(1)          # promoted to MRU
+        for s in (10, 20, 30):
+            c.access(s)      # fills the set with LRU inserts
+        assert c.probe(1)
+
+    def test_bip_epsilon_occasionally_inserts_mru(self):
+        # epsilon=1 → every insert goes to MRU (degenerates to LRU policy).
+        c = SetAssocCache(1, 2, insertion="bip", bip_epsilon=1)
+        c.access(10)
+        c.access(20)
+        c.access(30)
+        assert c.probe(30) and c.probe(20)
+        assert not c.probe(10)
+
+
+class TestCacheProperties:
+    @given(lines=st.lists(st.integers(0, 1000), min_size=1, max_size=300),
+           assoc=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, lines, assoc):
+        c = SetAssocCache(4, assoc)
+        for line in lines:
+            c.access(line)
+        assert c.occupancy <= 4 * assoc
+        assert c.hits + c.misses == len(lines)
+
+    @given(lines=st.lists(st.integers(0, 100), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_lru_model(self, lines):
+        """Differential test against a straightforward reference LRU."""
+        num_sets, assoc = 2, 3
+        c = SetAssocCache(num_sets, assoc)
+        reference = [[] for _ in range(num_sets)]  # most recent last
+        for line in lines:
+            ref_set = reference[line % num_sets]
+            expected_hit = line in ref_set
+            if expected_hit:
+                ref_set.remove(line)
+            elif len(ref_set) >= assoc:
+                ref_set.pop(0)
+            ref_set.append(line)
+            assert c.access(line) == expected_hit
+
+    @given(lines=st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_access_after_access_always_hits(self, lines):
+        c = SetAssocCache(8, 4)
+        for line in lines:
+            c.access(line)
+            assert c.probe(line)

@@ -1,0 +1,119 @@
+"""Tests for the device configuration (Table 4.1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim import DramTiming, GPUConfig, gtx480, small_test_config
+
+
+class TestTable41:
+    """The gtx480() factory must match the paper's experimental setup."""
+
+    def test_num_sms(self, gtx_cfg):
+        assert gtx_cfg.num_sms == 60
+
+    def test_core_frequency(self, gtx_cfg):
+        assert gtx_cfg.core_clock_mhz == 700
+
+    def test_warps_per_sm(self, gtx_cfg):
+        assert gtx_cfg.max_warps_per_sm == 48
+
+    def test_blocks_per_sm(self, gtx_cfg):
+        assert gtx_cfg.max_blocks_per_sm == 8
+
+    def test_l1_size(self, gtx_cfg):
+        assert gtx_cfg.l1_size_kb == 16
+
+    def test_l2_size(self, gtx_cfg):
+        assert gtx_cfg.l2_size_kb == 768
+
+    def test_warp_scheduler_is_gto(self, gtx_cfg):
+        assert gtx_cfg.scheduler == "gto"
+
+    def test_memory_scheduler_is_frfcfs(self, gtx_cfg):
+        assert gtx_cfg.mem_scheduler == "frfcfs"
+
+
+class TestDerivedQuantities:
+    def test_l1_geometry(self, gtx_cfg):
+        assert gtx_cfg.l1_lines == 16 * 1024 // 128
+        assert gtx_cfg.l1_sets * gtx_cfg.l1_assoc == gtx_cfg.l1_lines
+
+    def test_l2_slice_size(self, gtx_cfg):
+        assert gtx_cfg.l2_slice_kb == 768 // 6
+
+    def test_l2_slice_geometry(self, gtx_cfg):
+        lines = gtx_cfg.l2_slice_kb * 1024 // gtx_cfg.line_size
+        assert gtx_cfg.l2_slice_sets * gtx_cfg.l2_assoc == lines
+
+    def test_lines_per_row(self, gtx_cfg):
+        assert gtx_cfg.lines_per_row == 2048 // 128
+
+    def test_peak_ipc(self, gtx_cfg):
+        assert gtx_cfg.peak_ipc == 60 * 1 * 32
+
+    def test_peak_dram_bandwidth_near_gtx480(self, gtx_cfg):
+        # The GTX 480's theoretical bandwidth is ~177 GB/s.
+        assert 160 <= gtx_cfg.peak_dram_bandwidth_gbps <= 200
+
+    def test_bytes_per_cycle_conversion(self, gtx_cfg):
+        # 1 byte/cycle at 700 MHz = 0.7 GB/s.
+        assert gtx_cfg.bytes_per_cycle_to_gbps(1.0) == pytest.approx(0.7)
+
+    def test_with_sms(self, gtx_cfg):
+        smaller = gtx_cfg.with_sms(30)
+        assert smaller.num_sms == 30
+        assert smaller.l2_size_kb == gtx_cfg.l2_size_kb
+        assert gtx_cfg.num_sms == 60  # original untouched (frozen)
+
+
+class TestValidation:
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(scheduler="fifo")
+
+    def test_bad_mem_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(mem_scheduler="open-row")
+
+    def test_bad_l2_insertion_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(l2_insertion="plru")
+
+    def test_zero_sms_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_sms=0)
+
+    def test_config_is_frozen(self, gtx_cfg):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            gtx_cfg.num_sms = 10
+
+    def test_config_hashable(self, gtx_cfg):
+        # Profiler/interference caches key on the config.
+        assert hash(gtx_cfg) == hash(gtx480())
+
+    def test_overrides(self):
+        cfg = gtx480(scheduler="lrr", mem_scheduler="fcfs")
+        assert cfg.scheduler == "lrr"
+        assert cfg.mem_scheduler == "fcfs"
+
+
+class TestSmallConfig:
+    def test_small_config_is_smaller(self, small_cfg, gtx_cfg):
+        assert small_cfg.num_sms < gtx_cfg.num_sms
+        assert small_cfg.l2_size_kb < gtx_cfg.l2_size_kb
+
+    def test_small_config_valid_geometry(self, small_cfg):
+        assert small_cfg.l1_sets >= 1
+        assert small_cfg.l2_slice_sets >= 1
+        assert small_cfg.lines_per_row >= 1
+
+
+class TestDramTiming:
+    def test_row_hit_cheaper_than_miss(self):
+        t = DramTiming()
+        assert t.row_hit < t.row_miss
+
+    def test_row_window_positive(self):
+        assert DramTiming().row_window >= 1

@@ -1,0 +1,98 @@
+"""Tests for the work distributor (block dispatch, ownership, launches)."""
+
+import pytest
+
+from repro.gpusim import Application, GPU, small_test_config
+
+from ..conftest import make_tiny_spec
+
+
+def launched_gpu(cfg, specs):
+    gpu = GPU(cfg)
+    gpu.launch([Application(f"a{i}", s) for i, s in enumerate(specs)])
+    return gpu
+
+
+class TestOwnershipQueries:
+    def test_sms_of_after_launch(self, small_cfg, tiny_spec):
+        gpu = launched_gpu(small_cfg, [tiny_spec, tiny_spec])
+        a = gpu.distributor.sms_of(0)
+        b = gpu.distributor.sms_of(1)
+        assert sorted(a + b) == list(range(small_cfg.num_sms))
+        assert abs(len(a) - len(b)) <= 1
+
+    def test_sms_of_counts_draining_toward_target(self, small_cfg,
+                                                  tiny_spec):
+        gpu = launched_gpu(small_cfg, [tiny_spec, tiny_spec])
+        gpu.distributor.dispatch(0)
+        # Migrate one busy SM of app 0 to app 1: it counts for app 1.
+        victim = next(s for s in gpu.sms if s.owner == 0 and s.blocks)
+        gpu.distributor.set_sm_owner(victim.index, 1)
+        assert victim.index in gpu.distributor.sms_of(1)
+        assert victim.index not in gpu.distributor.sms_of(0)
+
+
+class TestBlockDispatch:
+    def test_dispatch_counts_blocks(self, small_cfg):
+        spec = make_tiny_spec(blocks=6)
+        gpu = launched_gpu(small_cfg, [spec])
+        dispatched = gpu.distributor.dispatch(0)
+        assert dispatched == 6
+        assert gpu.apps[0].blocks_dispatched == 6
+
+    def test_dispatch_respects_capacity(self, small_cfg):
+        huge = make_tiny_spec(blocks=500, warps_per_block=1)
+        gpu = launched_gpu(small_cfg, [huge])
+        gpu.distributor.dispatch(0)
+        resident = sum(len(sm.blocks) for sm in gpu.sms)
+        assert resident == small_cfg.num_sms * small_cfg.max_blocks_per_sm
+        assert gpu.apps[0].blocks_dispatched == resident
+
+    def test_no_dispatch_to_draining_sm(self, small_cfg):
+        spec = make_tiny_spec(blocks=2, kernel_launches=2)
+        gpu = launched_gpu(small_cfg, [spec])
+        gpu.distributor.dispatch(0)
+        busy = next(s for s in gpu.sms if s.blocks)
+        busy.set_owner(None)  # start draining
+        before = len(busy.blocks)
+        gpu.distributor.dispatch(0)
+        assert len(busy.blocks) == before
+
+    def test_launch_barrier_blocks_next_launch(self, small_cfg):
+        spec = make_tiny_spec(blocks=2, kernel_launches=3)
+        gpu = launched_gpu(small_cfg, [spec])
+        gpu.distributor.dispatch(0)
+        # Only the first launch's blocks may dispatch before completion.
+        assert gpu.apps[0].blocks_dispatched == 2
+        assert not gpu.apps[0].dispatchable
+
+    def test_idempotent_when_nothing_pending(self, small_cfg, tiny_spec):
+        gpu = launched_gpu(small_cfg, [tiny_spec])
+        gpu.distributor.dispatch(0)
+        assert gpu.distributor.dispatch(0) == 0
+
+    def test_program_shared_across_blocks(self, small_cfg, tiny_spec):
+        """All warps of an application share one program object (the
+        segment list is immutable and built once per app)."""
+        gpu = launched_gpu(small_cfg, [tiny_spec])
+        prog_a = gpu.distributor._program_of(gpu.apps[0])
+        prog_b = gpu.distributor._program_of(gpu.apps[0])
+        assert prog_a is prog_b
+
+
+class TestRunToCompletionWithMigration:
+    def test_mid_run_migration_preserves_work(self, small_cfg):
+        """Migrating SMs mid-run must not lose or duplicate blocks."""
+        spec = make_tiny_spec(blocks=8, kernel_launches=2)
+        gpu = launched_gpu(small_cfg, [spec, spec])
+        from repro.gpusim import Callback
+
+        def migrate_once(g, now):
+            if now == 200:
+                sms = g.distributor.sms_of(0)
+                if len(sms) > 1:
+                    g.distributor.set_sm_owner(sms[-1], 1)
+
+        res = gpu.run(callbacks=(Callback(200, migrate_once),))
+        for app_id, stats in res.app_stats.items():
+            assert stats.blocks_completed == spec.total_blocks

@@ -1,0 +1,204 @@
+"""End-to-end tests of the GPU device model."""
+
+import pytest
+
+from repro.gpusim import (Application, Callback, GPU, KernelSpec,
+                          even_partition, proportional_partition, simulate,
+                          small_test_config)
+
+from ..conftest import make_tiny_spec
+
+
+class TestSoloExecution:
+    def test_kernel_completes(self, small_cfg, tiny_app):
+        res = simulate(small_cfg, [tiny_app])
+        assert res.app_stats[0].finished
+        assert res.cycles > 0
+
+    def test_instruction_conservation(self, small_cfg, tiny_spec):
+        res = simulate(small_cfg, [Application("x", tiny_spec)])
+        expected = tiny_spec.total_warp_instructions * small_cfg.warp_size
+        assert res.app_stats[0].thread_instructions == expected
+
+    def test_block_accounting(self, small_cfg, tiny_spec):
+        res = simulate(small_cfg, [Application("x", tiny_spec)])
+        assert res.app_stats[0].blocks_completed == tiny_spec.total_blocks
+
+    def test_determinism(self, small_cfg, tiny_spec):
+        r1 = simulate(small_cfg, [Application("x", tiny_spec)])
+        r2 = simulate(small_cfg, [Application("x", tiny_spec)])
+        assert r1.cycles == r2.cycles
+        assert (r1.app_stats[0].dram_accesses
+                == r2.app_stats[0].dram_accesses)
+
+    def test_pure_compute_kernel(self, small_cfg):
+        spec = make_tiny_spec(mem_fraction=0.0)
+        res = simulate(small_cfg, [Application("c", spec)])
+        assert res.app_stats[0].mem_instructions == 0
+        assert res.app_stats[0].dram_accesses == 0
+
+    def test_memory_heavy_kernel_slower(self, small_cfg):
+        fast = simulate(small_cfg, [Application(
+            "c", make_tiny_spec(mem_fraction=0.0))]).cycles
+        slow = simulate(small_cfg, [Application(
+            "m", make_tiny_spec(mem_fraction=0.5, working_set_kb=4096,
+                                pattern="random"))]).cycles
+        assert slow > fast
+
+    def test_device_throughput_positive(self, small_cfg, tiny_app):
+        res = simulate(small_cfg, [tiny_app])
+        assert res.device_throughput > 0
+        assert 0 < res.device_utilization <= 1.0
+
+    def test_multi_launch_serializes(self, small_cfg):
+        one = simulate(small_cfg, [Application(
+            "k1", make_tiny_spec(kernel_launches=1))]).cycles
+        four = simulate(small_cfg, [Application(
+            "k4", make_tiny_spec(kernel_launches=4))]).cycles
+        assert four > 3 * one  # launches are back-to-back, not overlapped
+
+    def test_max_blocks_per_sm_cap(self, small_cfg):
+        capped = make_tiny_spec(blocks=16, max_blocks_per_sm=1)
+        res = simulate(small_cfg, [Application("x", capped)])
+        free = simulate(small_cfg, [Application(
+            "y", make_tiny_spec(blocks=16))])
+        assert res.cycles >= free.cycles  # lower occupancy can't be faster
+
+
+class TestConcurrentExecution:
+    def test_two_apps_complete(self, small_cfg, tiny_spec):
+        res = simulate(small_cfg, [Application("a", tiny_spec),
+                                   Application("b", tiny_spec)])
+        assert all(s.finished for s in res.app_stats.values())
+
+    def test_partition_isolation_of_l1(self, small_cfg, tiny_spec):
+        gpu = GPU(small_cfg)
+        gpu.launch([Application("a", tiny_spec), Application("b", tiny_spec)])
+        owners = {sm.owner for sm in gpu.sms}
+        assert owners == {0, 1}
+
+    def test_explicit_partitions(self, small_cfg, tiny_spec):
+        res = simulate(small_cfg,
+                       [Application("a", tiny_spec),
+                        Application("b", tiny_spec)],
+                       partitions=[[0], [1, 2, 3]])
+        assert all(s.finished for s in res.app_stats.values())
+
+    def test_overlapping_partitions_rejected(self, small_cfg, tiny_spec):
+        gpu = GPU(small_cfg)
+        with pytest.raises(ValueError):
+            gpu.launch([Application("a", tiny_spec),
+                        Application("b", tiny_spec)],
+                       partitions=[[0, 1], [1, 2]])
+
+    def test_empty_partition_rejected(self, small_cfg, tiny_spec):
+        gpu = GPU(small_cfg)
+        with pytest.raises(ValueError):
+            gpu.launch([Application("a", tiny_spec),
+                        Application("b", tiny_spec)],
+                       partitions=[[], [0, 1]])
+
+    def test_partition_count_mismatch_rejected(self, small_cfg, tiny_spec):
+        gpu = GPU(small_cfg)
+        with pytest.raises(ValueError):
+            gpu.launch([Application("a", tiny_spec)], partitions=[[0], [1]])
+
+    def test_no_apps_rejected(self, small_cfg):
+        gpu = GPU(small_cfg)
+        with pytest.raises(ValueError):
+            gpu.launch([])
+        with pytest.raises(RuntimeError):
+            GPU(small_cfg).run()
+
+    def test_co_run_slows_apps_down(self, small_cfg):
+        spec = make_tiny_spec(mem_fraction=0.3, working_set_kb=2048,
+                              pattern="random", blocks=12)
+        solo = simulate(small_cfg, [Application("a", spec)]).cycles
+        co = simulate(small_cfg, [Application("a", spec),
+                                  Application("b", spec)])
+        assert co.app_stats[0].finish_cycle >= solo
+
+    def test_reassign_on_finish_helps_survivor(self, small_cfg):
+        """When the short app finishes, the long app should expand onto
+        the freed SMs at its next kernel launch and finish sooner than
+        with reassignment disabled."""
+        long_spec = make_tiny_spec(blocks=16, kernel_launches=6,
+                                   mem_fraction=0.05)
+        short_spec = make_tiny_spec(blocks=4, instr_per_warp=20)
+
+        def run(reassign):
+            gpu = GPU(small_cfg)
+            gpu.reassign_on_finish = reassign
+            gpu.launch([Application("long", long_spec),
+                        Application("short", short_spec)])
+            return gpu.run().app_stats[0].finish_cycle
+
+        assert run(True) < run(False)
+
+
+class TestCallbacks:
+    def test_callback_fires_periodically(self, small_cfg, tiny_spec):
+        ticks = []
+        gpu = GPU(small_cfg)
+        gpu.launch([Application("a", tiny_spec)])
+        gpu.run(callbacks=(Callback(100, lambda g, now: ticks.append(now)),))
+        assert ticks
+        assert all(t % 100 == 0 for t in ticks)
+        assert ticks == sorted(ticks)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Callback(0, lambda g, n: None)
+
+    def test_max_cycles_cap(self, small_cfg, tiny_spec):
+        gpu = GPU(small_cfg)
+        gpu.launch([Application("a", make_tiny_spec(instr_per_warp=5000))])
+        res = gpu.run(max_cycles=500)
+        assert res.cycles <= 500
+
+
+class TestPartitionHelpers:
+    def test_even_partition_covers_all(self):
+        groups = even_partition(10, 3)
+        flat = [i for g in groups for i in g]
+        assert sorted(flat) == list(range(10))
+        sizes = [len(g) for g in groups]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_even_partition_exact(self):
+        assert even_partition(4, 2) == [[0, 1], [2, 3]]
+
+    def test_even_partition_validation(self):
+        with pytest.raises(ValueError):
+            even_partition(4, 0)
+
+    def test_proportional_partition(self):
+        groups = proportional_partition(10, [3.0, 1.0])
+        assert len(groups[0]) > len(groups[1])
+        assert sum(len(g) for g in groups) == 10
+
+    def test_proportional_partition_minimum_one(self):
+        groups = proportional_partition(10, [100.0, 0.001])
+        assert len(groups[1]) >= 1
+
+    def test_proportional_zero_weights_fall_back_to_even(self):
+        groups = proportional_partition(4, [0.0, 0.0])
+        assert [len(g) for g in groups] == [2, 2]
+
+    def test_proportional_validation(self):
+        with pytest.raises(ValueError):
+            proportional_partition(1, [1.0, 1.0])
+        with pytest.raises(ValueError):
+            proportional_partition(4, [])
+
+
+class TestDeviceResult:
+    def test_by_name(self, small_cfg, tiny_spec):
+        res = simulate(small_cfg, [Application("alpha", tiny_spec)])
+        assert res.by_name("alpha").finished
+        with pytest.raises(KeyError):
+            res.by_name("beta")
+
+    def test_app_cycles(self, small_cfg, tiny_spec):
+        res = simulate(small_cfg, [Application("alpha", tiny_spec)])
+        assert res.app_cycles(0) == res.app_stats[0].finish_cycle

@@ -1,0 +1,212 @@
+"""Tests for kernel specs, program building, and address streams."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import (Application, AddressStream, BlockContext,
+                          KernelSpec, WarpContext)
+
+from ..conftest import make_tiny_spec
+
+
+class TestKernelSpecValidation:
+    def test_valid_spec(self, tiny_spec):
+        assert tiny_spec.total_warps == 16
+
+    def test_bad_pattern(self):
+        with pytest.raises(ValueError):
+            make_tiny_spec(pattern="zigzag")
+
+    def test_bad_mem_fraction(self):
+        with pytest.raises(ValueError):
+            make_tiny_spec(mem_fraction=1.5)
+
+    def test_bad_grid(self):
+        with pytest.raises(ValueError):
+            make_tiny_spec(blocks=0)
+        with pytest.raises(ValueError):
+            make_tiny_spec(warps_per_block=0)
+
+    def test_bad_tx(self):
+        with pytest.raises(ValueError):
+            make_tiny_spec(tx_per_access=0)
+        with pytest.raises(ValueError):
+            make_tiny_spec(tx_per_access=64)
+
+    def test_bad_hot_fraction(self):
+        with pytest.raises(ValueError):
+            make_tiny_spec(hot_fraction=-0.1)
+
+    def test_bad_launches(self):
+        with pytest.raises(ValueError):
+            make_tiny_spec(kernel_launches=0)
+
+    def test_scaled(self, tiny_spec):
+        half = tiny_spec.scaled(0.5)
+        assert half.instr_per_warp == tiny_spec.instr_per_warp // 2
+        assert half.blocks == tiny_spec.blocks
+
+    def test_totals_with_launches(self):
+        spec = make_tiny_spec(kernel_launches=3)
+        assert spec.total_blocks == spec.blocks * 3
+        assert spec.total_warp_instructions == (
+            spec.total_warps * spec.instr_per_warp * 3)
+
+
+class TestProgramBuilding:
+    def test_instruction_conservation(self):
+        spec = make_tiny_spec(instr_per_warp=100, mem_fraction=0.2)
+        program = spec.build_program()
+        total = sum(alu + (1 if tx else 0) for alu, tx in program)
+        assert total == 100
+
+    def test_mem_instruction_count(self):
+        spec = make_tiny_spec(instr_per_warp=100, mem_fraction=0.2)
+        program = spec.build_program()
+        assert sum(1 for _alu, tx in program if tx) == 20
+
+    def test_pure_compute_program(self):
+        spec = make_tiny_spec(mem_fraction=0.0, instr_per_warp=50)
+        program = spec.build_program()
+        assert program == [(50, 0)]
+
+    def test_pure_memory_program(self):
+        spec = make_tiny_spec(mem_fraction=1.0, instr_per_warp=10,
+                              tx_per_access=4)
+        program = spec.build_program()
+        assert len(program) == 10
+        assert all(alu == 0 and tx == 4 for alu, tx in program)
+
+    def test_alu_spread_even(self):
+        spec = make_tiny_spec(instr_per_warp=10, mem_fraction=0.3)
+        program = spec.build_program()
+        alus = [alu for alu, _ in program]
+        assert max(alus) - min(alus) <= 1
+
+    @given(ipw=st.integers(1, 500), frac=st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_program_conserves_any_shape(self, ipw, frac):
+        spec = make_tiny_spec(instr_per_warp=ipw, mem_fraction=frac)
+        program = spec.build_program()
+        total = sum(alu + (1 if tx else 0) for alu, tx in program)
+        assert total == ipw
+        assert all(alu >= 0 for alu, _tx in program)
+
+
+class TestAddressStream:
+    def _stream(self, spec, warp_index=0, base=1 << 30):
+        return AddressStream(spec, base, warp_index, line_size=128,
+                             lines_per_row=16, row_stride=48)
+
+    def test_deterministic(self):
+        spec = make_tiny_spec(pattern="random", working_set_kb=512)
+        a = self._stream(spec).next_lines(20)
+        b = self._stream(spec).next_lines(20)
+        assert a == b
+
+    def test_warp_seeds_differ(self):
+        spec = make_tiny_spec(pattern="random", working_set_kb=512)
+        a = self._stream(spec, warp_index=0).next_lines(20)
+        b = self._stream(spec, warp_index=1).next_lines(20)
+        assert a != b
+
+    def test_stream_pattern_sequential(self):
+        spec = make_tiny_spec(pattern="stream", working_set_kb=512,
+                              hot_fraction=0.0)
+        lines = self._stream(spec).next_lines(5)
+        assert lines == [lines[0] + i for i in range(5)]
+
+    def test_strided_pattern(self):
+        spec = make_tiny_spec(pattern="strided", stride_lines=48,
+                              working_set_kb=2048, hot_fraction=0.0)
+        lines = self._stream(spec).next_lines(4)
+        assert lines == [lines[0] + 48 * i for i in range(4)]
+
+    def test_addresses_within_working_set(self):
+        spec = make_tiny_spec(pattern="random", working_set_kb=64,
+                              hot_fraction=0.0)
+        base = 1 << 30
+        ws_lines = 64 * 1024 // 128
+        for line in self._stream(spec, base=base).next_lines(200):
+            assert base <= line < base + ws_lines
+
+    def test_hot_region_beyond_working_set(self):
+        spec = make_tiny_spec(pattern="stream", working_set_kb=64,
+                              hot_fraction=1.0, hot_set_kb=32)
+        base = 1 << 30
+        ws_lines = 64 * 1024 // 128
+        hot_lines = 32 * 1024 // 128
+        for line in self._stream(spec, base=base).next_lines(100):
+            assert base + ws_lines <= line < base + ws_lines + hot_lines
+
+    def test_row_local_stays_in_row_with_full_locality(self):
+        spec = make_tiny_spec(pattern="row_local", row_locality=1.0,
+                              working_set_kb=16384, hot_fraction=0.0)
+        stream = self._stream(spec, base=0)
+        lines = stream.next_lines(30)
+        # All lines congruent mod the row stride → same partition/bank.
+        assert len({line % 48 for line in lines}) == 1
+
+    def test_row_local_zero_locality_is_random(self):
+        spec = make_tiny_spec(pattern="row_local", row_locality=0.0,
+                              working_set_kb=16384, hot_fraction=0.0)
+        lines = self._stream(spec).next_lines(100)
+        assert len(set(line % 48 for line in lines)) > 10
+
+    def test_stream_wraps_working_set(self):
+        spec = make_tiny_spec(pattern="stream", working_set_kb=1,
+                              hot_fraction=0.0)  # 8 lines
+        lines = self._stream(spec).next_lines(20)
+        assert max(lines) - min(lines) < 8
+
+
+class TestWarpAndBlockContexts:
+    def test_warp_advance_to_done(self, tiny_spec):
+        program = [(5, 0), (3, 2)]
+        block = BlockContext(0, 0, 1)
+        warp = WarpContext(0, block, program, None, age=0)
+        assert not warp.done
+        warp.advance()
+        assert not warp.done
+        warp.advance()
+        assert warp.done
+
+    def test_empty_program_is_done(self):
+        block = BlockContext(0, 0, 1)
+        warp = WarpContext(0, block, [], None, age=0)
+        assert warp.done
+
+    def test_block_completion_counting(self):
+        block = BlockContext(0, 0, 3)
+        assert not block.warp_finished()
+        assert not block.warp_finished()
+        assert block.warp_finished()
+
+
+class TestApplication:
+    def test_base_line_requires_launch(self, tiny_spec):
+        app = Application("x", tiny_spec)
+        with pytest.raises(RuntimeError):
+            _ = app.base_line
+
+    def test_base_lines_disjoint(self, tiny_spec):
+        a = Application("a", tiny_spec, app_id=0)
+        b = Application("b", tiny_spec, app_id=1)
+        assert a.base_line != b.base_line
+
+    def test_launch_barrier_bookkeeping(self):
+        spec = make_tiny_spec(blocks=4, kernel_launches=2)
+        app = Application("x", spec, app_id=0)
+        app.blocks_dispatched = 4      # launch 0 fully dispatched
+        app.blocks_completed = 0
+        assert not app.launch_barrier_open  # launch 1 gated
+        assert not app.all_dispatched
+        assert not app.dispatchable
+        app.blocks_completed = 4       # launch 0 complete
+        assert app.launch_barrier_open
+        assert app.dispatchable
+        app.blocks_dispatched = 8
+        assert app.all_dispatched
+        app.blocks_completed = 8
+        assert app.finished

@@ -1,0 +1,101 @@
+"""Property-based tests on whole-simulation invariants.
+
+Hypothesis generates random (small) kernels; every run must conserve
+instructions, respect capacity limits, and be deterministic.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import Application, KernelSpec, simulate, small_test_config
+
+spec_strategy = st.builds(
+    KernelSpec,
+    name=st.just("prop"),
+    blocks=st.integers(1, 12),
+    warps_per_block=st.integers(1, 4),
+    instr_per_warp=st.integers(1, 120),
+    mem_fraction=st.floats(0.0, 0.6),
+    dep_gap=st.floats(1.0, 8.0),
+    tx_per_access=st.integers(1, 8),
+    working_set_kb=st.sampled_from([16, 64, 256, 2048]),
+    pattern=st.sampled_from(["stream", "random", "strided", "row_local"]),
+    row_locality=st.floats(0.0, 1.0),
+    stride_lines=st.integers(1, 64),
+    hot_fraction=st.floats(0.0, 0.8),
+    hot_set_kb=st.sampled_from([16, 64]),
+    kernel_launches=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+)
+
+
+class TestSimulationInvariants:
+    @given(spec=spec_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_instruction_conservation(self, spec):
+        cfg = small_test_config()
+        res = simulate(cfg, [Application("p", spec)])
+        stats = res.app_stats[0]
+        assert stats.finished
+        assert stats.thread_instructions == (
+            spec.total_warp_instructions * cfg.warp_size)
+        assert stats.blocks_completed == spec.total_blocks
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, spec):
+        cfg = small_test_config()
+        a = simulate(cfg, [Application("p", spec)])
+        b = simulate(cfg, [Application("p", spec)])
+        assert a.cycles == b.cycles
+        assert (a.app_stats[0].dram_accesses
+                == b.app_stats[0].dram_accesses)
+        assert a.app_stats[0].l1_hits == b.app_stats[0].l1_hits
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_counter_consistency(self, spec):
+        cfg = small_test_config()
+        res = simulate(cfg, [Application("p", spec)])
+        s = res.app_stats[0]
+        # ALU + memory instruction counts add up.
+        assert s.alu_instructions + s.mem_instructions == s.warp_instructions
+        # Every transaction was served by exactly one level.
+        assert s.l1_hits + s.l2_hits + s.dram_accesses == s.mem_transactions
+        # Byte counters match the serving level.
+        assert s.dram_bytes == s.dram_accesses * cfg.line_size
+        assert s.l2_to_l1_bytes == s.l2_hits * cfg.line_size
+        assert s.dram_row_hits <= s.dram_accesses
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_throughput_bounded_by_peak(self, spec):
+        cfg = small_test_config()
+        res = simulate(cfg, [Application("p", spec)])
+        assert 0 < res.device_utilization <= 1.0 + 1e-9
+
+    @given(spec=spec_strategy, n_apps=st.integers(2, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_concurrent_runs_complete_and_conserve(self, spec, n_apps):
+        cfg = small_test_config()
+        apps = [Application(f"p{i}", spec) for i in range(n_apps)]
+        # Need at least one SM per app.
+        if n_apps > cfg.num_sms:
+            return
+        res = simulate(cfg, apps)
+        for stats in res.app_stats.values():
+            assert stats.finished
+            assert stats.thread_instructions == (
+                spec.total_warp_instructions * cfg.warp_size)
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_co_run_never_faster_than_both_solos_combined(self, spec):
+        """Sanity: two copies of an app cannot finish in less time than a
+        single copy takes alone on the same device (work doubled)."""
+        cfg = small_test_config()
+        solo = simulate(cfg, [Application("a", spec)]).cycles
+        co = simulate(cfg, [Application("a", spec),
+                            Application("b", spec)]).cycles
+        assert co >= solo * 0.95  # small slack for dispatch edge effects

@@ -1,0 +1,85 @@
+"""Tests for the statistics counters and SMRA observation windows."""
+
+import pytest
+
+from repro.gpusim import small_test_config
+from repro.gpusim.stats import AppStats, StatsBoard, WindowSample
+
+
+class TestAppStats:
+    def test_ipc(self):
+        s = AppStats(app_id=0, thread_instructions=1000)
+        assert s.ipc(now=100) == pytest.approx(10.0)
+
+    def test_cycles_use_finish_when_done(self):
+        s = AppStats(app_id=0, start_cycle=10, finish_cycle=110,
+                     thread_instructions=100)
+        assert s.cycles(now=10_000) == 100
+        assert s.ipc(10_000) == pytest.approx(1.0)
+
+    def test_bandwidth_conversions(self, small_cfg):
+        s = AppStats(app_id=0, dram_bytes=1000, l2_to_l1_bytes=700)
+        assert s.memory_bandwidth_gbps(1000, small_cfg) == pytest.approx(0.7)
+        assert s.l2_to_l1_bandwidth_gbps(1000, small_cfg) == pytest.approx(0.49)
+
+    def test_mem_compute_ratio(self):
+        s = AppStats(app_id=0, mem_instructions=10, alu_instructions=100)
+        assert s.mem_compute_ratio == pytest.approx(0.1)
+
+    def test_mem_compute_ratio_no_alu(self):
+        s = AppStats(app_id=0, mem_instructions=10)
+        assert s.mem_compute_ratio == float("inf")
+
+    def test_finished_flag(self):
+        s = AppStats(app_id=0)
+        assert not s.finished
+        s.finish_cycle = 50
+        assert s.finished
+
+
+class TestStatsBoard:
+    def test_register_and_lookup(self, small_cfg):
+        board = StatsBoard(small_cfg)
+        board.register(0, "a")
+        assert board[0].name == "a"
+
+    def test_device_throughput(self, small_cfg):
+        board = StatsBoard(small_cfg)
+        board.register(0, "a").thread_instructions = 500
+        board.register(1, "b").thread_instructions = 300
+        assert board.device_throughput(100) == pytest.approx(8.0)
+        assert board.device_utilization(100) == pytest.approx(
+            8.0 / small_cfg.peak_ipc)
+
+    def test_window_delta_without_mark(self, small_cfg):
+        board = StatsBoard(small_cfg)
+        s = board.register(0, "a", start_cycle=0)
+        s.thread_instructions = 100
+        s.dram_bytes = 256
+        sample = board.window_delta(0, now=50)
+        assert sample.thread_instructions == 100
+        assert sample.cycles == 50
+
+    def test_window_delta_after_mark(self, small_cfg):
+        board = StatsBoard(small_cfg)
+        s = board.register(0, "a")
+        s.thread_instructions = 100
+        board.mark_window(now=10)
+        s.thread_instructions = 260
+        s.dram_bytes = 512
+        sample = board.window_delta(0, now=20)
+        assert sample.thread_instructions == 160
+        assert sample.dram_bytes == 512
+        assert sample.cycles == 10
+        assert sample.ipc == pytest.approx(16.0)
+
+    def test_bandwidth_utilization_fraction(self, small_cfg):
+        sample = WindowSample(thread_instructions=0, dram_bytes=0, cycles=10)
+        assert sample.bandwidth_utilization(small_cfg) == 0.0
+        # One full line per cycle:
+        per_cycle = small_cfg.line_size
+        sample = WindowSample(0, per_cycle * 10, 10)
+        util = sample.bandwidth_utilization(small_cfg)
+        expected = (small_cfg.bytes_per_cycle_to_gbps(per_cycle)
+                    / small_cfg.peak_dram_bandwidth_gbps)
+        assert util == pytest.approx(expected)

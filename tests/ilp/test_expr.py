@@ -1,0 +1,153 @@
+"""Unit tests for the linear expression / constraint layer."""
+
+import pytest
+
+from repro.ilp import Constraint, LinExpr, Variable, linear_sum
+
+
+class TestVariable:
+    def test_defaults(self):
+        v = Variable("x")
+        assert v.lb == 0.0 and v.ub is None and not v.integer
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Variable("x", lb=5, ub=3)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_integer_flag(self):
+        assert Variable("x", integer=True).integer
+
+    def test_repr_mentions_name(self):
+        assert "x" in repr(Variable("x"))
+
+
+class TestLinExprArithmetic:
+    def test_add_variables(self):
+        x, y = Variable("x"), Variable("y")
+        e = x + y
+        assert e.coeffs == {"x": 1.0, "y": 1.0}
+
+    def test_add_constant(self):
+        x = Variable("x")
+        e = x + 5
+        assert e.constant == 5.0
+
+    def test_radd(self):
+        x = Variable("x")
+        e = 5 + x
+        assert e.constant == 5.0 and e.coeffs == {"x": 1.0}
+
+    def test_sub(self):
+        x, y = Variable("x"), Variable("y")
+        e = x - y
+        assert e.coeffs == {"x": 1.0, "y": -1.0}
+
+    def test_rsub(self):
+        x = Variable("x")
+        e = 10 - x
+        assert e.constant == 10.0 and e.coeffs == {"x": -1.0}
+
+    def test_scalar_multiplication(self):
+        x = Variable("x")
+        e = 3 * x
+        assert e.coeffs == {"x": 3.0}
+
+    def test_negation(self):
+        x = Variable("x")
+        assert (-x).coeffs == {"x": -1.0}
+
+    def test_cancellation_drops_zero_coeff(self):
+        x = Variable("x")
+        e = (x + 2) - x
+        assert "x" not in LinExpr(e.coeffs, e.constant).coeffs or \
+            e.coeffs.get("x", 0.0) == 0.0
+
+    def test_combined_expression(self):
+        x, y = Variable("x"), Variable("y")
+        e = 2 * x + 3 * y - 4
+        assert e.coeffs == {"x": 2.0, "y": 3.0}
+        assert e.constant == -4.0
+
+    def test_mul_by_expr_rejected(self):
+        x, y = Variable("x"), Variable("y")
+        with pytest.raises(TypeError):
+            (x + 1) * (y + 1)
+
+    def test_value_evaluation(self):
+        x, y = Variable("x"), Variable("y")
+        e = 2 * x + 3 * y + 1
+        assert e.value({"x": 2, "y": 3}) == pytest.approx(14.0)
+
+    def test_value_missing_var_is_zero(self):
+        x = Variable("x")
+        assert (x + 1).value({}) == pytest.approx(1.0)
+
+    def test_linear_sum(self):
+        xs = [Variable(f"x{i}") for i in range(4)]
+        e = linear_sum(2 * x for x in xs)
+        assert all(e.coeffs[f"x{i}"] == 2.0 for i in range(4))
+
+    def test_linear_sum_with_numbers(self):
+        e = linear_sum([Variable("x"), 3, 4])
+        assert e.constant == 7.0
+
+
+class TestConstraint:
+    def test_le_constraint(self):
+        x = Variable("x")
+        c = x <= 5
+        assert isinstance(c, Constraint)
+        assert c.sense == "<="
+        assert c.rhs == pytest.approx(5.0)
+
+    def test_ge_constraint(self):
+        x = Variable("x")
+        c = x >= 2
+        assert c.sense == ">=" and c.rhs == pytest.approx(2.0)
+
+    def test_eq_constraint(self):
+        x, y = Variable("x"), Variable("y")
+        c = x + y == 7
+        assert c.sense == "==" and c.rhs == pytest.approx(7.0)
+
+    def test_satisfied_le(self):
+        x = Variable("x")
+        c = x <= 5
+        assert c.satisfied({"x": 4})
+        assert c.satisfied({"x": 5})
+        assert not c.satisfied({"x": 6})
+
+    def test_satisfied_ge(self):
+        x = Variable("x")
+        c = x >= 5
+        assert c.satisfied({"x": 6})
+        assert not c.satisfied({"x": 4})
+
+    def test_satisfied_eq(self):
+        x = Variable("x")
+        c = x == 5
+        assert c.satisfied({"x": 5})
+        assert not c.satisfied({"x": 5.1})
+
+    def test_violation_magnitude(self):
+        x = Variable("x")
+        assert (x <= 5).violation({"x": 8}) == pytest.approx(3.0)
+        assert (x >= 5).violation({"x": 3}) == pytest.approx(2.0)
+        assert (x == 5).violation({"x": 3}) == pytest.approx(2.0)
+        assert (x <= 5).violation({"x": 2}) == 0.0
+
+    def test_expr_on_both_sides(self):
+        x, y = Variable("x"), Variable("y")
+        c = 2 * x + 1 <= y + 4
+        # 2x + 1 - y - 4 <= 0  =>  2x - y <= 3
+        assert c.coefficients() == {"x": 2.0, "y": -1.0}
+        assert c.rhs == pytest.approx(3.0)
+
+    def test_bad_sense_rejected(self):
+        x = Variable("x")
+        with pytest.raises(ValueError):
+            Constraint((x + 0), "<")

@@ -1,0 +1,200 @@
+"""Tests for the Model layer and branch-and-bound MILP solver."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import (INFEASIBLE, MAXIMIZE, OPTIMAL, UNBOUNDED, Model,
+                       linear_sum, solve_enumerate, solve_milp)
+
+
+def knapsack_model(values, weights, capacity):
+    m = Model("knapsack")
+    xs = [m.add_var(f"x{i}", lb=0, ub=1, integer=True)
+          for i in range(len(values))]
+    m.add_constraint(linear_sum(w * x for w, x in zip(weights, xs)) <= capacity)
+    m.maximize(linear_sum(v * x for v, x in zip(values, xs)))
+    return m, xs
+
+
+class TestModel:
+    def test_duplicate_variable_rejected(self):
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(ValueError):
+            m.add_var("x")
+
+    def test_unknown_variable_in_constraint_rejected(self):
+        m = Model()
+        from repro.ilp import Variable
+        foreign = Variable("zz")
+        with pytest.raises(ValueError):
+            m.add_constraint(foreign <= 1)
+
+    def test_unknown_variable_in_objective_rejected(self):
+        m = Model()
+        from repro.ilp import Variable
+        with pytest.raises(ValueError):
+            m.maximize(Variable("zz") + 0)
+
+    def test_non_constraint_rejected(self):
+        m = Model()
+        with pytest.raises(TypeError):
+            m.add_constraint("x <= 1")
+
+    def test_to_arrays_senses(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        m.add_constraint(x + y <= 4)
+        m.add_constraint(x - y >= 1)
+        m.add_constraint(x + 2 * y == 3)
+        m.maximize(2 * x + y)
+        c, A_ub, b_ub, A_eq, b_eq, bounds = m.to_arrays()
+        np.testing.assert_allclose(c, [-2, -1])  # negated for maximize
+        assert A_ub.shape == (2, 2)
+        np.testing.assert_allclose(A_ub[1], [-1, 1])  # >= flipped
+        np.testing.assert_allclose(b_ub, [4, -1])
+        np.testing.assert_allclose(A_eq, [[1, 2]])
+        np.testing.assert_allclose(b_eq, [3])
+
+    def test_is_feasible_checks_bounds_and_integrality(self):
+        m = Model()
+        m.add_var("x", lb=0, ub=3, integer=True)
+        assert m.is_feasible({"x": 2})
+        assert not m.is_feasible({"x": 2.5})
+        assert not m.is_feasible({"x": 4})
+        assert not m.is_feasible({"x": -1})
+
+    def test_add_vars_bulk(self):
+        m = Model()
+        xs = m.add_vars(["a", "b", "c"], ub=1, integer=True)
+        assert len(xs) == 3 and m.num_vars == 3
+
+
+class TestMILP:
+    def test_pure_lp_passthrough(self):
+        m = Model()
+        x = m.add_var("x", ub=4)
+        y = m.add_var("y", ub=4)
+        m.add_constraint(x + y <= 6)
+        m.maximize(x + 2 * y)
+        sol = m.solve()
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(10.0)  # x=2, y=4
+
+    def test_simple_knapsack(self):
+        m, _ = knapsack_model([10, 13, 7], [3, 4, 2], 6)
+        sol = m.solve()
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(20.0)  # items 1 and 2 (13+7)
+
+    def test_integer_rounding_matters(self):
+        # LP relaxation gives x=2.5; ILP must give 2.
+        m = Model()
+        x = m.add_var("x", integer=True)
+        m.add_constraint(2 * x <= 5)
+        m.maximize(x)
+        sol = m.solve()
+        assert sol.is_optimal
+        assert sol["x"] == pytest.approx(2.0)
+
+    def test_infeasible_ilp(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=1, integer=True)
+        m.add_constraint(2 * x == 1)  # x = 0.5 impossible for integer
+        m.maximize(x)
+        sol = m.solve()
+        assert sol.status == INFEASIBLE
+
+    def test_unbounded_ilp(self):
+        m = Model()
+        x = m.add_var("x", integer=True)
+        m.maximize(x)
+        sol = m.solve()
+        assert sol.status == UNBOUNDED
+
+    def test_minimize_sense(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        y = m.add_var("y", lb=0, ub=10, integer=True)
+        m.add_constraint(x + y >= 7)
+        m.minimize(3 * x + 5 * y)
+        sol = m.solve()
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(21.0)  # x=7, y=0
+
+    def test_mixed_integer_continuous(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        y = m.add_var("y", lb=0, ub=10)  # continuous
+        m.add_constraint(x + y <= 7.5)
+        m.maximize(2 * x + y)
+        sol = m.solve()
+        assert sol.is_optimal
+        assert sol["x"] == pytest.approx(7.0)
+        assert sol["y"] == pytest.approx(0.5)
+
+    def test_solution_satisfies_model(self):
+        m, _ = knapsack_model([4, 5, 6, 7], [2, 3, 4, 5], 8)
+        sol = m.solve()
+        assert sol.is_optimal
+        assert m.is_feasible(sol.values)
+
+
+class TestBranchBoundVsEnumeration:
+    """Differential testing: B&B must agree with exhaustive enumeration."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_bounded_ilps(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        m = Model(f"rand{seed}")
+        xs = [m.add_var(f"x{i}", lb=0, ub=int(rng.integers(1, 5)),
+                        integer=True) for i in range(n)]
+        for _ in range(int(rng.integers(1, 4))):
+            coeffs = rng.integers(-3, 4, n)
+            rhs = int(rng.integers(1, 12))
+            m.add_constraint(
+                linear_sum(int(c) * x for c, x in zip(coeffs, xs)) <= rhs)
+        obj_coeffs = rng.uniform(-5, 5, n)
+        m.maximize(linear_sum(float(c) * x for c, x in zip(obj_coeffs, xs)))
+
+        bb = solve_milp(m)
+        enum = solve_enumerate(m)
+        assert bb.status == enum.status
+        if bb.is_optimal:
+            assert bb.objective == pytest.approx(enum.objective, abs=1e-6)
+            assert m.is_feasible(bb.values)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_ilps_with_equality(self, seed):
+        rng = np.random.default_rng(500 + seed)
+        n = 3
+        m = Model(f"eq{seed}")
+        xs = [m.add_var(f"x{i}", lb=0, ub=4, integer=True) for i in range(n)]
+        total = int(rng.integers(2, 9))
+        m.add_constraint(linear_sum(xs) == total)
+        obj = rng.uniform(0.1, 3, n)
+        m.maximize(linear_sum(float(c) * x for c, x in zip(obj, xs)))
+        bb = solve_milp(m)
+        enum = solve_enumerate(m)
+        assert bb.status == enum.status
+        if bb.is_optimal:
+            assert bb.objective == pytest.approx(enum.objective, abs=1e-6)
+
+
+class TestScipyMilpCrossCheck:
+    def test_against_scipy_milp(self):
+        milp_mod = pytest.importorskip("scipy.optimize")
+        if not hasattr(milp_mod, "milp"):
+            pytest.skip("scipy.optimize.milp unavailable")
+        m, xs = knapsack_model([10, 13, 7, 4, 9], [3, 4, 2, 1, 3], 8)
+        sol = m.solve()
+        c, A_ub, b_ub, _, _, bounds = m.to_arrays()
+        lc = milp_mod.LinearConstraint(A_ub, -np.inf, b_ub)
+        res = milp_mod.milp(
+            c, constraints=[lc],
+            integrality=np.ones(len(c)),
+            bounds=milp_mod.Bounds([b[0] for b in bounds],
+                                   [b[1] for b in bounds]))
+        assert sol.objective == pytest.approx(-res.fun, abs=1e-6)

@@ -1,0 +1,98 @@
+"""Property-based tests for the ILP stack (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import (INFEASIBLE, Model, linear_sum, solve_enumerate,
+                       solve_lp, solve_milp)
+
+
+@st.composite
+def bounded_ilp(draw):
+    """A random small bounded integer program (maximization)."""
+    n = draw(st.integers(2, 4))
+    ubs = [draw(st.integers(1, 4)) for _ in range(n)]
+    n_cons = draw(st.integers(1, 3))
+    cons = []
+    for _ in range(n_cons):
+        coeffs = [draw(st.integers(-2, 3)) for _ in range(n)]
+        rhs = draw(st.integers(0, 10))
+        cons.append((coeffs, rhs))
+    obj = [draw(st.floats(-4, 4, allow_nan=False, allow_infinity=False))
+           for _ in range(n)]
+    return n, ubs, cons, obj
+
+
+def build(n, ubs, cons, obj):
+    m = Model("prop")
+    xs = [m.add_var(f"x{i}", lb=0, ub=ubs[i], integer=True)
+          for i in range(n)]
+    for coeffs, rhs in cons:
+        m.add_constraint(
+            linear_sum(c * x for c, x in zip(coeffs, xs)) <= rhs)
+    m.maximize(linear_sum(c * x for c, x in zip(obj, xs)))
+    return m
+
+
+class TestMilpProperties:
+    @given(data=bounded_ilp())
+    @settings(max_examples=40, deadline=None)
+    def test_branch_bound_matches_enumeration(self, data):
+        model = build(*data)
+        bb = solve_milp(model)
+        enum = solve_enumerate(model)
+        assert bb.status == enum.status
+        if bb.is_optimal:
+            assert bb.objective == pytest.approx(enum.objective, abs=1e-6)
+
+    @given(data=bounded_ilp())
+    @settings(max_examples=40, deadline=None)
+    def test_solution_is_feasible(self, data):
+        model = build(*data)
+        sol = solve_milp(model)
+        if sol.is_optimal:
+            assert model.is_feasible(sol.values)
+
+    @given(data=bounded_ilp())
+    @settings(max_examples=25, deadline=None)
+    def test_lp_relaxation_is_upper_bound(self, data):
+        n, ubs, cons, obj = data
+        model = build(n, ubs, cons, obj)
+        sol = solve_milp(model)
+        assume(sol.is_optimal)
+        c, A_ub, b_ub, A_eq, b_eq, bounds = model.to_arrays()
+        lp = solve_lp(c, A_ub if A_ub.size else None,
+                      b_ub if b_ub.size else None,
+                      None, None, bounds)
+        assume(lp.is_optimal)
+        # to_arrays negates the objective for maximization.
+        assert -lp.objective >= sol.objective - 1e-6
+
+
+class TestLpProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_optimum_satisfies_constraints(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = int(rng.integers(2, 5)), int(rng.integers(1, 4))
+        c = rng.uniform(-3, 3, n)
+        A = rng.uniform(-2, 2, (m, n))
+        b = A @ rng.uniform(0, 2, n) + rng.uniform(0.2, 1.5, m)
+        res = solve_lp(c, A_ub=A, b_ub=b, bounds=[(0, 6)] * n)
+        if res.is_optimal:
+            assert np.all(A @ res.x <= b + 1e-6)
+            assert np.all(res.x >= -1e-9)
+            assert np.all(res.x <= 6 + 1e-9)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_tightening_bounds_never_improves(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 3
+        c = rng.uniform(-3, 0, n)  # minimize a nonpositive objective
+        loose = solve_lp(c, bounds=[(0, 5)] * n)
+        tight = solve_lp(c, bounds=[(0, 2)] * n)
+        assert loose.is_optimal and tight.is_optimal
+        assert loose.objective <= tight.objective + 1e-9

@@ -1,0 +1,151 @@
+"""Tests for the two-phase primal simplex LP solver, cross-checked vs scipy."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import INFEASIBLE, OPTIMAL, UNBOUNDED, solve_lp
+
+scipy_opt = pytest.importorskip("scipy.optimize")
+
+
+def scipy_check(c, A_ub=None, b_ub=None, A_eq=None, b_eq=None, bounds=None):
+    res = scipy_opt.linprog(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
+                            bounds=bounds, method="highs")
+    return res
+
+
+class TestBasicLPs:
+    def test_textbook_max(self):
+        # max 3x + 2y st x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12
+        res = solve_lp([-3, -2], A_ub=[[1, 1], [1, 3]], b_ub=[4, 6])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-12.0)
+        assert res.x[0] == pytest.approx(4.0)
+        assert res.x[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_min_with_ge(self):
+        # min x + y st x + 2y >= 4, 3x + y >= 6  (>= rows as negated <=)
+        res = solve_lp([1, 1], A_ub=[[-1, -2], [-3, -1]], b_ub=[-4, -6])
+        assert res.is_optimal
+        ref = scipy_check([1, 1], A_ub=[[-1, -2], [-3, -1]], b_ub=[-4, -6])
+        assert res.objective == pytest.approx(ref.fun)
+
+    def test_equality_constraint(self):
+        # min x + 2y st x + y == 3, x <= 2
+        res = solve_lp([1, 2], A_ub=[[1, 0]], b_ub=[2],
+                       A_eq=[[1, 1]], b_eq=[3])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(4.0)  # x=2, y=1
+        assert res.x[0] == pytest.approx(2.0)
+
+    def test_unbounded(self):
+        res = solve_lp([-1, 0], A_ub=[[0, 1]], b_ub=[1])
+        assert res.status == UNBOUNDED
+
+    def test_infeasible(self):
+        res = solve_lp([1], A_ub=[[1], [-1]], b_ub=[1, -3])  # x<=1 and x>=3
+        assert res.status == INFEASIBLE
+
+    def test_infeasible_equalities(self):
+        res = solve_lp([1, 1], A_eq=[[1, 1], [1, 1]], b_eq=[2, 3])
+        assert res.status == INFEASIBLE
+
+    def test_degenerate_lp_terminates(self):
+        # Classic degeneracy: multiple constraints tight at the optimum.
+        res = solve_lp([-1, -1], A_ub=[[1, 0], [0, 1], [1, 1]],
+                       b_ub=[1, 1, 1])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-1.0)
+
+
+class TestBounds:
+    def test_upper_bounds(self):
+        res = solve_lp([-1, -1], bounds=[(0, 3), (0, 4)])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-7.0)
+        np.testing.assert_allclose(res.x, [3, 4])
+
+    def test_nonzero_lower_bounds(self):
+        # min x + y with x >= 2, y >= 3
+        res = solve_lp([1, 1], bounds=[(2, None), (3, None)])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(5.0)
+        np.testing.assert_allclose(res.x, [2, 3])
+
+    def test_negative_lower_bounds(self):
+        # min x st x >= -5  ->  x = -5
+        res = solve_lp([1], bounds=[(-5, None)])
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(-5.0)
+
+    def test_bounds_with_constraints(self):
+        # max x + y st x + y <= 10, 1 <= x <= 4, 2 <= y <= 5
+        res = solve_lp([-1, -1], A_ub=[[1, 1]], b_ub=[10],
+                       bounds=[(1, 4), (2, 5)])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-9.0)
+
+    def test_fixed_variable(self):
+        res = solve_lp([1, 1], A_eq=[[1, 1]], b_eq=[5], bounds=[(2, 2), (0, None)])
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(2.0)
+        assert res.x[1] == pytest.approx(3.0)
+
+    def test_infinite_lower_bound_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lp([1], bounds=[(float("-inf"), None)])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lp([1, 2], A_ub=[[1]], b_ub=[1])
+        with pytest.raises(ValueError):
+            solve_lp([1], bounds=[(0, 1), (0, 1)])
+
+
+class TestAgainstScipy:
+    """Randomized differential testing against scipy.optimize.linprog."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_feasible_lps(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = rng.integers(2, 6), rng.integers(1, 5)
+        c = rng.uniform(-5, 5, n)
+        A = rng.uniform(-3, 3, (m, n))
+        # Build b so x = |random| is feasible -> LP is feasible.
+        x0 = rng.uniform(0, 2, n)
+        b = A @ x0 + rng.uniform(0.1, 2, m)
+        bounds = [(0, float(u)) for u in rng.uniform(3, 8, n)]
+        mine = solve_lp(c, A_ub=A, b_ub=b, bounds=bounds)
+        ref = scipy_check(c, A_ub=A, b_ub=b, bounds=bounds)
+        assert mine.is_optimal == (ref.status == 0)
+        if mine.is_optimal:
+            assert mine.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_lps_with_equalities(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        n = int(rng.integers(3, 6))
+        c = rng.uniform(-5, 5, n)
+        x0 = rng.uniform(0, 2, n)
+        A_eq = rng.uniform(-2, 2, (1, n))
+        b_eq = A_eq @ x0
+        A_ub = rng.uniform(-2, 2, (2, n))
+        b_ub = A_ub @ x0 + rng.uniform(0.5, 2, 2)
+        bounds = [(0, 10)] * n
+        mine = solve_lp(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
+                        bounds=bounds)
+        ref = scipy_check(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
+                          bounds=bounds)
+        assert mine.is_optimal == (ref.status == 0)
+        if mine.is_optimal:
+            assert mine.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    def test_solution_is_feasible(self):
+        rng = np.random.default_rng(7)
+        c = rng.uniform(-5, 5, 4)
+        A = rng.uniform(-3, 3, (3, 4))
+        b = A @ rng.uniform(0, 2, 4) + 1.0
+        res = solve_lp(c, A_ub=A, b_ub=b, bounds=[(0, 5)] * 4)
+        assert res.is_optimal
+        assert np.all(A @ res.x <= b + 1e-7)
+        assert np.all(res.x >= -1e-9) and np.all(res.x <= 5 + 1e-9)

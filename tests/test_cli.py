@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import POLICY_FACTORIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_profile_benchmark_selection(self):
+        args = build_parser().parse_args(["profile", "BLK", "HS"])
+        assert args.benchmarks == ["BLK", "HS"]
+
+    def test_run_queue_defaults(self):
+        args = build_parser().parse_args(["run-queue"])
+        assert args.queue == "paper"
+        assert args.nc == 2
+        assert "ilp" in args.policies
+
+    def test_run_queue_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-queue", "--policies", "magic"])
+
+    def test_run_queue_rejects_bad_nc(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-queue", "--nc", "4"])
+
+    def test_scalability_sms(self):
+        args = build_parser().parse_args(
+            ["scalability", "HS", "--sms", "10", "20"])
+        assert args.sms == [10, 20]
+
+    def test_policy_factories_cover_all_policies(self):
+        names = {POLICY_FACTORIES[k](2).name for k in POLICY_FACTORIES}
+        assert names == {"Serial", "Even", "FCFS", "Profile-based", "ILP",
+                         "ILP-SMRA"}
+
+
+class TestCommands:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "BLK" in out and "GUPS" in out
+
+    def test_profile_single_benchmark(self, capsys):
+        assert main(["profile", "LUD"]) == 0
+        out = capsys.readouterr().out
+        assert "LUD" in out and "IPC" in out
+
+    def test_classify_matches_paper(self, capsys):
+        assert main(["classify", "LUD", "NN"]) == 0
+        out = capsys.readouterr().out
+        assert "class" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "NOPE"])
+
+    def test_scalability_small_sweep(self, capsys):
+        assert main(["scalability", "LUD", "--sms", "10", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "10 SMs" in out and "20 SMs" in out

@@ -1,0 +1,70 @@
+"""End-to-end integration: the full paper pipeline on the real suite.
+
+These tests exercise the complete methodology at GTX-480 scale —
+profile → classify → interference → ILP grouping → co-execution — and
+assert the paper's headline *orderings* (they are the slowest tests in
+the suite, a few seconds each thanks to profile/interference caching).
+"""
+
+import pytest
+
+from repro.core import (FCFSPolicy, ILPPolicy, SerialPolicy, make_context,
+                        run_queue)
+from repro.gpusim import gtx480
+from repro.workloads import RODINIA_SPECS, paper_queue
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    # samples_per_pair=2 gives the class matrix both benchmarks of each
+    # class as aggressor/victim (one sample misses GUPS-as-aggressor and
+    # changes the MC|M cell).
+    return make_context(gtx480(), suite=dict(RODINIA_SPECS),
+                        need_interference=True, samples_per_pair=2)
+
+
+@pytest.fixture(scope="module")
+def outcomes(ctx):
+    queue = paper_queue()
+    return {policy.name: run_queue(queue, policy, ctx)
+            for policy in (SerialPolicy(), FCFSPolicy(2), ILPPolicy(2))}
+
+
+class TestHeadlineOrdering:
+    def test_co_scheduling_beats_serial(self, outcomes):
+        serial = outcomes["Serial"].device_throughput
+        assert outcomes["FCFS"].device_throughput > serial * 1.1
+        assert outcomes["ILP"].device_throughput > serial * 1.1
+
+    def test_ilp_beats_fcfs(self, outcomes):
+        assert (outcomes["ILP"].device_throughput
+                > outcomes["FCFS"].device_throughput)
+
+    def test_instruction_totals_identical(self, outcomes):
+        totals = {n: o.total_instructions for n, o in outcomes.items()}
+        assert len(set(totals.values())) == 1
+
+    def test_every_app_ran_once_per_policy(self, outcomes):
+        expected = sorted(n for n, _ in paper_queue())
+        for outcome in outcomes.values():
+            ran = sorted(n for g in outcome.groups for n in g.members)
+            assert ran == expected
+
+
+class TestInterferenceStructure:
+    def test_class_m_is_worst_aggressor(self, ctx):
+        s = ctx.interference.slowdown
+        for victim in range(4):
+            assert s[victim][0] == max(s[victim])
+
+    def test_mc_suffers_most_from_m(self, ctx):
+        s = ctx.interference.slowdown
+        assert s[1][0] == max(row[0] for row in s)
+
+    def test_ilp_never_groups_the_two_m_apps(self, ctx):
+        from repro.core import optimize_grouping
+        classified = ctx.classify_queue(paper_queue())
+        plan = optimize_grouping(classified, 2, ctx.interference)
+        for group in plan.all_groups:
+            assert not {"BLK", "GUPS"} <= set(group), \
+                "the ILP paired the two class-M applications"

@@ -1,0 +1,79 @@
+"""Tests for queue builders (Fig. 4.1's queue and the 5 distributions)."""
+
+import pytest
+
+from repro.workloads import (DISTRIBUTIONS, TABLE_3_2_CLASSES,
+                             distribution_queue, paper_queue,
+                             queue_class_counts)
+from repro.workloads.queues import PAPER_QUEUE_ORDER, _apportion
+
+
+class TestPaperQueue:
+    def test_fourteen_entries(self):
+        assert len(paper_queue()) == 14
+
+    def test_arrival_order_matches_fig_4_2b(self):
+        names = [name for name, _ in paper_queue()]
+        assert names == PAPER_QUEUE_ORDER
+        # FCFS pairs of Fig. 4.2(b):
+        pairs = [tuple(names[i:i + 2]) for i in range(0, 14, 2)]
+        assert pairs == [("BFS2", "GUPS"), ("FFT", "SPMV"), ("3DS", "BP"),
+                         ("JPEG", "BLK"), ("LUD", "HS"), ("LPS", "SAD"),
+                         ("NN", "RAY")]
+
+    def test_class_composition(self):
+        counts = queue_class_counts(paper_queue())
+        assert counts == {"M": 2, "MC": 5, "C": 2, "A": 5}
+
+    def test_scaled_queue(self):
+        q = paper_queue(scale=0.5)
+        full = dict(paper_queue())
+        for name, spec in q:
+            assert spec.instr_per_warp == full[name].instr_per_warp // 2
+
+
+class TestDistributionQueues:
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    def test_length(self, dist):
+        assert len(distribution_queue(dist, length=20)) == 20
+
+    def test_equal_distribution(self):
+        counts = queue_class_counts(distribution_queue("equal", 20))
+        assert counts == {"M": 5, "MC": 5, "C": 5, "A": 5}
+
+    @pytest.mark.parametrize("dist", ["M", "MC", "C", "A"])
+    def test_oriented_distribution(self, dist):
+        counts = queue_class_counts(distribution_queue(dist, 20))
+        assert counts[dist] == 11  # 55 % of 20
+        for other in set("M MC C A".split()) - {dist}:
+            assert counts[other] == 3  # 15 % of 20
+
+    def test_deterministic_for_seed(self):
+        a = [n for n, _ in distribution_queue("M", 20, seed=3)]
+        b = [n for n, _ in distribution_queue("M", 20, seed=3)]
+        assert a == b
+
+    def test_seed_changes_order_not_composition(self):
+        a = distribution_queue("M", 20, seed=1)
+        b = distribution_queue("M", 20, seed=2)
+        assert [n for n, _ in a] != [n for n, _ in b]
+        assert queue_class_counts(a) == queue_class_counts(b)
+
+    def test_unique_entry_names(self):
+        names = [n for n, _ in distribution_queue("A", 20)]
+        assert len(set(names)) == len(names)
+
+    def test_instances_map_to_base_benchmarks(self):
+        for name, _spec in distribution_queue("C", 20):
+            base = name.split("#", 1)[0]
+            assert base in TABLE_3_2_CLASSES
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_queue("Z", 20)
+
+    def test_apportionment_sums_to_length(self):
+        for length in (7, 13, 20, 21):
+            counts = _apportion({"M": 0.55, "MC": 0.15, "C": 0.15,
+                                 "A": 0.15}, length)
+            assert sum(counts.values()) == length

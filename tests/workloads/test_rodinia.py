@@ -1,0 +1,124 @@
+"""Tests for the calibrated Rodinia benchmark models.
+
+The classification tests run each model solo on the full GTX-480
+configuration — this is the repository's core calibration contract
+(Table 3.2) and takes a few seconds in total.
+"""
+
+import pytest
+
+from repro.core import (ClassificationThresholds, classify, shared_profiler)
+from repro.workloads import (ALL_BENCHMARKS, BENCHMARK_ORDER, RODINIA_SPECS,
+                             TABLE_3_2_CLASSES, base_benchmark_name,
+                             benchmark_spec, make_application)
+
+
+class TestSuiteShape:
+    def test_fourteen_benchmarks(self):
+        assert len(RODINIA_SPECS) == 14
+        assert set(RODINIA_SPECS) == set(TABLE_3_2_CLASSES)
+
+    def test_class_census_matches_paper(self):
+        """2 class M, 5 class MC, 2 class C, 5 class A (§4.1)."""
+        census = {}
+        for cls in TABLE_3_2_CLASSES.values():
+            census[cls] = census.get(cls, 0) + 1
+        assert census == {"M": 2, "MC": 5, "C": 2, "A": 5}
+
+    def test_benchmark_order_covers_chart_names(self):
+        assert set(BENCHMARK_ORDER) <= set(ALL_BENCHMARKS)
+
+    def test_all_specs_valid(self):
+        for name, spec in RODINIA_SPECS.items():
+            assert spec.name == name
+            assert spec.total_warp_instructions > 0
+
+    def test_seeds_unique(self):
+        seeds = [s.seed for s in RODINIA_SPECS.values()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_benchmark_spec_scaling(self):
+        full = benchmark_spec("HS")
+        half = benchmark_spec("HS", scale=0.5)
+        assert half.instr_per_warp == full.instr_per_warp // 2
+
+    def test_make_application_instances(self):
+        a = make_application("HS")
+        b = make_application("HS", instance=2)
+        assert a.name == "HS" and b.name == "HS#2"
+        assert base_benchmark_name(b.name) == "HS"
+
+
+class TestTable32Calibration:
+    """Every model must land in its Table 3.2 class when profiled solo on
+    the paper's device — the headline calibration result."""
+
+    @pytest.fixture(scope="class")
+    def profiles(self, gtx_cfg):
+        profiler = shared_profiler(gtx_cfg)
+        return {name: profiler.profile(name, spec)
+                for name, spec in RODINIA_SPECS.items()}
+
+    @pytest.mark.parametrize("name", sorted(RODINIA_SPECS))
+    def test_classifies_as_table_3_2(self, name, profiles, gtx_cfg):
+        thresholds = ClassificationThresholds.for_device(gtx_cfg)
+        got = classify(profiles[name], thresholds)
+        assert str(got) == TABLE_3_2_CLASSES[name], (
+            f"{name}: {profiles[name].columns} -> {got}")
+
+    def test_gups_has_lowest_ipc_of_class_m(self, profiles):
+        assert profiles["GUPS"].ipc < profiles["BLK"].ipc
+
+    def test_class_m_apps_have_highest_bandwidth(self, profiles):
+        m_mb = min(profiles[n].memory_bandwidth_gbps for n in ("BLK", "GUPS"))
+        others = max(profiles[n].memory_bandwidth_gbps
+                     for n in RODINIA_SPECS if n not in ("BLK", "GUPS"))
+        assert m_mb > others
+
+    def test_class_c_apps_have_high_l2_traffic(self, profiles):
+        for name in ("BFS2", "SPMV"):
+            assert profiles[name].l2_to_l1_gbps > 100.0
+
+    def test_lud_barely_touches_memory(self, profiles):
+        assert profiles["LUD"].memory_bandwidth_gbps < 5.0
+
+    def test_utilizations_mostly_low(self, profiles):
+        """Fig. 1.2's motivation: most benchmarks underutilize the
+        device when running alone."""
+        low = sum(1 for p in profiles.values() if p.utilization < 0.6)
+        assert low >= 10
+
+    def test_runtimes_same_order_of_magnitude(self, profiles):
+        cycles = [p.solo_cycles for p in profiles.values()]
+        assert max(cycles) / min(cycles) < 4.0
+
+
+class TestScalabilityPersonalities:
+    """Fig. 3.5's trends for the signature benchmarks."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self, gtx_cfg):
+        from repro.gpusim import Application, simulate
+        out = {}
+        for name in ("LUD", "HS", "FFT"):
+            ipcs = []
+            for sms in (10, 20, 30):
+                cfg = gtx_cfg.with_sms(sms)
+                res = simulate(cfg, [Application(name, RODINIA_SPECS[name])])
+                ipcs.append(res.app_stats[0].ipc(res.cycles))
+            out[name] = ipcs
+        return out
+
+    def test_lud_flat(self, sweep):
+        ipcs = sweep["LUD"]
+        assert max(ipcs) / min(ipcs) < 1.25
+
+    def test_hs_scales(self, sweep):
+        ipcs = sweep["HS"]
+        assert ipcs[-1] > 1.8 * ipcs[0]
+
+    def test_fft_saturates(self, sweep):
+        ipcs = sweep["FFT"]
+        growth_early = ipcs[1] / ipcs[0]
+        growth_late = ipcs[2] / ipcs[1]
+        assert growth_late < growth_early

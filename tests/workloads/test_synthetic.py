@@ -1,0 +1,48 @@
+"""Tests for the synthetic class-targeted kernel generator."""
+
+import pytest
+
+from repro.core import ClassificationThresholds, classify, shared_profiler
+from repro.workloads import CLASSES, synthetic_spec
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("cls", CLASSES)
+    def test_specs_valid(self, cls):
+        spec = synthetic_spec(cls, seed=0)
+        assert spec.total_warp_instructions > 0
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_spec("X")
+
+    def test_deterministic(self):
+        assert synthetic_spec("M", seed=5) == synthetic_spec("M", seed=5)
+
+    def test_seeds_vary(self):
+        assert synthetic_spec("M", seed=1) != synthetic_spec("M", seed=2)
+
+    def test_custom_name(self):
+        assert synthetic_spec("C", name="mine").name == "mine"
+
+    def test_class_character(self):
+        m = synthetic_spec("M", seed=0)
+        a = synthetic_spec("A", seed=0)
+        c = synthetic_spec("C", seed=0)
+        assert m.working_set_kb > a.working_set_kb
+        assert m.mem_fraction > a.mem_fraction
+        assert c.pattern == "random"
+
+
+class TestClassTargets:
+    """Generated kernels should profile into their intended class on the
+    full device (spot-checked for a couple of seeds per class)."""
+
+    @pytest.mark.parametrize("cls", CLASSES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_profiles_into_class(self, cls, seed, gtx_cfg):
+        profiler = shared_profiler(gtx_cfg)
+        spec = synthetic_spec(cls, seed=seed)
+        metrics = profiler.profile(spec.name, spec)
+        thresholds = ClassificationThresholds.for_device(gtx_cfg)
+        assert str(classify(metrics, thresholds)) == cls
