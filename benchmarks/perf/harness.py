@@ -1,0 +1,241 @@
+"""The gpusim perf harness: measure events/sec, write BENCH_gpusim.json.
+
+Workloads
+---------
+All workloads run on the paper's GTX-480 configuration:
+
+* ``solo_run`` — the headline solo workload (JPEG, a class-A
+  compute-bound encoder: the representative solo Rodinia run);
+* one solo per paper class (M / MC / C / A) for coverage;
+* a two-app co-run and a three-app co-run.
+
+Metrics per workload: wall seconds (best of N repeats), simulated
+cycles, engine events processed, events/sec, and warp-instructions/sec.
+
+A/B mode
+--------
+``--ab`` extracts the seed engine (commit :data:`SEED_COMMIT`, the state
+this repo's perf trajectory is measured against) from git history into a
+temp dir and interleaves seed/current runs, recording per-workload
+speedups.  The golden determinism test (tests/gpusim) separately proves
+the current engine's results are bit-identical to that seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "BENCH_gpusim.json"
+SCHEMA_VERSION = 1
+
+#: The engine baseline of this repo's perf trajectory (the v0 seed).
+SEED_COMMIT = "5e7609b"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _workloads(quick: bool) -> Dict[str, List[str]]:
+    """name → list of Rodinia benchmark names co-run in that workload."""
+    wl = {
+        "solo_run": ["JPEG"],        # headline solo (JPEG, class A)
+        "solo_M_BLK": ["BLK"],
+        "solo_MC_BP": ["BP"],
+        "solo_C_BFS2": ["BFS2"],
+        "two_app_BLK_SPMV": ["BLK", "SPMV"],
+        "three_app_GUPS_FFT_HS": ["GUPS", "FFT", "HS"],
+    }
+    if quick:
+        wl = {k: wl[k] for k in
+              ("solo_run", "two_app_BLK_SPMV", "three_app_GUPS_FFT_HS")}
+    return wl
+
+
+WORKLOADS = _workloads(quick=False)
+
+
+def run_workload(names: List[str], repeats: int = 3,
+                 scale: float = 1.0) -> dict:
+    """Simulate one workload on a fresh device; return its metric row."""
+    from repro.gpusim import Application, GPU, gtx480
+    from repro.workloads import RODINIA_SPECS
+
+    cfg = gtx480()
+    best = best_cpu = float("inf")
+    cycles = events = instr = 0
+    for _ in range(max(1, repeats)):
+        apps = [Application(n, RODINIA_SPECS[n].scaled(scale)
+                            if scale != 1.0 else RODINIA_SPECS[n])
+                for n in names]
+        gpu = GPU(cfg)
+        gpu.launch(apps)
+        t0, c0 = time.perf_counter(), time.process_time()
+        result = gpu.run()
+        dt = time.perf_counter() - t0
+        dc = time.process_time() - c0
+        if dt < best:
+            best = dt
+        if dc < best_cpu:
+            best_cpu = dc
+        cycles = result.cycles
+        # The seed engine (A/B baseline) predates the event counter.
+        events = getattr(gpu, "events_processed", 0)
+        instr = sum(s.warp_instructions for s in result.app_stats.values())
+    return {
+        "apps": names,
+        "wall_s": round(best, 6),
+        "cpu_s": round(best_cpu, 6),
+        "cycles": cycles,
+        "events": events,
+        "events_per_sec": round(events / best),
+        "warp_instr_per_sec": round(instr / best),
+    }
+
+
+def bench_workloads(quick: bool = False, repeats: int = 3) -> dict:
+    """Run the full workload set in this process (current engine)."""
+    return {name: run_workload(names, repeats=repeats)
+            for name, names in _workloads(quick).items()}
+
+
+# -- A/B against the seed engine -------------------------------------------
+
+_CHILD_SNIPPET = """\
+import json, sys
+sys.path.insert(0, {perf!r})
+from harness import run_workload
+# AFTER importing harness (which prepends this repo's src/): make the
+# target engine win the import race.  `repro` itself is only imported
+# lazily inside run_workload, so nothing is cached yet.
+sys.path.insert(0, {src!r})
+print(json.dumps({{name: run_workload(names, repeats={repeats})
+                  for name, names in json.loads({wl!r}).items()}}))
+"""
+
+
+def _run_in_subprocess(src_dir: str, workloads: Dict[str, List[str]],
+                       repeats: int) -> dict:
+    """Run the workload set against the engine at `src_dir` (src/ root)."""
+    code = _CHILD_SNIPPET.format(src=src_dir,
+                                 perf=str(pathlib.Path(__file__).parent),
+                                 repeats=repeats,
+                                 wl=json.dumps(workloads))
+    out = subprocess.run([sys.executable, "-c", code], capture_output=True,
+                         text=True, check=True)
+    return json.loads(out.stdout)
+
+
+def _extract_seed_src(dest: pathlib.Path) -> Optional[str]:
+    """Materialize the seed engine's src/ tree from git history."""
+    try:
+        subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "worktree", "add", "--detach",
+             str(dest), SEED_COMMIT],
+            check=True, capture_output=True)
+        return str(dest / "src")
+    except (subprocess.CalledProcessError, OSError):
+        return None
+
+
+def _remove_seed_worktree(dest: pathlib.Path) -> None:
+    subprocess.run(["git", "-C", str(REPO_ROOT), "worktree", "remove",
+                    "--force", str(dest)], capture_output=True)
+
+
+def ab_compare(quick: bool, repeats: int) -> Optional[dict]:
+    """Tightly interleaved seed-vs-current comparison.
+
+    Per workload, seed and current runs alternate back-to-back (so
+    machine drift hits both engines equally), timing takes the best CPU
+    seconds over `repeats` rounds, and the speedup is refused unless
+    both engines simulated the identical cycle count.  Returns None if
+    git history is unavailable (e.g. a shallow or exported checkout).
+    """
+    workloads = _workloads(quick)
+    with tempfile.TemporaryDirectory(prefix="gpusim-seed-") as tmp:
+        dest = pathlib.Path(tmp) / "seed"
+        seed_src = _extract_seed_src(dest)
+        if seed_src is None:
+            return None
+        try:
+            best_seed: Dict[str, dict] = {}
+            best_new: Dict[str, dict] = {}
+            for name, names in workloads.items():
+                one = {name: names}
+                for _ in range(max(1, repeats)):
+                    # Two in-child repeats (best-of): the first run also
+                    # warms CPython's adaptive specialization, which
+                    # would otherwise penalize whichever engine has the
+                    # larger hot functions.
+                    seed_row = _run_in_subprocess(seed_src, one, 2)[name]
+                    new_row = _run_in_subprocess(str(REPO_ROOT / "src"),
+                                                 one, 2)[name]
+                    if (name not in best_seed or
+                            seed_row["cpu_s"] < best_seed[name]["cpu_s"]):
+                        best_seed[name] = seed_row
+                    if (name not in best_new or
+                            new_row["cpu_s"] < best_new[name]["cpu_s"]):
+                        best_new[name] = new_row
+        finally:
+            _remove_seed_worktree(dest)
+    out = {}
+    for name in workloads:
+        s, n = best_seed[name], best_new[name]
+        if s["cycles"] != n["cycles"]:
+            raise RuntimeError(
+                f"seed/current cycle mismatch on {name}: "
+                f"{s['cycles']} vs {n['cycles']}")
+        out[name] = {
+            "seed_cpu_s": s["cpu_s"],
+            "new_cpu_s": n["cpu_s"],
+            "speedup": round(s["cpu_s"] / n["cpu_s"], 3),
+            "cycles_match": True,
+        }
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke subset (3 workloads, 1 repeat)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per workload (best-of)")
+    parser.add_argument("--ab", action="store_true",
+                        help="also A/B against the seed engine from git "
+                             "history and record speedups")
+    parser.add_argument("--out", type=pathlib.Path, default=BENCH_PATH,
+                        help=f"output path (default {BENCH_PATH})")
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    rows = bench_workloads(quick=args.quick, repeats=repeats)
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "gpusim",
+        "config": "gtx480",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "workloads": rows,
+    }
+    if args.ab:
+        ab = ab_compare(quick=args.quick, repeats=repeats)
+        if ab is None:
+            doc["ab_vs_seed"] = "unavailable (no git history)"
+        else:
+            doc["ab_vs_seed"] = {"seed_commit": SEED_COMMIT, **ab}
+
+    args.out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(json.dumps(doc, indent=1, sort_keys=True))
+    print(f"\n[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

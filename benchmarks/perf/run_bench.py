@@ -1,0 +1,12 @@
+#!/usr/bin/env python
+"""Entry point: ``python benchmarks/perf/run_bench.py [--quick] [--ab]``."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from harness import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

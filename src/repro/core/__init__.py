@@ -32,7 +32,8 @@ from .policies import (EvenPolicy, FCFSPolicy, ILPPolicy, ILPSMRAPolicy,
                        PlannedGroup, Policy, PolicyContext,
                        ProfileBasedPolicy, SerialPolicy, default_policies,
                        sm_demand)
-from .profiling import (Profiler, ProfileMetrics, metrics_from_result,
+from .profiling import (Profiler, ProfileMetrics, default_cache_dir,
+                        fingerprint, metrics_from_result, profile_cache_key,
                         shared_profiler)
 from .scheduler import (GroupOutcome, QueueOutcome, make_context, run_group,
                         run_queue)
@@ -42,6 +43,7 @@ __all__ = [
     "AppClass", "CLASS_ORDER", "NUM_CLASSES", "ClassificationThresholds",
     "classify", "class_index",
     "Profiler", "ProfileMetrics", "metrics_from_result", "shared_profiler",
+    "default_cache_dir", "fingerprint", "profile_cache_key",
     "InterferenceModel", "measure_interference", "PAPER_APPENDIX_E",
     "Pattern", "enumerate_patterns", "num_patterns", "pattern_matrix",
     "GroupingPlan", "build_grouping_model", "optimize_grouping",

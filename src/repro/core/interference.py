@@ -18,15 +18,19 @@ and is validated against direct 3-way co-runs in the test suite.
 from __future__ import annotations
 
 import itertools
+import json
+import os
+import pathlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.gpusim import Application, GPUConfig, KernelSpec, simulate
+from repro.gpusim import (ENGINE_VERSION, Application, GPUConfig, KernelSpec,
+                          simulate)
 
 from .classification import (CLASS_ORDER, NUM_CLASSES, AppClass,
                              ClassificationThresholds, classify)
 from .patterns import Pattern
-from .profiling import Profiler
+from .profiling import CacheDir, Profiler, fingerprint
 
 
 @dataclass
@@ -96,11 +100,46 @@ def _pick_pairs(by_class: Mapping[AppClass, Sequence[str]],
     return pairs
 
 
+def interference_cache_key(config: GPUConfig,
+                           suite: Mapping[str, KernelSpec],
+                           thresholds: ClassificationThresholds,
+                           samples_per_pair: int,
+                           profiler_config: Optional[GPUConfig] = None
+                           ) -> str:
+    """Disk-cache key of one interference-matrix measurement.
+
+    `profiler_config` is the device the solo-cycle denominators were
+    profiled on; it is part of the key so a caller passing a profiler
+    built for a different config cannot poison (or read) the entries of
+    the matching-config case."""
+    return fingerprint(ENGINE_VERSION, config,
+                       sorted((n, s) for n, s in suite.items()),
+                       thresholds, samples_per_pair,
+                       profiler_config if profiler_config is not None
+                       else config)
+
+
+def _model_to_json(model: InterferenceModel) -> str:
+    return json.dumps({
+        "slowdown": [list(row) for row in model.slowdown],
+        "samples": [[a, b, sa, sb]
+                    for (a, b), (sa, sb) in sorted(model.samples.items())],
+    }, indent=1, sort_keys=True)
+
+
+def _model_from_json(text: str) -> InterferenceModel:
+    data = json.loads(text)
+    return InterferenceModel(
+        slowdown=tuple(tuple(row) for row in data["slowdown"]),
+        samples={(a, b): (sa, sb) for a, b, sa, sb in data["samples"]})
+
+
 def measure_interference(config: GPUConfig,
                          suite: Mapping[str, KernelSpec],
                          profiler: Optional[Profiler] = None,
                          thresholds: Optional[ClassificationThresholds] = None,
-                         samples_per_pair: int = 2) -> InterferenceModel:
+                         samples_per_pair: int = 2,
+                         cache_dir: CacheDir = None) -> InterferenceModel:
     """Build the Fig. 3.4 slowdown matrix by running class-pair co-runs.
 
     Parameters
@@ -109,9 +148,26 @@ def measure_interference(config: GPUConfig,
         name → kernel spec of the benchmark suite to sample from.
     samples_per_pair:
         How many distinct benchmark pairs to average per class pair.
+    cache_dir:
+        Optional persistent cache directory: the measured matrix (and its
+        per-pair samples) is stored keyed by a content hash of config,
+        suite, thresholds, sampling, and engine version — identical
+        reruns load instead of co-running dozens of simulations.
     """
     profiler = profiler or Profiler(config)
     thresholds = thresholds or ClassificationThresholds.for_device(config)
+
+    cache_path = None
+    if cache_dir is not None:
+        key = interference_cache_key(config, suite, thresholds,
+                                     samples_per_pair,
+                                     profiler_config=profiler.config)
+        cache_path = (pathlib.Path(cache_dir) /
+                      f"interference_{key[:20]}.json")
+        try:
+            return _model_from_json(cache_path.read_text())
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # missing or corrupt → measure and rewrite
 
     by_class: Dict[AppClass, List[str]] = {c: [] for c in CLASS_ORDER}
     solo: Dict[str, int] = {}
@@ -147,7 +203,16 @@ def measure_interference(config: GPUConfig,
         tuple(sums[i][j] / counts[i][j] if counts[i][j] else 1.0
               for j in range(NUM_CLASSES))
         for i in range(NUM_CLASSES))
-    return InterferenceModel(slowdown=matrix, samples=samples)
+    model = InterferenceModel(slowdown=matrix, samples=samples)
+    if cache_path is not None:
+        try:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = cache_path.with_suffix(".tmp")
+            tmp.write_text(_model_to_json(model))
+            os.replace(tmp, cache_path)
+        except OSError:
+            pass  # read-only checkouts never block measurement
+    return model
 
 
 #: The paper's Appendix A coefficients (Eq. 5.1), derived from its

@@ -18,7 +18,7 @@ from repro.gpusim import (Application, DeviceResult, GPU, GPUConfig,
 from .classification import ClassificationThresholds
 from .interference import InterferenceModel, measure_interference
 from .policies import PlannedGroup, Policy, PolicyContext, Queue
-from .profiling import Profiler, shared_profiler
+from .profiling import Profiler, default_cache_dir, shared_profiler
 from .smra import SMRAController, SMRAParams
 
 
@@ -135,7 +135,8 @@ def make_context(config: GPUConfig, suite: Optional[Dict] = None,
         if interference is None:
             interference = measure_interference(
                 config, suite, profiler=profiler, thresholds=thresholds,
-                samples_per_pair=samples_per_pair)
+                samples_per_pair=samples_per_pair,
+                cache_dir=default_cache_dir())
             _INTERFERENCE_CACHE[key] = interference
     return PolicyContext(config=config, profiler=profiler,
                          thresholds=thresholds, interference=interference,

@@ -12,6 +12,14 @@ Public API
     SM partitioning helpers.
 """
 
+#: Behavioural version of the simulation engine.  Bump this whenever a
+#: change alters simulation *results* (cycles or counters) for any input
+#: — it is folded into every persistent profile-cache key, so stale
+#: on-disk profiles are invalidated automatically.  Pure performance
+#: work that keeps results bit-identical (verified by the golden
+#: determinism test) must NOT bump it.
+ENGINE_VERSION = 1
+
 from .address import AddressMap, LineLocation
 from .cache import SetAssocCache
 from .config import DramTiming, GPUConfig, gtx480, small_test_config
@@ -25,6 +33,7 @@ from .sm import SM
 from .stats import AppStats, StatsBoard, WindowSample
 
 __all__ = [
+    "ENGINE_VERSION",
     "GPUConfig", "DramTiming", "gtx480", "small_test_config",
     "KernelSpec", "Application", "PATTERNS",
     "GPU", "simulate", "DeviceResult", "Callback",

@@ -23,13 +23,25 @@ class LineLocation:
 
 
 class AddressMap:
-    """Translates byte addresses / line addresses to memory-system places."""
+    """Translates byte addresses / line addresses to memory-system places.
+
+    The per-access decode constants are precomputed once: the two nested
+    floor divisions of the row computation compose into a single
+    division by ``banks * lines_per_row``.  The device hot path
+    (:meth:`repro.gpusim.dram.MemorySystem.access_line`) folds this
+    decode inline with the same constants rather than building a
+    :class:`LineLocation` per request; keep the two in sync.
+    """
+
+    __slots__ = ("_line_size", "_partitions", "_banks", "_lines_per_row",
+                 "_bank_row_span")
 
     def __init__(self, config: GPUConfig):
         self._line_size = config.line_size
         self._partitions = config.num_partitions
         self._banks = config.banks_per_partition
         self._lines_per_row = config.lines_per_row
+        self._bank_row_span = self._banks * self._lines_per_row
 
     def line_of(self, addr: int) -> int:
         """Global line number of a byte address."""
@@ -44,11 +56,10 @@ class AddressMap:
 
     def locate_line(self, line: int) -> LineLocation:
         """Partition, bank, and row of a global line number."""
-        partition = line % self._partitions
         local = line // self._partitions
-        bank = local % self._banks
-        row = local // self._banks // self._lines_per_row
-        return LineLocation(partition, bank, row)
+        return LineLocation(line % self._partitions,
+                            local % self._banks,
+                            local // self._bank_row_span)
 
     def locate(self, addr: int) -> LineLocation:
         return self.locate_line(self.line_of(addr))

@@ -29,7 +29,8 @@ class SetAssocCache:
     """
 
     __slots__ = ("sets", "assoc", "num_sets", "hits", "misses", "evictions",
-                 "insertion", "bip_epsilon", "_bip_counter")
+                 "insertion", "bip_epsilon", "_bip_counter", "_bip",
+                 "_set_mask")
 
     def __init__(self, num_sets: int, assoc: int, insertion: str = "lru",
                  bip_epsilon: int = 32):
@@ -40,6 +41,11 @@ class SetAssocCache:
         self.num_sets = num_sets
         self.assoc = assoc
         self.insertion = insertion
+        self._bip = insertion == "bip"
+        # Line numbers are non-negative, so for the (usual) power-of-two
+        # set count the set index is a mask instead of a modulo.
+        self._set_mask = (num_sets - 1) if num_sets & (num_sets - 1) == 0 \
+            else None
         self.bip_epsilon = max(1, bip_epsilon)
         self._bip_counter = 0
         self.sets: List["OrderedDict[int, None]"] = [
@@ -48,9 +54,17 @@ class SetAssocCache:
         self.misses = 0
         self.evictions = 0
 
+    def set_of(self, line: int) -> "OrderedDict[int, None]":
+        """The set that `line` maps to."""
+        mask = self._set_mask
+        return self.sets[line & mask if mask is not None
+                         else line % self.num_sets]
+
     def access(self, line: int) -> bool:
         """Look up `line`; on miss, allocate it.  Returns hit?"""
-        s = self.sets[line % self.num_sets]
+        mask = self._set_mask
+        s = self.sets[line & mask if mask is not None
+                      else line % self.num_sets]
         if line in s:
             s.move_to_end(line)  # promote to MRU
             self.hits += 1
@@ -60,7 +74,7 @@ class SetAssocCache:
             s.popitem(last=False)
             self.evictions += 1
         s[line] = None
-        if self.insertion == "bip":
+        if self._bip:
             self._bip_counter += 1
             if self._bip_counter % self.bip_epsilon:
                 s.move_to_end(line, last=False)  # insert at LRU
@@ -68,7 +82,7 @@ class SetAssocCache:
 
     def probe(self, line: int) -> bool:
         """Non-allocating lookup (does not update LRU or stats)."""
-        return line in self.sets[line % self.num_sets]
+        return line in self.set_of(line)
 
     def invalidate_all(self) -> None:
         for s in self.sets:

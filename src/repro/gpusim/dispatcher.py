@@ -61,6 +61,11 @@ class WorkDistributor:
     def __init__(self, gpu):
         self._gpu = gpu
         self._programs: Dict[int, list] = {}  # app_id -> shared program
+        # Block-build constants (read once per warp otherwise).
+        cfg = gpu.config
+        self._line_size = cfg.line_size
+        self._lines_per_row = cfg.lines_per_row
+        self._row_stride = cfg.num_partitions * cfg.banks_per_partition
 
     # -- SM ownership -------------------------------------------------------
     def assign(self, app: Application, sm_indices: Sequence[int]) -> None:
@@ -88,20 +93,27 @@ class WorkDistributor:
         return program
 
     def _make_block(self, app: Application, now: int):
-        cfg = self._gpu.config
         spec = app.spec
         block_id = app.blocks_dispatched
         block = BlockContext(app.app_id, block_id, spec.warps_per_block)
         program = self._program_of(app)
         warps = []
-        row_stride = cfg.num_partitions * cfg.banks_per_partition
+        app_stats = self._gpu.stats.apps.get(app.app_id)
+        has_mem = any(n_tx for _alu, n_tx in program)
+        base_line = app.base_line
         for w in range(spec.warps_per_block):
             warp_index = block_id * spec.warps_per_block + w
-            stream = AddressStream(spec, app.base_line, warp_index,
-                                   cfg.line_size, cfg.lines_per_row,
-                                   row_stride=row_stride)
-            warps.append(WarpContext(app.app_id, block, program, stream,
-                                     age=0, dep_gap=spec.dep_gap))
+            stream = AddressStream(spec, base_line, warp_index,
+                                   self._line_size, self._lines_per_row,
+                                   row_stride=self._row_stride)
+            warp = WarpContext(app.app_id, block, program, stream,
+                               age=0, dep_gap=spec.dep_gap,
+                               stats=app_stats)
+            if has_mem:
+                # Pregenerate the warp's whole line stream (identical RNG
+                # draws, consumed per event by index — see WarpContext).
+                warp.lines = stream.pregenerate(program)
+            warps.append(warp)
         app.blocks_dispatched += 1
         return block, warps
 
@@ -111,24 +123,58 @@ class WorkDistributor:
         Blocks are handed out round-robin over the owning application's
         SMs so occupancy stays balanced (one block per SM per sweep).
         """
+        gpu = self._gpu
+        apps = gpu.apps
+        sms = gpu.sms
+        cfg = gpu.config
+        max_blocks = cfg.max_blocks_per_sm
+        max_warps = cfg.max_warps_per_sm
+        # `app.dispatchable` is a property chain re-evaluated per SM per
+        # sweep; since blocks_completed cannot change while dispatching
+        # (programs are never empty, so no block can retire inside
+        # admit_block), it reduces to a per-app countdown computed once.
+        budget: Dict[int, int] = {}
+        for app_id, app in apps.items():
+            spec = app.spec
+            limit = min(spec.total_blocks,
+                        (app.current_launch + 1) * spec.blocks)
+            budget[app_id] = limit - app.blocks_dispatched
+        if not any(b > 0 for b in budget.values()):
+            # Nothing dispatchable (the common case mid-launch: a block
+            # completed but its successor launch is still barred) — skip
+            # the SM sweep entirely.
+            gpu._all_dispatched = all_done = all(a.all_dispatched
+                                                 for a in apps.values())
+            gpu._dispatch_barred = not all_done
+            return 0
         dispatched = 0
         progress = True
         while progress:
             progress = False
-            for sm in self._gpu.sms:
-                if sm.owner is None or sm.draining:
+            for sm in sms:
+                owner = sm.owner
+                if owner is None or sm.pending_owner is not None:
                     continue
-                app = self._gpu.apps.get(sm.owner)
-                if app is None or not app.dispatchable:
+                if budget.get(owner, 0) <= 0:
                     continue
-                if not sm.can_host(app.spec.warps_per_block):
+                app = apps[owner]
+                spec = app.spec
+                if (len(sm.blocks) >= max_blocks or
+                        sm.resident_warps + spec.warps_per_block > max_warps):
                     continue
-                cap = app.spec.max_blocks_per_sm
+                cap = spec.max_blocks_per_sm
                 if cap is not None and sum(
-                        1 for b in sm.blocks if b.app_id == app.app_id) >= cap:
+                        1 for b in sm.blocks if b.app_id == owner) >= cap:
                     continue
                 block, warps = self._make_block(app, now)
                 sm.admit_block(block, warps, now)
+                budget[owner] -= 1
                 dispatched += 1
                 progress = True
+        gpu._all_dispatched = all_done = all(a.all_dispatched
+                                             for a in apps.values())
+        # Barred: blocks remain but every budget drained at a launch
+        # barrier; capacity freed by ordinary completions can't help.
+        gpu._dispatch_barred = (not all_done and
+                                not any(b > 0 for b in budget.values()))
         return dispatched

@@ -18,11 +18,20 @@ Each partition is a pair of fluid servers plus per-bank row-buffer state:
   capping partition bandwidth; queueing delay under load is
   ``max(0, busy_until - arrival)`` on both servers, so co-running
   applications slow each other exactly through these queues.
+
+The per-line entry point is :meth:`MemorySystem.access_line`; it is the
+third-hottest call in the whole simulator (after the SM issue loop and the
+L1 probe), so the partition/bank/row decode of
+:meth:`~repro.gpusim.address.AddressMap.locate_line` and the body of
+:meth:`MemoryPartition.access` are folded into it with every per-access
+constant precomputed at construction time.  :meth:`MemoryPartition.access`
+remains as the readable reference implementation (and public API); the two
+must stay in sync.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .address import AddressMap
 from .cache import SetAssocCache
@@ -53,7 +62,7 @@ class DramBank:
         self.row_hits = 0
 
     def service(self, row: int, arrival: int, t_hit: int, t_miss: int,
-                fcfs_time: Optional[int]) -> tuple:
+                fcfs_time: Optional[int]) -> Tuple[int, bool]:
         """Serve a request for `row` arriving at `arrival`.
 
         Returns ``(finish_time, was_row_hit)``.  ``fcfs_time`` overrides
@@ -85,6 +94,11 @@ class DramBank:
 class MemoryPartition:
     """An L2 slice plus its DRAM channel (banks + data bus)."""
 
+    __slots__ = ("index", "config", "stats", "l2", "banks",
+                 "l2_busy_until", "bus_busy_until", "_fcfs_time",
+                 "_l2_service", "_l2_latency", "_line_size",
+                 "_row_hit", "_row_miss", "_bus", "_extra_latency")
+
     def __init__(self, index: int, config: GPUConfig, stats: StatsBoard):
         self.index = index
         self.config = config
@@ -100,6 +114,14 @@ class MemoryPartition:
         if config.mem_scheduler == "fcfs":
             # No row-hit prioritization: everyone pays the blended cost.
             self._fcfs_time = (config.dram.row_hit + config.dram.row_miss) // 2
+        # Hot-path copies of the config fields charged on every access.
+        self._l2_service = config.l2_service
+        self._l2_latency = config.l2_latency
+        self._line_size = config.line_size
+        self._row_hit = config.dram.row_hit
+        self._row_miss = config.dram.row_miss
+        self._bus = config.dram.bus
+        self._extra_latency = config.dram.extra_latency
 
     def access(self, line: int, bank: int, row: int, arrival: int,
                app_id: int) -> int:
@@ -107,28 +129,30 @@ class MemoryPartition:
 
         The L2 slice is probed first.  A hit is served across the slice
         bus; a miss goes to the bank and data bus and fills the L2.
+
+        This is the reference implementation; the device hot path is the
+        inlined copy in :meth:`MemorySystem.access_line`.
         """
-        cfg = self.config
         app = self.stats[app_id]
 
         l2_start = max(arrival, self.l2_busy_until)
-        self.l2_busy_until = l2_start + cfg.l2_service
+        self.l2_busy_until = l2_start + self._l2_service
         if self.l2.access(line):
             app.l2_hits += 1
-            app.l2_to_l1_bytes += cfg.line_size
-            return l2_start + cfg.l2_latency
+            app.l2_to_l1_bytes += self._line_size
+            return l2_start + self._l2_latency
 
         # L2 miss → DRAM.  (The line was allocated by the L2 access above,
         # modeling fill-on-miss.)
         bank_done, row_hit = self.banks[bank].service(
-            row, l2_start, cfg.dram.row_hit, cfg.dram.row_miss,
+            row, l2_start, self._row_hit, self._row_miss,
             self._fcfs_time)
         bus_start = max(bank_done, self.bus_busy_until)
-        self.bus_busy_until = bus_start + cfg.dram.bus
-        done = bus_start + cfg.dram.bus + cfg.dram.extra_latency
+        self.bus_busy_until = bus_start + self._bus
+        done = bus_start + self._bus + self._extra_latency
 
         app.dram_accesses += 1
-        app.dram_bytes += cfg.line_size
+        app.dram_bytes += self._line_size
         if row_hit:
             app.dram_row_hits += 1
         return done
@@ -146,22 +170,148 @@ class MemoryPartition:
 class MemorySystem:
     """All partitions behind the interconnect."""
 
+    __slots__ = ("config", "stats", "amap", "partitions",
+                 "_num_partitions", "_banks", "_lines_per_row",
+                 "_bank_row_span", "_icnt", "_l2_service", "_l2_latency",
+                 "_line_size", "_row_hit", "_row_miss", "_bus",
+                 "_extra_latency", "_fcfs_time", "_l2_mask", "_l2_nsets",
+                 "_l2_assoc", "_l2_bip", "_l2_eps", "_parts",
+                 "access_line")
+
     def __init__(self, config: GPUConfig, stats: StatsBoard):
         self.config = config
+        self.stats = stats
         self.amap = AddressMap(config)
         self.partitions = [MemoryPartition(i, config, stats)
                            for i in range(config.num_partitions)]
+        # Address-decode and latency constants of the hot path
+        # (cf. AddressMap.locate_line: the two nested floor divisions
+        # compose into one division by banks * lines_per_row).  Every
+        # partition shares one config, so the timing constants and the
+        # L2 slice geometry are hoisted here once.
+        self._num_partitions = config.num_partitions
+        self._banks = config.banks_per_partition
+        self._lines_per_row = config.lines_per_row
+        self._bank_row_span = self._banks * self._lines_per_row
+        self._icnt = config.interconnect_latency
+        self._l2_service = config.l2_service
+        self._l2_latency = config.l2_latency
+        self._line_size = config.line_size
+        self._row_hit = config.dram.row_hit
+        self._row_miss = config.dram.row_miss
+        self._bus = config.dram.bus
+        self._extra_latency = config.dram.extra_latency
+        self._fcfs_time = self.partitions[0]._fcfs_time
+        l2 = self.partitions[0].l2
+        self._l2_mask = l2._set_mask
+        self._l2_nsets = l2.num_sets
+        self._l2_assoc = l2.assoc
+        self._l2_bip = l2._bip
+        self._l2_eps = l2.bip_epsilon
+        #: (partition, its L2 cache, its L2 set list, its bank list) per
+        #: partition — one indexed unpack replaces four attribute loads.
+        self._parts = [(p, p.l2, p.l2.sets, p.banks)
+                       for p in self.partitions]
+        #: The hot entry point is compiled per device as a closure so
+        #: every constant above is a free variable instead of a
+        #: ``self._x`` attribute load.
+        self.access_line = self._build_access_line()
 
-    def access_line(self, line: int, now: int, app_id: int) -> int:
-        """Route one line request through interconnect + partition.
+    def _build_access_line(self):
+        """Build the per-device `access_line` closure (hot path).
 
-        Returns the cycle at which data is back at the SM.
+        The returned function routes one line request through
+        interconnect + partition and returns the cycle at which data is
+        back at the SM.  `app` may carry the caller's cached
+        :class:`AppStats` to skip the per-access board lookup (the SM
+        issue loop always passes it).
+
+        The body mirrors AddressMap.locate_line + MemoryPartition.access
+        + SetAssocCache.access + DramBank.service; keep them in sync.
         """
-        loc = self.amap.locate_line(line)
-        arrival = now + self.config.interconnect_latency
-        done = self.partitions[loc.partition].access(
-            line, loc.bank, loc.row, arrival, app_id)
-        return done + self.config.interconnect_latency
+        parts = tuple(self._parts)
+        num_partitions = self._num_partitions
+        banks_per = self._banks
+        bank_row_span = self._bank_row_span
+        icnt = self._icnt
+        l2_service = self._l2_service
+        l2_latency = self._l2_latency
+        line_size = self._line_size
+        row_hit_t = self._row_hit
+        row_miss_t = self._row_miss
+        bus = self._bus
+        extra_latency = self._extra_latency
+        fcfs_time = self._fcfs_time
+        l2_mask = self._l2_mask
+        l2_nsets = self._l2_nsets
+        l2_assoc = self._l2_assoc
+        l2_bip = self._l2_bip
+        l2_eps = self._l2_eps
+        apps = self.stats.apps  # dict identity is stable
+
+        def access_line(line: int, now: int, app_id: int, app=None) -> int:
+            part, l2, l2_sets, banks = parts[line % num_partitions]
+            local = line // num_partitions
+            arrival = now + icnt
+            if app is None:
+                app = apps[app_id]
+
+            l2_start = part.l2_busy_until
+            if arrival > l2_start:
+                l2_start = arrival
+            part.l2_busy_until = l2_start + l2_service
+            # Open-coded SetAssocCache.access (incl. BIP) for the L2.
+            s = l2_sets[line & l2_mask if l2_mask is not None
+                        else line % l2_nsets]
+            if line in s:
+                s.move_to_end(line)
+                l2.hits += 1
+                app.l2_hits += 1
+                app.l2_to_l1_bytes += line_size
+                return l2_start + l2_latency + icnt
+            l2.misses += 1
+            if len(s) >= l2_assoc:
+                s.popitem(last=False)
+                l2.evictions += 1
+            s[line] = None
+            if l2_bip:
+                l2._bip_counter = bip_count = l2._bip_counter + 1
+                if bip_count % l2_eps:
+                    s.move_to_end(line, last=False)  # insert at LRU
+
+            # Open-coded DramBank.service.
+            bank = banks[local % banks_per]
+            row = local // bank_row_span
+            start = bank.busy_until
+            if l2_start > start:
+                start = l2_start
+            rows = bank.rows
+            row_hit = row in rows
+            if row_hit:
+                del rows[row]  # refresh recency
+            elif len(rows) >= bank.window:
+                rows.pop(next(iter(rows)))
+            rows[row] = None
+            if fcfs_time is not None:
+                occupancy = fcfs_time
+            else:
+                occupancy = row_hit_t if row_hit else row_miss_t
+            bank.busy_until = bank_done = start + occupancy
+            bank.accesses += 1
+            if row_hit:
+                bank.row_hits += 1
+            bus_start = part.bus_busy_until
+            if bank_done > bus_start:
+                bus_start = bank_done
+            part.bus_busy_until = bus_start + bus
+
+            app.dram_accesses += 1
+            app.dram_bytes += line_size
+            if row_hit:
+                app.dram_row_hits += 1
+            return bus_start + bus + extra_latency + icnt
+
+        return access_line
 
     def l2_hit_rate(self) -> float:
         hits = sum(p.l2.hits for p in self.partitions)

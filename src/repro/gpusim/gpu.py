@@ -9,8 +9,8 @@ cycles simulated.
 
 from __future__ import annotations
 
+import gc
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -18,7 +18,7 @@ from .config import GPUConfig
 from .dispatcher import WorkDistributor, even_partition
 from .dram import MemorySystem
 from .kernel import Application, BlockContext
-from .sm import SM
+from .sm import SM, issue_batch
 from .stats import AppStats, StatsBoard
 
 
@@ -68,6 +68,11 @@ class Callback:
 class GPU:
     """A simulated GPU executing one or more applications concurrently."""
 
+    __slots__ = ("config", "stats", "memory", "sms", "distributor", "apps",
+                 "cycle", "reassign_on_finish", "_heap", "_seq_n",
+                 "_dispatch_needed", "_next_app_id", "_unfinished",
+                 "_all_dispatched", "_dispatch_barred", "events_processed")
+
     def __init__(self, config: GPUConfig):
         self.config = config
         self.stats = StatsBoard(config)
@@ -81,9 +86,23 @@ class GPU:
         self.reassign_on_finish = True
 
         self._heap: List = []
-        self._seq = itertools.count()
+        self._seq_n = 0  # heap-entry tiebreak counter (monotonic)
         self._dispatch_needed = False
         self._next_app_id = 0
+        #: Live count of launched-but-unfinished applications, so the main
+        #: loop never scans `apps` per event (see _all_finished).
+        self._unfinished = 0
+        #: True once every launched app has dispatched all its blocks —
+        #: from then on block completions cannot enable new dispatch work
+        #: (maintained by WorkDistributor.dispatch; see _block_done).
+        self._all_dispatched = False
+        #: True while every pending block is behind a kernel-launch
+        #: barrier (all per-app budgets zero): only a completion that
+        #: crosses a launch boundary can open new dispatch work then.
+        self._dispatch_barred = False
+        #: Events processed by `run` (heap pops that fired an SM step);
+        #: the perf harness reports events/second from this.
+        self.events_processed = 0
 
     # -- launch -------------------------------------------------------------
     def launch(self, apps: Sequence[Application],
@@ -114,22 +133,36 @@ class GPU:
             app.blocks_dispatched = 0
             app.blocks_completed = 0
             self.apps[app.app_id] = app
+            self._unfinished += 1
             self.stats.register(app.app_id, app.name, start_cycle=self.cycle)
             self.distributor.assign(app, group)
         self._dispatch_needed = True
+        self._all_dispatched = False
+        self._dispatch_barred = False
 
     # -- event plumbing -------------------------------------------------------
     def _push_sm(self, sm: SM) -> None:
         t = sm.next_event()
         if t is not None:
-            heapq.heappush(self._heap, (t, next(self._seq), sm.index))
+            self._seq_n = n = self._seq_n + 1
+            heapq.heappush(self._heap, (t, n, sm.index))
 
     def _block_done(self, sm: SM, block: BlockContext) -> None:
         app = self.apps[block.app_id]
         app.blocks_completed += 1
         self.stats[block.app_id].blocks_completed += 1
-        self._dispatch_needed = True
+        if not self._all_dispatched and (
+                not self._dispatch_barred or
+                app.blocks_completed % app.spec.blocks == 0):
+            # Skip provably no-op dispatch sweeps: with everything
+            # dispatched there is nothing left, and while every pending
+            # block waits behind a launch barrier only a completion that
+            # crosses a launch boundary (blocks_completed a multiple of
+            # the grid size, advancing current_launch) can change any
+            # dispatch budget.
+            self._dispatch_needed = True
         if app.finished:
+            self._unfinished -= 1
             self.stats[app.app_id].finish_cycle = self.cycle
             if self.reassign_on_finish:
                 self._redistribute_sms_of(app)
@@ -148,12 +181,25 @@ class GPU:
             sm.set_owner(survivors[i % len(survivors)].app_id)
 
     def _all_finished(self) -> bool:
-        return all(a.finished for a in self.apps.values())
+        return self._unfinished == 0
 
     # -- main loop ------------------------------------------------------------
     def run(self, max_cycles: int = 50_000_000,
             callbacks: Sequence[Callback] = ()) -> DeviceResult:
-        """Run until every launched application completes."""
+        """Run until every launched application completes.
+
+        Per-event work is kept to a handful of local operations: the
+        finished check is a live counter maintained by `_block_done`, and
+        `_push_sm`/`next_event` are inlined as direct peeks at the SM's
+        ready heap.
+
+        Note the per-event re-push of every SM after a dispatch is
+        semantically load-bearing and must NOT be deduplicated: an SM with
+        same-cycle work left over from the issue batch cap fires once per
+        live heap entry, so dropping "duplicate" entries would reorder
+        same-cycle steps across SMs and change results (the memory fluid
+        servers are call-ordered).
+        """
         if not self.apps:
             raise RuntimeError("no applications launched")
         callbacks = list(callbacks)
@@ -166,38 +212,115 @@ class GPU:
             for sm in self.sms:
                 self._push_sm(sm)
 
-        while not self._all_finished():
-            if not self._heap:
-                # Everything blocked on dispatch (e.g. after migration).
-                if self.distributor.dispatch(self.cycle):
-                    for sm in self.sms:
-                        self._push_sm(sm)
-                    continue
-                raise RuntimeError(
-                    "simulation deadlock: no events and nothing to dispatch")
-            t, _seq, sm_index = heapq.heappop(self._heap)
-            sm = self.sms[sm_index]
-            if sm.next_event() != t:
-                continue  # stale entry
-            if t > max_cycles:
-                self.cycle = max_cycles
-                break
+        heap = self._heap
+        sms = self.sms
+        seq_n = self._seq_n  # local mirror; flushed around dispatch paths
+        heappop, heappush = heapq.heappop, heapq.heappush
+        heappushpop = heapq.heappushpop
+        events = self.events_processed
+        # Device-wide issue-loop constants, hoisted once per run.  Every
+        # SM shares this GPU's config, so SM 0's precomputed fields are
+        # the single source of truth — see sm.issue_batch.
+        sm0 = sms[0]
+        issue_width = sm0._issue_width
+        mem_issue_cost = sm0._mem_issue_cost
+        max_issue = sm0._max_issue
+        warp_size = sm0._warp_size
+        l1_latency = sm0._l1_latency
+        gto = sm0._gto
+        access = self.memory.access_line
+        batch = issue_batch
+        readies = [sm._ready for sm in sms]  # list identity is stable
+        # The loop allocates heavily (heap entries, line lists) but never
+        # drops cyclic garbage, so collector sweeps are pure overhead.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            chained_t = None   # time of a direct-chained event (see below)
+            pending = None     # entry to push lazily via heappushpop
+            sm = sm_ready = None
+            while self._unfinished:
+                if chained_t is None:
+                    if pending is not None:
+                        # push-then-pop in one sift; when `pending` is
+                        # itself the minimum it comes straight back with
+                        # no heap movement at all.
+                        entry = heappushpop(heap, pending)
+                        pending = None
+                    elif heap:
+                        entry = heappop(heap)
+                    else:
+                        # Everything blocked on dispatch (e.g. after
+                        # migration).
+                        self._seq_n = seq_n
+                        if self.distributor.dispatch(self.cycle):
+                            for s in self.sms:
+                                self._push_sm(s)
+                            seq_n = self._seq_n
+                            continue
+                        raise RuntimeError(
+                            "simulation deadlock: no events and nothing "
+                            "to dispatch")
+                    t, _seq, sm_index = entry
+                    sm_ready = readies[sm_index]
+                    if not sm_ready or sm_ready[0][0] != t:
+                        continue  # stale entry
+                    sm = sms[sm_index]
+                else:
+                    # Chained: `sm`/`sm_ready` carry over from last event.
+                    t = chained_t
+                    chained_t = None
+                if t > max_cycles:
+                    self.cycle = max_cycles
+                    break
 
-            # Fire periodic callbacks scheduled before this event.
-            for cb in callbacks:
-                while cb.next_at <= t:
-                    self.cycle = cb.next_at
-                    cb.fn(self, self.cycle)
-                    cb.next_at += cb.interval
+                # Fire periodic callbacks scheduled before this event.
+                if callbacks:
+                    for cb in callbacks:
+                        while cb.next_at <= t:
+                            self.cycle = cb.next_at
+                            cb.fn(self, self.cycle)
+                            cb.next_at += cb.interval
 
-            self.cycle = t
-            sm.step(t)
-            self._push_sm(sm)
-            if self._dispatch_needed:
-                self._dispatch_needed = False
-                if self.distributor.dispatch(self.cycle):
-                    for s in self.sms:
-                        self._push_sm(s)
+                self.cycle = t
+                batch(sm, t, issue_width, mem_issue_cost, max_issue,
+                      warp_size, l1_latency, gto, access)
+                events += 1
+                if sm_ready:
+                    t_next = sm_ready[0][0]
+                    # Direct chaining: when this SM's next event strictly
+                    # precedes everything in the device heap and no
+                    # dispatch is pending, the heap round-trip would pop
+                    # our own entry right back — skip it.  Strict `<`
+                    # keeps the pop order identical: at equal times the
+                    # heap entry (older seq) fires first.
+                    if not self._dispatch_needed and (
+                            not heap or t_next < heap[0][0]):
+                        chained_t = t_next
+                        continue
+                    seq_n += 1
+                    pending = (t_next, seq_n, sm.index)
+                if self._dispatch_needed:
+                    self._dispatch_needed = False
+                    if pending is not None:
+                        heappush(heap, pending)
+                        pending = None
+                    self._seq_n = seq_n
+                    if self.distributor.dispatch(self.cycle):
+                        for s in sms:
+                            self._push_sm(s)
+                    seq_n = self._seq_n
+            self._seq_n = seq_n
+            if pending is not None:
+                # Leave the heap complete for a later resumed run.
+                heappush(heap, pending)
+            if chained_t is not None:
+                self._push_sm(sm)
+        finally:
+            self._seq_n = max(self._seq_n, seq_n)
+            if gc_was_enabled:
+                gc.enable()
+        self.events_processed = events
         return self.result()
 
     def result(self) -> DeviceResult:

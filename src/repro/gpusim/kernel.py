@@ -142,21 +142,48 @@ class AddressStream:
     """Deterministic per-warp generator of memory line numbers."""
 
     __slots__ = ("_spec", "_rng", "_base_line", "_ws_lines", "_cursor",
-                 "_lines_per_row", "_hot_lines", "_row_stride")
+                 "_lines_per_row", "_hot_lines", "_row_stride",
+                 "_pattern", "_hot_fraction", "_row_locality",
+                 "_stride_lines", "_random", "_grb",
+                 "_ws_bits", "_hot_bits", "_lpr_bits")
 
     def __init__(self, spec: KernelSpec, base_line: int, warp_index: int,
                  line_size: int, lines_per_row: int, row_stride: int = 1):
         self._spec = spec
-        self._rng = random.Random((spec.seed << 20) ^ (warp_index * 2654435761))
+        if spec.pattern in ("random", "row_local") or spec.hot_fraction:
+            # ``randrange(n)`` for a positive int n is exactly
+            # ``_randbelow(n)``, which is rejection sampling over
+            # ``getrandbits(n.bit_length())``.  The hot paths below
+            # open-code that loop with the bit widths precomputed,
+            # consuming the identical underlying bit stream while
+            # skipping two Python call layers per drawn line.
+            self._rng = random.Random(
+                (spec.seed << 20) ^ (warp_index * 2654435761))
+            self._random = self._rng.random
+            self._grb = self._rng.getrandbits
+        else:
+            # Pure stream/strided warps never draw randomness; skip the
+            # Mersenne-Twister seeding (it dominates warp setup cost).
+            self._rng = None
+            self._random = self._grb = None
         self._base_line = base_line
         self._ws_lines = max(1, spec.working_set_kb * 1024 // line_size)
         self._lines_per_row = max(1, lines_per_row)
         self._hot_lines = max(1, spec.hot_set_kb * 1024 // line_size)
+        # Hot-path copies of the spec fields read on every access (frozen
+        # dataclass attribute reads are comparatively expensive).
+        self._pattern = spec.pattern
+        self._hot_fraction = spec.hot_fraction
+        self._row_locality = spec.row_locality
+        self._stride_lines = spec.stride_lines
         # Distance (in global line numbers) between two lines that land in
         # the same DRAM row of the same bank: partitions * banks.  The
         # ``row_local`` pattern steps by this stride so its locality is
         # locality *at the bank*, which is what the FR-FCFS model rewards.
         self._row_stride = max(1, row_stride)
+        self._ws_bits = self._ws_lines.bit_length()
+        self._hot_bits = self._hot_lines.bit_length()
+        self._lpr_bits = self._lines_per_row.bit_length()
         # Warps start evenly spread through the working set so a streaming
         # grid touches the whole footprint (and all partitions) at once;
         # successive kernel launches continue into fresh slices rather
@@ -164,48 +191,99 @@ class AddressStream:
         total = max(1, spec.total_warps * spec.kernel_launches)
         self._cursor = (warp_index * self._ws_lines // total) % self._ws_lines
 
+    def pregenerate(self, program: List[Tuple[int, int]]) -> List[int]:
+        """All memory lines of one warp executing `program`, flattened.
+
+        Exactly equivalent to calling :meth:`next_lines` once per memory
+        segment in program order (same RNG draws), batched so block build
+        pays one call instead of one per segment."""
+        lines: List[int] = []
+        extend = lines.extend
+        next_lines = self.next_lines
+        for _alu, n_tx in program:
+            if n_tx:
+                extend(next_lines(n_tx))
+        return lines
+
     def next_lines(self, n_tx: int) -> List[int]:
-        spec, ws = self._spec, self._ws_lines
-        if spec.hot_fraction and self._rng.random() < spec.hot_fraction:
+        ws = self._ws_lines
+        hot = self._hot_fraction
+        if hot and self._random() < hot:
             # Hot-region access: random lines in the shared lookup region
             # (offset past the streaming working set so the two never mix).
             hot_base = self._base_line + ws
-            rand = self._rng.randrange
-            return [hot_base + rand(self._hot_lines) for _ in range(n_tx)]
-        out = []
+            grb = self._grb
+            hot_lines = self._hot_lines
+            k = self._hot_bits
+            out = []
+            append = out.append
+            for _ in range(n_tx):
+                r = grb(k)
+                while r >= hot_lines:
+                    r = grb(k)
+                append(hot_base + r)
+            return out
         cursor = self._cursor
-        if spec.pattern == "stream":
+        pattern = self._pattern
+        if pattern == "stream":
+            end = cursor + n_tx
+            if end <= ws:
+                # Batched fast path: the whole access stays inside the
+                # working set, so the lines are one contiguous range.
+                base = self._base_line + cursor
+                self._cursor = end % ws
+                return list(range(base, base + n_tx))
+            out = []
             for _ in range(n_tx):
                 out.append(self._base_line + cursor)
                 cursor = (cursor + 1) % ws
-        elif spec.pattern == "strided":
-            for _ in range(n_tx):
-                out.append(self._base_line + cursor)
-                cursor = (cursor + spec.stride_lines) % ws
-        elif spec.pattern == "random":
-            rand = self._rng.randrange
-            for _ in range(n_tx):
-                cursor = rand(ws)
-                out.append(self._base_line + cursor)
-        else:  # row_local
-            rand, uniform = self._rng.randrange, self._rng.random
-            lpr, stride = self._lines_per_row, self._row_stride
+        elif pattern == "strided":
+            out = []
+            stride = self._stride_lines
             base = self._base_line
             for _ in range(n_tx):
-                if uniform() < spec.row_locality:
+                out.append(base + cursor)
+                cursor = (cursor + stride) % ws
+        elif pattern == "random":
+            grb = self._grb
+            k = self._ws_bits
+            base = self._base_line
+            out = [0] * n_tx
+            for i in range(n_tx):
+                cursor = grb(k)
+                while cursor >= ws:
+                    cursor = grb(k)
+                out[i] = base + cursor
+        else:  # row_local
+            out = []
+            grb, uniform = self._grb, self._random
+            ws_bits = self._ws_bits
+            lpr, stride = self._lines_per_row, self._row_stride
+            lpr_bits = self._lpr_bits
+            locality = self._row_locality
+            base = self._base_line
+            for _ in range(n_tx):
+                if uniform() < locality:
                     # Stay within the current DRAM row: jump to another of
                     # the row's lines (same partition, bank, and row).  Row
                     # membership is defined on *global* line numbers, so
                     # compute there and translate back.
                     g = base + cursor
                     row_base = g - (g // stride % lpr) * stride
-                    new_cursor = row_base + rand(lpr) * stride - base
+                    r = grb(lpr_bits)
+                    while r >= lpr:
+                        r = grb(lpr_bits)
+                    new_cursor = row_base + r * stride - base
                     if 0 <= new_cursor < ws:
                         cursor = new_cursor
                     else:
-                        cursor = rand(ws)
+                        cursor = grb(ws_bits)
+                        while cursor >= ws:
+                            cursor = grb(ws_bits)
                 else:
-                    cursor = rand(ws)
+                    cursor = grb(ws_bits)
+                    while cursor >= ws:
+                        cursor = grb(ws_bits)
                 out.append(base + cursor)
         self._cursor = cursor
         return out
@@ -215,20 +293,34 @@ class WarpContext:
     """Execution state of one warp resident on an SM."""
 
     __slots__ = ("app_id", "block", "program", "pc", "ready_at", "age",
-                 "addr_stream", "done", "dep_gap", "mem_pending")
+                 "addr_stream", "done", "dep_gap", "mem_pending", "stats",
+                 "lines", "li", "prog_end")
 
     def __init__(self, app_id: int, block: "BlockContext",
                  program: List[Tuple[int, int]], addr_stream: AddressStream,
-                 age: int, dep_gap: float = 2.0):
+                 age: int, dep_gap: float = 2.0, stats=None):
         self.app_id = app_id
         self.block = block
         self.program = program
+        self.prog_end = len(program)
         self.pc = 0
         self.ready_at = 0
         self.age = age
         self.addr_stream = addr_stream
         self.done = not program
         self.dep_gap = dep_gap
+        #: Optional pregenerated flat list of this warp's memory lines
+        #: (`li` is the read cursor).  The per-warp RNG draws are private,
+        #: so generating every line up front at block-build time consumes
+        #: the identical random stream while saving a generator call per
+        #: memory event.  None → generate lazily via `addr_stream`.
+        self.lines: Optional[List[int]] = None
+        self.li = 0
+        #: The owning application's :class:`~repro.gpusim.stats.AppStats`,
+        #: cached here so the SM issue loop never does a per-event
+        #: StatsBoard dict lookup.  Filled in at admit time when the warp
+        #: is built without one (e.g. directly in tests).
+        self.stats = stats
         #: True when the current segment's ALU run has issued and the
         #: trailing memory instruction is waiting to execute.  Memory is a
         #: separate event so requests reach the memory system at their

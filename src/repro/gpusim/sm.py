@@ -13,6 +13,14 @@ fluid servers shape timing:
 Ready warps are kept in a heap ordered by (ready time, scheduler key):
 GTO (greedy-then-oldest, the paper's Table 4.1 scheduler) prefers the
 warp that issued last and then the oldest warp; LRR rotates.
+
+:meth:`SM.step` is the hottest function of the simulator (~70% of wall
+time together with the memory chain it drives), so the whole
+issue-segment state machine is inlined into its loop: per-event config
+attribute reads are hoisted into fields at construction, the per-app
+stats object is cached on the warp at admit time, the L1 lookup is
+open-coded (LRU only — the L1 never uses BIP insertion), and scheduler
+keys are plain ints.
 """
 
 from __future__ import annotations
@@ -33,6 +41,13 @@ DISPATCH_LATENCY = 5
 class SM:
     """One streaming multiprocessor."""
 
+    __slots__ = ("index", "config", "memory", "stats", "on_block_complete",
+                 "l1", "owner", "pending_owner", "blocks", "resident_warps",
+                 "_ready", "_issue_free", "_lsu_free", "_age_counter",
+                 "_last_issued_age", "_rr_pointer", "_issue_width",
+                 "_warp_size", "_l1_latency", "_gto", "_max_issue",
+                 "_mem_issue_cost")
+
     def __init__(self, index: int, config: GPUConfig, memory: MemorySystem,
                  stats: StatsBoard,
                  on_block_complete: Callable[["SM", BlockContext], None]):
@@ -48,12 +63,22 @@ class SM:
         self.blocks: List[BlockContext] = []
         self.resident_warps = 0
 
-        self._ready: List[Tuple[int, float, int, WarpContext]] = []
+        self._ready: List[Tuple[int, int, int, WarpContext]] = []
         self._issue_free = 0.0
         self._lsu_free = 0.0
         self._age_counter = 0
         self._last_issued_age = -1  # GTO greediness
-        self._rr_pointer = 0.0      # LRR rotation
+        self._rr_pointer = 0        # LRR rotation (whole issues only)
+
+        # Hot-path constants (never change after construction).
+        self._issue_width = config.issue_width
+        self._warp_size = config.warp_size
+        self._l1_latency = config.l1_latency
+        self._gto = config.scheduler == "gto"
+        self._max_issue = max(1, config.issue_width) * 4  # per-event batch cap
+        #: ``1.0 / issue_width`` — the issue-pipe occupancy of one warp
+        #: instruction, hoisted so the memory phase never re-divides.
+        self._mem_issue_cost = 1.0 / config.issue_width
 
     # -- capacity ---------------------------------------------------------
     @property
@@ -87,8 +112,10 @@ class SM:
             warp.age = self._age_counter
             warp.ready_at = now + DISPATCH_LATENCY
             if warp.done:  # degenerate empty program
-                self._finish_warp(warp, len(warps))
+                self._finish_warp(warp)
                 continue
+            if warp.stats is None:
+                warp.stats = self.stats[warp.app_id]
             heapq.heappush(
                 self._ready,
                 (warp.ready_at, self._sched_key(warp), warp.age, warp))
@@ -109,92 +136,29 @@ class SM:
         self.l1.invalidate_all()  # a new application starts cold
 
     # -- scheduling ---------------------------------------------------------
-    def _sched_key(self, warp: WarpContext) -> float:
-        if self.config.scheduler == "gto":
+    def _sched_key(self, warp: WarpContext) -> int:
+        if self._gto:
             # Greedy: the last-issued warp sorts first; then oldest age.
-            return -1.0 if warp.age == self._last_issued_age else float(warp.age)
+            return -1 if warp.age == self._last_issued_age else warp.age
         # LRR: rotate priority across warps.
-        return float((warp.age - self._rr_pointer) % 1_000_000)
+        return (warp.age - self._rr_pointer) % 1_000_000
 
     def next_event(self) -> Optional[int]:
         return self._ready[0][0] if self._ready else None
 
     def step(self, now: int) -> None:
-        """Issue segments from all warps that are ready at `now`."""
-        issued = 0
-        max_issue = max(1, self.config.issue_width) * 4  # per-event batch cap
-        while (self._ready and self._ready[0][0] <= now
-               and issued < max_issue):
-            _t, _k, _age, warp = heapq.heappop(self._ready)
-            if warp.done:
-                # Retire event: the warp's final segment just completed.
-                self._finish_warp(warp, warp.block.live_warps)
-                continue
-            self._issue_segment(warp, now)
-            issued += 1
-        if self.config.scheduler == "lrr":
-            self._rr_pointer += issued
+        """Issue segments from all warps that are ready at `now`.
 
-    def _issue_segment(self, warp: WarpContext, now: int) -> None:
-        """Issue the next event of `warp`.
-
-        A segment ``(alu_n, n_tx)`` runs as two events: the ALU run issues
-        now and wakes the warp at its completion; the memory instruction
-        then executes as its own event, so requests enter the memory
-        system at their true arrival time (the fluid servers are
-        call-ordered and must never receive far-future arrivals).
+        One iteration of the batch is one warp *event*: an ALU run, a
+        trailing memory instruction, or a retire.  The actual loop lives
+        in :func:`issue_batch`; the GPU main loop calls it directly with
+        the device-wide constants hoisted once per run.
         """
-        cfg = self.config
-        alu_n, n_tx = warp.current_segment()
-        app = self.stats[warp.app_id]
+        issue_batch(self, now, self._issue_width, self._mem_issue_cost,
+                    self._max_issue, self._warp_size, self._l1_latency,
+                    self._gto, self.memory.access_line)
 
-        if warp.mem_pending:
-            # Phase 2: the trailing memory instruction executes now.
-            app.warp_instructions += 1
-            app.thread_instructions += cfg.warp_size
-            app.mem_instructions += 1
-            app.mem_transactions += n_tx
-            issue_start = max(now, self._issue_free)
-            self._issue_free = issue_start + 1.0 / cfg.issue_width
-            completion = float(issue_start)
-            for line in warp.addr_stream.next_lines(n_tx):
-                tx_start = max(issue_start, self._lsu_free)
-                self._lsu_free = tx_start + 1.0
-                if self.l1.access(line):
-                    app.l1_hits += 1
-                    done = tx_start + cfg.l1_latency
-                else:
-                    done = self.memory.access_line(line, int(tx_start),
-                                                   warp.app_id)
-                completion = max(completion, done)
-            warp.mem_pending = False
-            warp.advance()
-            ready = completion
-        else:
-            # Phase 1: the ALU run (possibly empty) issues.
-            issue_start = max(now, self._issue_free)
-            self._issue_free = issue_start + alu_n / cfg.issue_width
-            app.warp_instructions += alu_n
-            app.thread_instructions += alu_n * cfg.warp_size
-            app.alu_instructions += alu_n
-            ready = issue_start + alu_n * warp.dep_gap
-            if n_tx:
-                warp.mem_pending = True  # memory event follows at `ready`
-            else:
-                warp.advance()
-        # A segment cannot complete before the SM has issued all of it.
-        ready = max(ready, self._issue_free)
-
-        self._last_issued_age = warp.age
-        # Requeue: the warp wakes for its next event (memory phase, next
-        # segment, or — when done — a retire event so block lifetime
-        # includes the final segment's latency).
-        warp.ready_at = max(int(ready), now + 1)
-        heapq.heappush(
-            self._ready,
-            (warp.ready_at, self._sched_key(warp), warp.age, warp))
-
-    def _finish_warp(self, warp: WarpContext, _live: int) -> None:
+    def _finish_warp(self, warp: WarpContext) -> None:
         self.resident_warps = max(0, self.resident_warps - 1)
         if warp.block.warp_finished():
             block = warp.block
@@ -206,3 +170,151 @@ class SM:
     def __repr__(self):
         return (f"SM({self.index}, owner={self.owner}, "
                 f"blocks={len(self.blocks)}, warps={self.resident_warps})")
+
+
+def issue_batch(sm: SM, now: int, issue_width: int, mem_issue_cost: float,
+                max_issue: int, warp_size: int, l1_latency: int, gto: bool,
+                access_line,
+                heappop=heapq.heappop, heapreplace=heapq.heapreplace) -> None:
+    """One event batch of `sm` at cycle `now` — the simulator's hot loop.
+
+    The device-wide constants (`issue_width`, `warp_size`, `l1_latency`,
+    `gto`, the bound `MemorySystem.access_line`) are parameters so
+    :meth:`GPU.run` can hoist them exactly once per run instead of per
+    event; every SM of a device shares one config, so the values are the
+    same for all callers.  The arithmetic is kept
+    operation-for-operation identical to the pre-optimization engine
+    (see the golden determinism test).
+    """
+    ready = sm._ready
+    if not ready or ready[0][0] > now:
+        return
+    issued = 0
+    rr_pointer = 0 if gto else sm._rr_pointer
+    # The issue/LSU server clocks and the GTO greedy mark live in locals
+    # across the whole batch; nothing called from this loop reads them
+    # (written back before returning).
+    srv_issue_free = sm._issue_free
+    srv_lsu_free = sm._lsu_free
+    last_issued_age = sm._last_issued_age
+
+    while ready:
+        # Peek instead of pop: issue events put the warp straight back,
+        # so the requeue below can use heapreplace (one sift instead of
+        # two).  Entries are totally ordered (ages are unique per SM), so
+        # the pop sequence is layout-independent and this is equivalent
+        # to pop-then-push.
+        head = ready[0]
+        if head[0] > now or issued >= max_issue:
+            break
+        warp = head[3]
+        if warp.done:
+            # Retire event: the warp's final segment just completed.
+            heappop(ready)
+            sm._finish_warp(warp)
+            continue
+
+        # -- issue the warp's next event (was SM._issue_segment).
+        # A segment ``(alu_n, n_tx)`` runs as two events: the ALU run
+        # issues now and wakes the warp at its completion; the memory
+        # instruction then executes as its own event, so requests enter
+        # the memory system at their true arrival time (the fluid
+        # servers are call-ordered and must never receive far-future
+        # arrivals).
+        program = warp.program
+        alu_n, n_tx = program[warp.pc]
+        app = warp.stats
+
+        if warp.mem_pending:
+            # Phase 2: the trailing memory instruction executes now.
+            app.warp_instructions += 1
+            app.thread_instructions += warp_size
+            app.mem_instructions += 1
+            app.mem_transactions += n_tx
+            issue_start = srv_issue_free
+            if now > issue_start:
+                issue_start = now
+            srv_issue_free = issue_free = issue_start + mem_issue_cost
+            completion = issue_start
+            app_id = warp.app_id
+            l1 = sm.l1
+            l1_sets = l1.sets
+            l1_mask = l1._set_mask
+            l1_assoc = l1.assoc
+            ls = warp.lines
+            if ls is None:
+                tx_lines = warp.addr_stream.next_lines(n_tx)
+            else:
+                li = warp.li
+                warp.li = end = li + n_tx
+                tx_lines = ls[li:end]
+            for line in tx_lines:
+                tx_start = issue_start if issue_start > srv_lsu_free \
+                    else srv_lsu_free
+                srv_lsu_free = tx_start + 1.0
+                # Open-coded L1 LRU lookup (SetAssocCache.access).
+                s = l1_sets[line & l1_mask if l1_mask is not None
+                            else line % l1.num_sets]
+                if line in s:
+                    s.move_to_end(line)
+                    l1.hits += 1
+                    app.l1_hits += 1
+                    done = tx_start + l1_latency
+                else:
+                    l1.misses += 1
+                    if len(s) >= l1_assoc:
+                        s.popitem(last=False)
+                        l1.evictions += 1
+                    s[line] = None
+                    done = access_line(line, int(tx_start), app_id, app)
+                if done > completion:
+                    completion = done
+            warp.mem_pending = False
+            warp.pc = pc = warp.pc + 1
+            if pc >= warp.prog_end:
+                warp.done = True
+            wake = completion
+        else:
+            # Phase 1: the ALU run (possibly empty) issues.
+            issue_start = srv_issue_free
+            if now > issue_start:
+                issue_start = now
+            srv_issue_free = issue_free = \
+                issue_start + alu_n / issue_width
+            app.warp_instructions += alu_n
+            app.thread_instructions += alu_n * warp_size
+            app.alu_instructions += alu_n
+            wake = issue_start + alu_n * warp.dep_gap
+            if n_tx:
+                warp.mem_pending = True  # memory event follows at `wake`
+            else:
+                warp.pc = pc = warp.pc + 1
+                if pc >= warp.prog_end:
+                    warp.done = True
+        # A segment cannot complete before the SM has issued all of it.
+        if wake < issue_free:
+            wake = issue_free
+
+        age = warp.age
+        last_issued_age = age
+        # Requeue: the warp wakes for its next event (memory phase, next
+        # segment, or — when done — a retire event so block lifetime
+        # includes the final segment's latency).
+        wake = int(wake)
+        if wake <= now:
+            wake = now + 1
+        # (warp.ready_at is deliberately not updated here: the wake time
+        # travels in the heap entry and nothing reads the attribute after
+        # admission.)
+        # _sched_key, inlined: after `last_issued_age = age` the GTO key
+        # of the requeued warp is always the greedy -1.
+        heapreplace(ready,
+                    (wake,
+                     -1 if gto else (age - rr_pointer) % 1_000_000,
+                     age, warp))
+        issued += 1
+    sm._issue_free = srv_issue_free
+    sm._lsu_free = srv_lsu_free
+    sm._last_issued_age = last_issued_age
+    if not gto:
+        sm._rr_pointer = rr_pointer + issued

@@ -15,9 +15,13 @@ from typing import Dict, Optional
 from .config import GPUConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class AppStats:
-    """Counters for one application."""
+    """Counters for one application.
+
+    ``slots=True`` matters: the SM issue loop bumps half a dozen of these
+    counters per event, and slot access is measurably cheaper than a
+    ``__dict__`` lookup."""
 
     app_id: int
     name: str = ""

@@ -1,0 +1,291 @@
+"""Golden determinism tests: the engine must be bit-identical to seed.
+
+The GOLDEN values below were captured from the *seed* engine (commit
+5e7609b, before the hot-path overhaul) by running `simulate()` on fixed
+specs and recording `DeviceResult` cycles plus every per-app counter.
+Any optimization that changes event ordering, float arithmetic, RNG
+consumption, or counter accounting will break at least one case — the
+cases deliberately cover every scheduler (GTO/LRR), memory scheduler
+(FR-FCFS/FCFS), L2 insertion policy (BIP/LRU), access pattern (stream /
+strided / random / row_local / hot-region), multi-launch kernels, and
+one/two/three-app co-runs on both the small test device and the full
+GTX-480 configuration.
+
+If a future PR *intends* to change simulation results, it must bump
+`repro.gpusim.ENGINE_VERSION` (invalidating persistent profile caches)
+and re-capture these values — never silently update them.
+"""
+
+import pytest
+
+from repro.gpusim import Application, KernelSpec, gtx480, simulate, small_test_config
+
+STAT_FIELDS = ("warp_instructions", "thread_instructions", "alu_instructions",
+               "mem_instructions", "mem_transactions", "l1_hits", "l2_hits",
+               "dram_accesses", "dram_row_hits", "dram_bytes",
+               "l2_to_l1_bytes", "blocks_completed", "start_cycle",
+               "finish_cycle")
+
+
+def _spec(name, **kw):
+    return KernelSpec(name, **kw)
+
+
+CASES = {
+    "solo_stream_gto": (
+        lambda: small_test_config(),
+        [dict(name="s", blocks=8, warps_per_block=2, instr_per_warp=60,
+              mem_fraction=0.15, tx_per_access=2, working_set_kb=64,
+              pattern="stream", seed=7)]),
+    "solo_strided_lrr": (
+        lambda: small_test_config(scheduler="lrr"),
+        [dict(name="st", blocks=6, warps_per_block=3, instr_per_warp=80,
+              mem_fraction=0.2, tx_per_access=3, working_set_kb=256,
+              pattern="strided", stride_lines=5, seed=11)]),
+    "solo_random_fcfs": (
+        lambda: small_test_config(mem_scheduler="fcfs"),
+        [dict(name="r", blocks=5, warps_per_block=2, instr_per_warp=50,
+              mem_fraction=0.3, tx_per_access=4, working_set_kb=512,
+              pattern="random", seed=13)]),
+    "solo_rowlocal_hot": (
+        lambda: small_test_config(l2_insertion="lru"),
+        [dict(name="rl", blocks=6, warps_per_block=2, instr_per_warp=70,
+              mem_fraction=0.25, tx_per_access=2, working_set_kb=1024,
+              pattern="row_local", row_locality=0.6, hot_fraction=0.3,
+              hot_set_kb=32, kernel_launches=2, seed=17)]),
+    "pair_mixed": (
+        lambda: small_test_config(),
+        [dict(name="a", blocks=6, warps_per_block=2, instr_per_warp=60,
+              mem_fraction=0.2, tx_per_access=2, working_set_kb=128,
+              pattern="stream", seed=19),
+         dict(name="b", blocks=6, warps_per_block=2, instr_per_warp=40,
+              mem_fraction=0.3, tx_per_access=4, working_set_kb=2048,
+              pattern="random", seed=23)]),
+    "triple_gtx_scaled": (
+        lambda: gtx480(),
+        [dict(name="x", blocks=30, warps_per_block=2, instr_per_warp=40,
+              mem_fraction=0.1, tx_per_access=2, working_set_kb=4096,
+              pattern="stream", hot_fraction=0.4, hot_set_kb=128, seed=29),
+         dict(name="y", blocks=24, warps_per_block=2, instr_per_warp=30,
+              mem_fraction=0.2, tx_per_access=4, working_set_kb=8192,
+              pattern="row_local", row_locality=0.5, seed=31),
+         dict(name="z", blocks=20, warps_per_block=2, instr_per_warp=50,
+              mem_fraction=0.05, working_set_kb=64, pattern="strided",
+              stride_lines=3, seed=37)]),
+}
+
+#: Captured from the seed engine — do not edit by hand (see module doc).
+GOLDEN = {
+    "pair_mixed": {
+        "apps": {
+            "0": {
+                "alu_instructions": 576,
+                "blocks_completed": 6,
+                "dram_accesses": 288,
+                "dram_bytes": 36864,
+                "dram_row_hits": 219,
+                "finish_cycle": 4389,
+                "l1_hits": 0,
+                "l2_hits": 0,
+                "l2_to_l1_bytes": 0,
+                "mem_instructions": 144,
+                "mem_transactions": 288,
+                "start_cycle": 0,
+                "thread_instructions": 23040,
+                "warp_instructions": 720
+            },
+            "1": {
+                "alu_instructions": 336,
+                "blocks_completed": 6,
+                "dram_accesses": 568,
+                "dram_bytes": 72704,
+                "dram_row_hits": 103,
+                "finish_cycle": 4377,
+                "l1_hits": 1,
+                "l2_hits": 7,
+                "l2_to_l1_bytes": 896,
+                "mem_instructions": 144,
+                "mem_transactions": 576,
+                "start_cycle": 0,
+                "thread_instructions": 15360,
+                "warp_instructions": 480
+            }
+        },
+        "cycles": 4389
+    },
+    "solo_random_fcfs": {
+        "apps": {
+            "0": {
+                "alu_instructions": 350,
+                "blocks_completed": 5,
+                "dram_accesses": 573,
+                "dram_bytes": 73344,
+                "dram_row_hits": 340,
+                "finish_cycle": 3718,
+                "l1_hits": 2,
+                "l2_hits": 25,
+                "l2_to_l1_bytes": 3200,
+                "mem_instructions": 150,
+                "mem_transactions": 600,
+                "start_cycle": 0,
+                "thread_instructions": 16000,
+                "warp_instructions": 500
+            }
+        },
+        "cycles": 3718
+    },
+    "solo_rowlocal_hot": {
+        "apps": {
+            "0": {
+                "alu_instructions": 1248,
+                "blocks_completed": 12,
+                "dram_accesses": 747,
+                "dram_bytes": 95616,
+                "dram_row_hits": 536,
+                "finish_cycle": 8064,
+                "l1_hits": 53,
+                "l2_hits": 64,
+                "l2_to_l1_bytes": 8192,
+                "mem_instructions": 432,
+                "mem_transactions": 864,
+                "start_cycle": 0,
+                "thread_instructions": 53760,
+                "warp_instructions": 1680
+            }
+        },
+        "cycles": 8064
+    },
+    "solo_stream_gto": {
+        "apps": {
+            "0": {
+                "alu_instructions": 816,
+                "blocks_completed": 8,
+                "dram_accesses": 288,
+                "dram_bytes": 36864,
+                "dram_row_hits": 256,
+                "finish_cycle": 2107,
+                "l1_hits": 0,
+                "l2_hits": 0,
+                "l2_to_l1_bytes": 0,
+                "mem_instructions": 144,
+                "mem_transactions": 288,
+                "start_cycle": 0,
+                "thread_instructions": 30720,
+                "warp_instructions": 960
+            }
+        },
+        "cycles": 2107
+    },
+    "solo_strided_lrr": {
+        "apps": {
+            "0": {
+                "alu_instructions": 1152,
+                "blocks_completed": 6,
+                "dram_accesses": 864,
+                "dram_bytes": 110592,
+                "dram_row_hits": 736,
+                "finish_cycle": 3650,
+                "l1_hits": 0,
+                "l2_hits": 0,
+                "l2_to_l1_bytes": 0,
+                "mem_instructions": 288,
+                "mem_transactions": 864,
+                "start_cycle": 0,
+                "thread_instructions": 46080,
+                "warp_instructions": 1440
+            }
+        },
+        "cycles": 3650
+    },
+    "triple_gtx_scaled": {
+        "apps": {
+            "0": {
+                "alu_instructions": 2160,
+                "blocks_completed": 30,
+                "dram_accesses": 455,
+                "dram_bytes": 58240,
+                "dram_row_hits": 105,
+                "finish_cycle": 1576,
+                "l1_hits": 0,
+                "l2_hits": 25,
+                "l2_to_l1_bytes": 3200,
+                "mem_instructions": 240,
+                "mem_transactions": 480,
+                "start_cycle": 0,
+                "thread_instructions": 76800,
+                "warp_instructions": 2400
+            },
+            "1": {
+                "alu_instructions": 1152,
+                "blocks_completed": 24,
+                "dram_accesses": 1077,
+                "dram_bytes": 137856,
+                "dram_row_hits": 510,
+                "finish_cycle": 2000,
+                "l1_hits": 57,
+                "l2_hits": 18,
+                "l2_to_l1_bytes": 2304,
+                "mem_instructions": 288,
+                "mem_transactions": 1152,
+                "start_cycle": 0,
+                "thread_instructions": 46080,
+                "warp_instructions": 1440
+            },
+            "2": {
+                "alu_instructions": 1920,
+                "blocks_completed": 20,
+                "dram_accesses": 80,
+                "dram_bytes": 10240,
+                "dram_row_hits": 62,
+                "finish_cycle": 967,
+                "l1_hits": 0,
+                "l2_hits": 0,
+                "l2_to_l1_bytes": 0,
+                "mem_instructions": 80,
+                "mem_transactions": 80,
+                "start_cycle": 0,
+                "thread_instructions": 64000,
+                "warp_instructions": 2000
+            }
+        },
+        "cycles": 2000
+    }
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_bit_identical_to_seed_engine(case):
+    make_cfg, spec_dicts = CASES[case]
+    specs = [_spec(**d) for d in spec_dicts]
+    result = simulate(make_cfg(), [Application(s.name, s) for s in specs])
+    expected = GOLDEN[case]
+    assert result.cycles == expected["cycles"]
+    for app_id_str, fields in expected["apps"].items():
+        stats = result.app_stats[int(app_id_str)]
+        for field in STAT_FIELDS:
+            assert getattr(stats, field) == fields[field], (
+                f"{case}: app {app_id_str} field {field}")
+
+
+def test_repeat_run_is_deterministic():
+    """Two fresh simulations of the same inputs are identical."""
+    make_cfg, spec_dicts = CASES["pair_mixed"]
+    specs = [_spec(**d) for d in spec_dicts]
+    a = simulate(make_cfg(), [Application(s.name, s) for s in specs])
+    b = simulate(make_cfg(), [Application(s.name, s) for s in specs])
+    assert a.cycles == b.cycles
+    for app_id, stats in a.app_stats.items():
+        for field in STAT_FIELDS:
+            assert getattr(stats, field) == getattr(b.app_stats[app_id], field)
+
+
+def test_events_processed_counter():
+    """The perf-harness event counter counts real engine events."""
+    from repro.gpusim import GPU
+    make_cfg, spec_dicts = CASES["solo_stream_gto"]
+    specs = [_spec(**d) for d in spec_dicts]
+    gpu = GPU(make_cfg())
+    gpu.launch([Application(s.name, s) for s in specs])
+    gpu.run()
+    # At least one ALU + one retire event per warp must have fired.
+    assert gpu.events_processed >= 2 * specs[0].total_warps
