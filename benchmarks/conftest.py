@@ -9,6 +9,7 @@ prints its rows/series and also writes them to
 capture.
 """
 
+import os
 import pathlib
 
 import pytest
@@ -17,6 +18,7 @@ from repro.core import (EvenPolicy, FCFSPolicy, ILPPolicy, ILPSMRAPolicy,
                         ProfileBasedPolicy, SerialPolicy, SMRAParams,
                         make_context, run_queue, shared_profiler)
 from repro.gpusim import gtx480
+from repro.runtime import make_executor
 from repro.workloads import (RODINIA_SPECS, distribution_queue, paper_queue,
                              paper_queue_three)
 
@@ -40,13 +42,19 @@ class Lab:
         self.suite = dict(RODINIA_SPECS)
         self._ctx = None
         self._outcomes = {}
+        #: REPRO_WORKERS=N fans the interference co-runs and the queue
+        #: groups across N worker processes (identical results, less
+        #: wall clock); unset/1 keeps the serial seed behavior.
+        self.executor = make_executor(
+            int(os.environ.get("REPRO_WORKERS", "1") or "1"))
 
     @property
     def ctx(self):
         if self._ctx is None:
             self._ctx = make_context(
                 self.config, suite=self.suite, need_interference=True,
-                samples_per_pair=2, smra_params=SMRAParams())
+                samples_per_pair=2, smra_params=SMRAParams(),
+                executor=self.executor)
         return self._ctx
 
     @property
@@ -68,7 +76,8 @@ class Lab:
         if key not in self._outcomes:
             queue = self.queue_for(kind, nc=nc, length=length, seed=seed)
             policy = POLICIES[policy_name](nc)
-            self._outcomes[key] = run_queue(queue, policy, self.ctx)
+            self._outcomes[key] = run_queue(queue, policy, self.ctx,
+                                            executor=self.executor)
         return self._outcomes[key]
 
     def save(self, name, text):

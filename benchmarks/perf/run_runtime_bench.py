@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Runtime parallelism bench: serial vs process-pool executor.
+
+Measures the wall-clock of two multi-simulation scenarios twice — once
+through the :class:`SerialExecutor` (the seed behavior) and once through
+the :class:`ParallelExecutor` — verifies the results are identical, and
+writes ``BENCH_runtime.json`` at the repo root:
+
+* ``interference_matrix`` — the Fig. 3.4 class-pair measurement (solo
+  profiles + pair co-runs fanned across workers);
+* ``queue_drain_fcfs`` — a multi-group FCFS queue drain (independent
+  groups fanned across workers).
+
+The speedup scales with physical cores (the engine is pure CPU work);
+``cores`` is recorded so a 1-core container's ≤1× result is not
+mistaken for a regression.  Run on ≥4 cores for the headline number.
+
+Usage::
+
+    python benchmarks/perf/run_runtime_bench.py            # full
+    python benchmarks/perf/run_runtime_bench.py --quick    # CI smoke
+    python benchmarks/perf/run_runtime_bench.py --workers 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "BENCH_runtime.json"
+SCHEMA_VERSION = 1
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def bench_interference(workers: int, quick: bool) -> dict:
+    """Fig. 3.4 measurement, serial vs parallel, identical matrices."""
+    from repro.core import Profiler, measure_interference
+    from repro.gpusim import gtx480
+    from repro.runtime import ParallelExecutor
+    from repro.workloads import RODINIA_SPECS, benchmark_spec
+
+    config = gtx480()
+    scale = 0.25 if quick else 1.0
+    names = (["BLK", "GUPS", "BP", "BFS2", "HS", "NN"] if quick
+             else list(RODINIA_SPECS))
+    suite = {n: benchmark_spec(n, scale) for n in names}
+    samples = 1 if quick else 2
+
+    # Fresh profiler, no disk cache: both sides pay the full cost.
+    serial_s, serial_model = _timed(lambda: measure_interference(
+        config, suite, profiler=Profiler(config),
+        samples_per_pair=samples))
+    with ParallelExecutor(workers) as executor:
+        parallel_s, parallel_model = _timed(lambda: measure_interference(
+            config, suite, profiler=Profiler(config),
+            samples_per_pair=samples, executor=executor))
+
+    return {
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "identical": serial_model.slowdown == parallel_model.slowdown
+        and serial_model.samples == parallel_model.samples,
+        "jobs": len(serial_model.samples) + len(suite),
+    }
+
+
+def bench_queue_drain(workers: int, quick: bool) -> dict:
+    """Multi-group FCFS drain, serial vs parallel, identical outcomes."""
+    from repro.core import FCFSPolicy, make_context, run_queue
+    from repro.gpusim import gtx480
+    from repro.runtime import ParallelExecutor
+    from repro.workloads import distribution_queue
+
+    config = gtx480()
+    length, scale = (8, 0.25) if quick else (16, 0.5)
+    queue = distribution_queue("equal", length=length, seed=42, scale=scale)
+    ctx = make_context(config)
+    policy = FCFSPolicy(2)
+
+    serial_s, serial_out = _timed(lambda: run_queue(queue, policy, ctx))
+    with ParallelExecutor(workers) as executor:
+        parallel_s, parallel_out = _timed(
+            lambda: run_queue(queue, policy, ctx, executor=executor))
+
+    identical = (
+        serial_out.total_cycles == parallel_out.total_cycles and
+        serial_out.total_instructions == parallel_out.total_instructions and
+        [g.members for g in serial_out.groups] ==
+        [g.members for g in parallel_out.groups] and
+        [g.cycles for g in serial_out.groups] ==
+        [g.cycles for g in parallel_out.groups])
+    return {
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "identical": identical,
+        "jobs": len(serial_out.groups),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller suite / scaled kernels (CI smoke)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size (default: CPU count)")
+    parser.add_argument("--out", type=pathlib.Path, default=BENCH_PATH)
+    args = parser.parse_args(argv)
+    workers = args.workers or os.cpu_count() or 1
+
+    scenarios = {
+        "interference_matrix": bench_interference(workers, args.quick),
+        "queue_drain_fcfs": bench_queue_drain(workers, args.quick),
+    }
+    for name, row in scenarios.items():
+        if not row["identical"]:
+            raise RuntimeError(
+                f"{name}: parallel results differ from serial — the "
+                f"executor must be bit-identical")
+
+    cores = os.cpu_count() or 1
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "runtime",
+        "config": "gtx480",
+        "quick": args.quick,
+        "cores": cores,
+        "workers": workers,
+        "python": sys.version.split()[0],
+        "scenarios": scenarios,
+    }
+    if cores < 2:
+        doc["note"] = (
+            "single-core host: the process pool is pure overhead here, so "
+            "speedup <= 1 is expected; the identical-results check is the "
+            "signal. Re-run on >= 4 cores (CI does) for the wall-clock win.")
+    args.out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(json.dumps(doc, indent=1, sort_keys=True))
+    print(f"\n[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,11 +3,14 @@
 from .metrics import (average_normalized_turnaround, fairness, geometric_mean,
                       harmonic_mean, normalize, slowdown, speedup, throughput,
                       utilization, weighted_speedup)
+from .streams import (StreamSummary, per_app_slowdown, percentile,
+                      summarize_stream)
 from .tables import render_bars, render_grouped_bars, render_table
 
 __all__ = [
     "throughput", "utilization", "speedup", "slowdown", "weighted_speedup",
     "average_normalized_turnaround", "fairness", "harmonic_mean",
     "geometric_mean", "normalize",
+    "percentile", "StreamSummary", "summarize_stream", "per_app_slowdown",
     "render_table", "render_bars", "render_grouped_bars",
 ]

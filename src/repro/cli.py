@@ -10,7 +10,11 @@ Subcommands
     Measure and print the Fig. 3.4 class slowdown matrix.
 ``run-queue``
     Drain an application queue under one or more scheduling policies and
-    print the device-throughput comparison.
+    print the device-throughput comparison (``--workers N`` fans the
+    independent groups across worker processes).
+``run-stream``
+    Run an online arrival stream (Poisson / bursty / trace) under online
+    scheduling policies and print ANTT/STP + latency percentiles.
 ``scalability``
     Sweep SM counts for selected benchmarks (Fig. 3.5/3.6).
 ``list``
@@ -23,15 +27,21 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.analysis import normalize, render_bars, render_table
+from repro.analysis import (normalize, render_bars, render_table,
+                            summarize_stream)
 from repro.core import (CLASS_ORDER, ClassificationThresholds, FCFSPolicy,
                         EvenPolicy, ILPPolicy, ILPSMRAPolicy,
                         ProfileBasedPolicy, SerialPolicy, SMRAParams,
-                        classify, make_context, run_queue, shared_profiler)
+                        classify, make_context, run_queue, shared_profiler,
+                        warm_profiles)
 from repro.gpusim import Application, gtx480, simulate
+from repro.runtime import (ONLINE_POLICY_FACTORIES, make_executor,
+                           online_policy, run_stream)
 from repro.workloads import (ALL_BENCHMARKS, DISTRIBUTIONS, RODINIA_SPECS,
-                             TABLE_3_2_CLASSES, distribution_queue,
-                             paper_queue, paper_queue_three)
+                             TABLE_3_2_CLASSES, batch_arrivals,
+                             bursty_arrivals, distribution_queue, load_trace,
+                             paper_queue, paper_queue_three,
+                             poisson_arrivals, stream_queue)
 
 POLICY_FACTORIES = {
     "serial": lambda nc: SerialPolicy(),
@@ -104,9 +114,11 @@ def cmd_classify(args) -> int:
 
 def cmd_interference(args) -> int:
     config = gtx480()
-    ctx = make_context(config, suite=dict(RODINIA_SPECS),
-                       need_interference=True,
-                       samples_per_pair=args.samples)
+    with make_executor(args.workers) as executor:
+        ctx = make_context(config, suite=dict(RODINIA_SPECS),
+                           need_interference=True,
+                           samples_per_pair=args.samples,
+                           executor=executor)
     headers = ["victim \\ with"] + [str(c) for c in CLASS_ORDER]
     rows = [[str(v)] + list(r)
             for v, r in zip(CLASS_ORDER, ctx.interference.slowdown)]
@@ -115,27 +127,40 @@ def cmd_interference(args) -> int:
     return 0
 
 
+def _policy_keys(keys: Sequence[str]) -> List[str]:
+    """Expand the ``all`` shorthand, preserving order and uniqueness."""
+    out: List[str] = []
+    for key in keys:
+        expanded = sorted(POLICY_FACTORIES) if key == "all" else [key]
+        for k in expanded:
+            if k not in out:
+                out.append(k)
+    return out
+
+
 def cmd_run_queue(args) -> int:
     config = gtx480()
-    ctx = make_context(config, suite=dict(RODINIA_SPECS),
-                       need_interference=True, samples_per_pair=args.samples,
-                       smra_params=SMRAParams())
-    if args.queue == "paper":
-        queue = paper_queue() if args.nc == 2 else paper_queue_three()
-    else:
-        queue = distribution_queue(args.queue, length=args.length,
-                                   seed=args.seed)
+    with make_executor(args.workers) as executor:
+        ctx = make_context(config, suite=dict(RODINIA_SPECS),
+                           need_interference=True,
+                           samples_per_pair=args.samples,
+                           smra_params=SMRAParams(), executor=executor)
+        if args.queue == "paper":
+            queue = paper_queue() if args.nc == 2 else paper_queue_three()
+        else:
+            queue = distribution_queue(args.queue, length=args.length,
+                                       seed=args.seed)
 
-    throughputs = {}
-    for key in args.policies:
-        policy = POLICY_FACTORIES[key](args.nc)
-        outcome = run_queue(queue, policy, ctx)
-        throughputs[policy.name] = outcome.device_throughput
-        if args.verbose:
-            print(f"\n{policy.name}:")
-            for group in outcome.groups:
-                print(f"  {' + '.join(group.members):40} "
-                      f"{group.cycles:>9,} cycles")
+        throughputs = {}
+        for key in _policy_keys(args.policies):
+            policy = POLICY_FACTORIES[key](args.nc)
+            outcome = run_queue(queue, policy, ctx, executor=executor)
+            throughputs[policy.name] = outcome.device_throughput
+            if args.verbose:
+                print(f"\n{policy.name}:")
+                for group in outcome.groups:
+                    print(f"  {' + '.join(group.members):40} "
+                          f"{group.cycles:>9,} cycles")
 
     baseline = list(throughputs)[0]
     print()
@@ -144,6 +169,68 @@ def cmd_run_queue(args) -> int:
                       title=f"Device throughput on the '{args.queue}' "
                             f"queue (NC={args.nc}, normalized to "
                             f"{baseline})"))
+    return 0
+
+
+def cmd_run_stream(args) -> int:
+    config = gtx480()
+    # One policy instance per run; whether the Fig. 3.4 matrix must be
+    # measured is the policies' own declaration, not CLI knowledge.
+    policies = [online_policy(key, args.nc) for key in args.policies]
+    with make_executor(args.workers) as executor:
+        ctx = make_context(
+            config, suite=dict(RODINIA_SPECS),
+            need_interference=any(p.needs_interference for p in policies),
+            samples_per_pair=args.samples,
+            smra_params=SMRAParams(), executor=executor)
+
+        if args.trace:
+            arrivals = load_trace(args.trace, scale=args.scale)
+        else:
+            queue = stream_queue(args.apps, seed=args.seed,
+                                 synthetic_fraction=args.synthetic_fraction,
+                                 scale=args.scale)
+            if args.arrival == "poisson":
+                arrivals = poisson_arrivals(queue, args.mean_gap,
+                                            seed=args.seed)
+            elif args.arrival == "bursty":
+                arrivals = bursty_arrivals(queue, args.burst_size,
+                                           args.burst_gap, seed=args.seed)
+            else:
+                arrivals = batch_arrivals(queue)
+        if not arrivals:
+            raise SystemExit("the arrival stream is empty (trace with no "
+                             "entries?)")
+
+        # Solo times (ANTT/STP denominators) — parallel warm, then cached.
+        warm_profiles(ctx.profiler, executor,
+                      [(a.name, a.spec) for a in arrivals])
+        solo = {a.name: ctx.profiler.profile(a.name, a.spec).solo_cycles
+                for a in arrivals}
+
+        rows = []
+        for policy in policies:
+            outcome = run_stream(arrivals, policy, ctx)
+            s = summarize_stream(outcome, solo)
+            rows.append([s.policy, s.antt, s.stp, s.device_throughput,
+                         100.0 * s.utilization, s.wait_p50, s.wait_p99,
+                         s.latency_p50, s.latency_p99])
+            if args.verbose:
+                print(f"\n{s.policy}: makespan {outcome.makespan:,} cycles, "
+                      f"{len(outcome.groups)} groups")
+                for g in outcome.groups:
+                    print(f"  @{g.start_cycle:>10,} "
+                          f"{' + '.join(g.outcome.members):46} "
+                          f"{g.outcome.cycles:>9,} cycles")
+
+    kind = f"trace:{args.trace}" if args.trace else args.arrival
+    print()
+    print(render_table(
+        ["policy", "ANTT", "STP", "IPC", "util %", "wait p50", "wait p99",
+         "lat p50", "lat p99"],
+        rows,
+        title=f"Online stream: {len(arrivals)} apps, {kind} arrivals, "
+              f"NC={args.nc} (ANTT lower / STP higher is better)"))
     return 0
 
 
@@ -183,6 +270,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="measure the class slowdown matrix")
     p.add_argument("--samples", type=int, default=2,
                    help="benchmark pairs per class pair (default 2)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the pair co-runs")
 
     p = sub.add_parser("run-queue", help="drain a queue under policies")
     p.add_argument("--queue", default="paper",
@@ -196,9 +285,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=2)
     p.add_argument("--policies", nargs="+",
                    default=["serial", "fcfs", "ilp", "ilp-smra"],
-                   choices=sorted(POLICY_FACTORIES))
+                   choices=sorted(POLICY_FACTORIES) + ["all"])
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for group execution and "
+                        "interference measurement (default: serial)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print each group's members and cycles")
+
+    p = sub.add_parser("run-stream",
+                       help="run an online arrival stream under policies")
+    p.add_argument("--apps", type=int, default=50,
+                   help="stream length (default 50)")
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "bursty", "batch"],
+                   help="arrival process (default poisson)")
+    p.add_argument("--trace", default=None,
+                   help="replay a '<cycle> <benchmark>' trace file "
+                        "(overrides --arrival/--apps)")
+    p.add_argument("--mean-gap", type=float, default=5000.0,
+                   help="mean Poisson inter-arrival gap in cycles")
+    p.add_argument("--burst-size", type=int, default=8)
+    p.add_argument("--burst-gap", type=float, default=50000.0,
+                   help="mean quiet gap between bursts in cycles")
+    p.add_argument("--nc", type=int, default=2, choices=(2, 3),
+                   help="concurrent applications per group")
+    p.add_argument("--policies", nargs="+",
+                   default=["fcfs", "backfill", "ilp"],
+                   choices=sorted(ONLINE_POLICY_FACTORIES))
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="kernel scale factor (smaller = faster runs)")
+    p.add_argument("--synthetic-fraction", type=float, default=0.5,
+                   help="fraction of stream apps drawn from the "
+                        "synthetic generator (rest are Rodinia)")
+    p.add_argument("--samples", type=int, default=1,
+                   help="benchmark pairs per class pair for the "
+                        "interference matrix")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for profiling/interference")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print the scheduled timeline per policy")
 
     p = sub.add_parser("scalability", help="IPC vs SM count sweep")
     p.add_argument("benchmarks", nargs="*")
@@ -214,6 +340,7 @@ COMMANDS = {
     "classify": cmd_classify,
     "interference": cmd_interference,
     "run-queue": cmd_run_queue,
+    "run-stream": cmd_run_stream,
     "scalability": cmd_scalability,
 }
 

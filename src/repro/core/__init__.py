@@ -34,7 +34,7 @@ from .policies import (EvenPolicy, FCFSPolicy, ILPPolicy, ILPSMRAPolicy,
                        sm_demand)
 from .profiling import (Profiler, ProfileMetrics, default_cache_dir,
                         fingerprint, metrics_from_result, profile_cache_key,
-                        shared_profiler)
+                        shared_profiler, warm_profiles)
 from .scheduler import (GroupOutcome, QueueOutcome, make_context, run_group,
                         run_queue)
 from .smra import SMRAController, SMRADecision, SMRAParams
@@ -43,7 +43,7 @@ __all__ = [
     "AppClass", "CLASS_ORDER", "NUM_CLASSES", "ClassificationThresholds",
     "classify", "class_index",
     "Profiler", "ProfileMetrics", "metrics_from_result", "shared_profiler",
-    "default_cache_dir", "fingerprint", "profile_cache_key",
+    "default_cache_dir", "fingerprint", "profile_cache_key", "warm_profiles",
     "InterferenceModel", "measure_interference", "PAPER_APPENDIX_E",
     "Pattern", "enumerate_patterns", "num_patterns", "pattern_matrix",
     "GroupingPlan", "build_grouping_model", "optimize_grouping",

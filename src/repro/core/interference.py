@@ -30,7 +30,7 @@ from repro.gpusim import (ENGINE_VERSION, Application, GPUConfig, KernelSpec,
 from .classification import (CLASS_ORDER, NUM_CLASSES, AppClass,
                              ClassificationThresholds, classify)
 from .patterns import Pattern
-from .profiling import CacheDir, Profiler, fingerprint
+from .profiling import CacheDir, Profiler, fingerprint, warm_profiles
 
 
 @dataclass
@@ -134,12 +134,29 @@ def _model_from_json(text: str) -> InterferenceModel:
         samples={(a, b): (sa, sb) for a, b, sa, sb in data["samples"]})
 
 
+def _pair_jobs(by_class: Mapping[AppClass, Sequence[str]],
+               samples_per_pair: int) -> List[Tuple[int, int, str, str]]:
+    """The full, deterministically ordered list of pair co-runs to
+    measure: (victim class index, aggressor class index, name_a, name_b)."""
+    jobs: List[Tuple[int, int, str, str]] = []
+    for i, ci in enumerate(CLASS_ORDER):
+        for j in range(i, NUM_CLASSES):
+            cj = CLASS_ORDER[j]
+            if not by_class[ci] or not by_class[cj]:
+                continue
+            for name_a, name_b in _pick_pairs(by_class, ci, cj,
+                                              samples_per_pair):
+                jobs.append((i, j, name_a, name_b))
+    return jobs
+
+
 def measure_interference(config: GPUConfig,
                          suite: Mapping[str, KernelSpec],
                          profiler: Optional[Profiler] = None,
                          thresholds: Optional[ClassificationThresholds] = None,
                          samples_per_pair: int = 2,
-                         cache_dir: CacheDir = None) -> InterferenceModel:
+                         cache_dir: CacheDir = None,
+                         executor=None) -> InterferenceModel:
     """Build the Fig. 3.4 slowdown matrix by running class-pair co-runs.
 
     Parameters
@@ -153,9 +170,16 @@ def measure_interference(config: GPUConfig,
         per-pair samples) is stored keyed by a content hash of config,
         suite, thresholds, sampling, and engine version — identical
         reruns load instead of co-running dozens of simulations.
+    executor:
+        Optional :class:`repro.runtime.executors.Executor`.  A parallel
+        executor fans the solo profiles and the pair co-runs across
+        worker processes (sharing profiles through the on-disk cache);
+        slowdowns are then accumulated in the same deterministic order
+        as the serial path, so the resulting matrix is identical.
     """
     profiler = profiler or Profiler(config)
     thresholds = thresholds or ClassificationThresholds.for_device(config)
+    parallel = executor is not None and getattr(executor, "workers", 1) > 1
 
     cache_path = None
     if cache_dir is not None:
@@ -169,6 +193,11 @@ def measure_interference(config: GPUConfig,
         except (OSError, ValueError, KeyError, TypeError):
             pass  # missing or corrupt → measure and rewrite
 
+    if parallel:
+        # Solo profiles fan out across workers (sharing the disk cache)
+        # so the `profiler.profile` calls below are pure hits.
+        warm_profiles(profiler, executor, suite.items())
+
     by_class: Dict[AppClass, List[str]] = {c: [] for c in CLASS_ORDER}
     solo: Dict[str, int] = {}
     for name, spec in suite.items():
@@ -176,28 +205,37 @@ def measure_interference(config: GPUConfig,
         by_class[classify(metrics, thresholds)].append(name)
         solo[name] = metrics.solo_cycles
 
+    jobs = _pair_jobs(by_class, samples_per_pair)
+    if parallel:
+        finishes = executor.run_pairs(config, [
+            ((name_a, suite[name_a]), (f"{name_b}#co", suite[name_b]))
+            for _i, _j, name_a, name_b in jobs])
+    else:
+        finishes = []
+        for _i, _j, name_a, name_b in jobs:
+            result = simulate(config, [
+                Application(name_a, suite[name_a]),
+                Application(f"{name_b}#co", suite[name_b])])
+            # `or result.cycles` mirrors the parallel _pair_job exactly:
+            # an app cut off at max_cycles counts the full run instead of
+            # crashing on a None finish cycle.
+            finishes.append(
+                (result.app_stats[0].finish_cycle or result.cycles,
+                 result.app_stats[1].finish_cycle or result.cycles))
+
     sums = [[0.0] * NUM_CLASSES for _ in range(NUM_CLASSES)]
     counts = [[0] * NUM_CLASSES for _ in range(NUM_CLASSES)]
     samples: Dict[Tuple[str, str], Tuple[float, float]] = {}
 
-    for i, ci in enumerate(CLASS_ORDER):
-        for j in range(i, NUM_CLASSES):
-            cj = CLASS_ORDER[j]
-            if not by_class[ci] or not by_class[cj]:
-                continue
-            for name_a, name_b in _pick_pairs(by_class, ci, cj,
-                                              samples_per_pair):
-                result = simulate(config, [
-                    Application(name_a, suite[name_a]),
-                    Application(f"{name_b}#co", suite[name_b])])
-                s_a = result.app_stats[0].finish_cycle / solo[name_a]
-                s_b = result.app_stats[1].finish_cycle / solo[name_b]
-                s_a, s_b = max(1.0, s_a), max(1.0, s_b)
-                samples[(name_a, name_b)] = (s_a, s_b)
-                sums[i][j] += s_a
-                counts[i][j] += 1
-                sums[j][i] += s_b
-                counts[j][i] += 1
+    for (i, j, name_a, name_b), (finish_a, finish_b) in zip(jobs, finishes):
+        s_a = finish_a / solo[name_a]
+        s_b = finish_b / solo[name_b]
+        s_a, s_b = max(1.0, s_a), max(1.0, s_b)
+        samples[(name_a, name_b)] = (s_a, s_b)
+        sums[i][j] += s_a
+        counts[i][j] += 1
+        sums[j][i] += s_b
+        counts[j][i] += 1
 
     matrix = tuple(
         tuple(sums[i][j] / counts[i][j] if counts[i][j] else 1.0

@@ -68,6 +68,9 @@ class Policy:
 
     name = "base"
     nc = 1
+    #: True when plan() requires ctx.interference (the Fig. 3.4 matrix);
+    #: callers use it to decide whether to pay the measurement cost.
+    needs_interference = False
 
     def plan(self, queue: Queue, ctx: PolicyContext) -> List[PlannedGroup]:
         raise NotImplementedError
@@ -147,6 +150,7 @@ class ILPPolicy(Policy):
     """Contention-minimizing group selection (§3.2.3), equal SM split."""
 
     name = "ILP"
+    needs_interference = True
 
     def __init__(self, nc: int = 2):
         if nc < 2:

@@ -166,11 +166,47 @@ class Profiler:
             self._store_disk(path, metrics)
         return metrics
 
+    def peek(self, spec: KernelSpec) -> Optional[ProfileMetrics]:
+        """The in-memory entry for `spec`, or None (no simulation)."""
+        return self._cache.get(spec)
+
+    def prime(self, spec: KernelSpec, metrics: ProfileMetrics) -> None:
+        """Seed the in-memory cache with an externally computed profile
+        (e.g. one returned by a parallel executor's worker)."""
+        self._cache[spec] = metrics
+
     def solo_cycles(self, name: str, spec: KernelSpec) -> int:
         return self.profile(name, spec).solo_cycles
 
     def invalidate(self) -> None:
         self._cache.clear()
+
+
+def warm_profiles(profiler: Profiler, executor, entries) -> None:
+    """Warm `profiler`'s cache for ``(name, spec)`` `entries` in parallel.
+
+    With a multi-worker executor (anything exposing ``workers > 1`` and
+    ``run_profiles``), the not-yet-cached specs — deduplicated, so
+    repeated kernels profile once — are solo-profiled in worker
+    processes (each writing through the shared disk cache) and the
+    results primed into `profiler`; subsequent ``profiler.profile``
+    calls are pure hits.  A serial executor (or ``None``) is a no-op:
+    the inline profiling path is already optimal there.
+    """
+    if executor is None or getattr(executor, "workers", 1) <= 1:
+        return
+    todo = []
+    seen = set()
+    for name, spec in entries:
+        if profiler.peek(spec) is None and spec not in seen:
+            seen.add(spec)
+            todo.append((name, spec))
+    if not todo:
+        return
+    metrics = executor.run_profiles(profiler.config, todo,
+                                    cache_dir=profiler.cache_dir)
+    for (name, spec), m in zip(todo, metrics):
+        profiler.prime(spec, m)
 
 
 #: Process-wide profiler cache, keyed by config.  The benchmark harness

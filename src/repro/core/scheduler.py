@@ -5,6 +5,13 @@ back-to-back, as in the paper's evaluation where the queue drains group
 by group), accumulates total cycles and instructions, and reports the
 device throughput of Eq. 1.1 plus per-application figures used by the
 per-benchmark charts (Fig. 4.4–4.8, 4.12).
+
+``run_queue`` is now a thin wrapper over the online runtime
+(:mod:`repro.runtime`): planning stays with the batch policy, execution
+goes through an executor — the default :class:`SerialExecutor`
+reproduces the seed scheduler bit-for-bit, while a
+:class:`~repro.runtime.executors.ParallelExecutor` fans the independent
+groups across worker processes.
 """
 
 from __future__ import annotations
@@ -12,11 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.gpusim import (Application, DeviceResult, GPU, GPUConfig,
-                          even_partition)
+from repro.gpusim import (DEFAULT_MAX_CYCLES, Application, DeviceResult,
+                          GPU, GPUConfig, even_partition)
 
 from .classification import ClassificationThresholds
-from .interference import InterferenceModel, measure_interference
+from .interference import (InterferenceModel, interference_cache_key,
+                           measure_interference)
 from .policies import PlannedGroup, Policy, PolicyContext, Queue
 from .profiling import Profiler, default_cache_dir, shared_profiler
 from .smra import SMRAController, SMRAParams
@@ -42,6 +50,11 @@ class QueueOutcome:
     policy: str
     groups: List[GroupOutcome]
     config: GPUConfig
+    #: Lazily built name → group index: the per-benchmark figure suite
+    #: calls the accessors below for every app of every queue, and the
+    #: old O(groups × members) scan per lookup added up at stream scale.
+    _group_index: Optional[Dict[str, GroupOutcome]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def total_cycles(self) -> int:
@@ -61,30 +74,33 @@ class QueueOutcome:
     def app_throughput(self, name: str) -> float:
         """Per-application throughput: its instructions over its group's
         completion time for it (the per-benchmark bars of Fig. 4.4)."""
-        for group in self.groups:
-            for member in group.members:
-                if member == name:
-                    stats = group.result.by_name(name)
-                    cycles = stats.finish_cycle or group.cycles
-                    return stats.thread_instructions / max(1, cycles)
-        raise KeyError(name)
+        group = self.group_of(name)
+        stats = group.result.by_name(name)
+        cycles = stats.finish_cycle or group.cycles
+        return stats.thread_instructions / max(1, cycles)
 
     def app_finish_cycles(self, name: str) -> int:
-        for group in self.groups:
-            if name in group.members:
-                return group.finish_cycle_of(name)
-        raise KeyError(name)
+        return self.group_of(name).finish_cycle_of(name)
 
     def group_of(self, name: str) -> GroupOutcome:
-        for group in self.groups:
-            if name in group.members:
-                return group
-        raise KeyError(name)
+        index = self._group_index
+        if index is None:
+            # Queue names are unique by contract; first occurrence wins
+            # to mirror the previous linear scan.
+            index = {}
+            for group in self.groups:
+                for member in group.members:
+                    index.setdefault(member, group)
+            self._group_index = index
+        try:
+            return index[name]
+        except KeyError:
+            raise KeyError(name) from None
 
 
 def run_group(group: PlannedGroup, config: GPUConfig,
               smra_params: SMRAParams = SMRAParams(),
-              max_cycles: int = 50_000_000) -> GroupOutcome:
+              max_cycles: int = DEFAULT_MAX_CYCLES) -> GroupOutcome:
     """Co-execute one planned group on a fresh device."""
     gpu = GPU(config)
     apps = [Application(name, spec) for name, spec in group.members]
@@ -100,29 +116,39 @@ def run_group(group: PlannedGroup, config: GPUConfig,
 
 
 def run_queue(queue: Queue, policy: Policy, ctx: PolicyContext,
-              max_cycles: int = 50_000_000) -> QueueOutcome:
-    """Plan and execute `queue` under `policy`."""
-    groups = policy.plan(queue, ctx)
-    outcomes = [run_group(g, ctx.config, ctx.smra_params, max_cycles)
-                for g in groups]
-    return QueueOutcome(policy=policy.name, groups=outcomes,
-                        config=ctx.config)
+              max_cycles: int = DEFAULT_MAX_CYCLES,
+              executor=None) -> QueueOutcome:
+    """Plan and execute `queue` under `policy`.
+
+    `executor` is an optional :class:`repro.runtime.executors.Executor`;
+    the default serial executor reproduces the seed scheduler exactly.
+    """
+    # Local import: the runtime package builds on this module.
+    from repro.runtime.engine import drain_queue
+    return drain_queue(queue, policy, ctx, max_cycles=max_cycles,
+                       executor=executor)
 
 
 #: Memoized interference models — measuring the Fig. 3.4 matrix costs tens
 #: of co-runs, and every ILP-family policy in the benchmark suite needs it.
-_INTERFERENCE_CACHE: Dict[tuple, InterferenceModel] = {}
+#: Keyed by the same content hash as the PR-1 disk cache, so re-built or
+#: re-ordered (but content-equal) suites hit, and suites with unhashable
+#: members cannot blow up the key.
+_INTERFERENCE_CACHE: Dict[str, InterferenceModel] = {}
 
 
 def make_context(config: GPUConfig, suite: Optional[Dict] = None,
                  need_interference: bool = False,
                  samples_per_pair: int = 1,
-                 smra_params: SMRAParams = SMRAParams()) -> PolicyContext:
+                 smra_params: SMRAParams = SMRAParams(),
+                 executor=None) -> PolicyContext:
     """Build a :class:`PolicyContext`, sharing the process-wide profiler.
 
     When `need_interference` is set, the Fig. 3.4 class matrix is measured
     from `suite` (required then); profiler and interference caches make
-    this a one-time cost per device configuration.
+    this a one-time cost per device configuration.  A parallel `executor`
+    fans the solo profiles and pair co-runs of that measurement across
+    worker processes (results are identical either way).
     """
     profiler = shared_profiler(config)
     thresholds = ClassificationThresholds.for_device(config)
@@ -130,13 +156,15 @@ def make_context(config: GPUConfig, suite: Optional[Dict] = None,
     if need_interference:
         if suite is None:
             raise ValueError("interference measurement requires a suite")
-        key = (config, tuple(sorted(suite.items())), samples_per_pair)
+        key = interference_cache_key(config, suite, thresholds,
+                                     samples_per_pair,
+                                     profiler_config=profiler.config)
         interference = _INTERFERENCE_CACHE.get(key)
         if interference is None:
             interference = measure_interference(
                 config, suite, profiler=profiler, thresholds=thresholds,
                 samples_per_pair=samples_per_pair,
-                cache_dir=default_cache_dir())
+                cache_dir=default_cache_dir(), executor=executor)
             _INTERFERENCE_CACHE[key] = interference
     return PolicyContext(config=config, profiler=profiler,
                          thresholds=thresholds, interference=interference,

@@ -26,7 +26,8 @@ from .config import DramTiming, GPUConfig, gtx480, small_test_config
 from .dispatcher import (WorkDistributor, even_partition,
                          proportional_partition)
 from .dram import DramBank, MemoryPartition, MemorySystem
-from .gpu import GPU, Callback, DeviceResult, simulate
+from .gpu import (DEFAULT_MAX_CYCLES, GPU, Callback, DeviceResult,
+                  simulate)
 from .kernel import (PATTERNS, AddressStream, Application, BlockContext,
                      KernelSpec, WarpContext)
 from .sm import SM
@@ -36,7 +37,7 @@ __all__ = [
     "ENGINE_VERSION",
     "GPUConfig", "DramTiming", "gtx480", "small_test_config",
     "KernelSpec", "Application", "PATTERNS",
-    "GPU", "simulate", "DeviceResult", "Callback",
+    "GPU", "simulate", "DeviceResult", "Callback", "DEFAULT_MAX_CYCLES",
     "even_partition", "proportional_partition", "WorkDistributor",
     "SetAssocCache", "MemorySystem", "MemoryPartition", "DramBank",
     "AddressMap", "LineLocation", "AddressStream", "BlockContext",

@@ -21,6 +21,11 @@ from .kernel import Application, BlockContext
 from .sm import SM, issue_batch
 from .stats import AppStats, StatsBoard
 
+#: Default simulation cutoff: far beyond any calibrated workload's
+#: completion, it only triggers on runaway configurations.  Single
+#: source of truth — the scheduler and runtime import it.
+DEFAULT_MAX_CYCLES = 50_000_000
+
 
 @dataclass
 class DeviceResult:
@@ -184,7 +189,7 @@ class GPU:
         return self._unfinished == 0
 
     # -- main loop ------------------------------------------------------------
-    def run(self, max_cycles: int = 50_000_000,
+    def run(self, max_cycles: int = DEFAULT_MAX_CYCLES,
             callbacks: Sequence[Callback] = ()) -> DeviceResult:
         """Run until every launched application completes.
 
@@ -334,7 +339,7 @@ class GPU:
 def simulate(config: GPUConfig, apps: Sequence[Application],
              partitions: Optional[Sequence[Sequence[int]]] = None,
              callbacks: Sequence[Callback] = (),
-             max_cycles: int = 50_000_000) -> DeviceResult:
+             max_cycles: int = DEFAULT_MAX_CYCLES) -> DeviceResult:
     """Convenience one-shot simulation of `apps` on a fresh device."""
     gpu = GPU(config)
     gpu.launch(apps, partitions)

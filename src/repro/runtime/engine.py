@@ -1,0 +1,191 @@
+"""The online scheduling runtime: arrival streams → scheduled groups.
+
+:func:`run_stream` advances a simulated wall clock (device cycles).
+Arrivals are delivered to the policy as the clock passes their arrival
+cycle; whenever the device is free the policy is asked for the next
+group, which then occupies the device exclusively for its co-run time
+(the paper's evaluation model: one group at a time, fresh device per
+group).  Completion times, waits, and turnarounds are recorded per
+application for the stream metrics in :mod:`repro.analysis.streams`.
+
+:func:`drain_queue` is the batch special case — every application
+present at cycle 0 — and is what the classic ``run_queue`` API now
+wraps: plan with a batch policy, execute the planned groups through an
+executor, producing results bit-identical to the seed scheduler when
+the executor is the default :class:`~repro.runtime.executors.SerialExecutor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.gpusim import GPUConfig, KernelSpec
+
+from repro.core.policies import Policy, PolicyContext, Queue
+from repro.core.scheduler import GroupOutcome, QueueOutcome, run_group
+
+from .executors import DEFAULT_MAX_CYCLES, Executor, SerialExecutor
+from .online import OnlinePolicy
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One application entering the system at `cycle`."""
+
+    cycle: int
+    name: str
+    spec: KernelSpec
+
+    def __post_init__(self):
+        if self.cycle < 0:
+            raise ValueError("arrival cycle must be >= 0")
+
+
+@dataclass
+class AppRecord:
+    """Lifecycle of one application through the stream."""
+
+    name: str
+    arrival_cycle: int
+    start_cycle: int     # absolute cycle its group launched
+    finish_cycle: int    # absolute cycle the app completed
+    group_index: int
+
+    @property
+    def wait_cycles(self) -> int:
+        """Cycles spent waiting before its group launched."""
+        return self.start_cycle - self.arrival_cycle
+
+    @property
+    def service_cycles(self) -> int:
+        """Cycles from group launch to this app's completion."""
+        return self.finish_cycle - self.start_cycle
+
+    @property
+    def turnaround_cycles(self) -> int:
+        """Arrival to completion — the latency a user observes."""
+        return self.finish_cycle - self.arrival_cycle
+
+
+@dataclass
+class ScheduledGroup:
+    """A group outcome placed on the stream's absolute timeline."""
+
+    start_cycle: int
+    outcome: GroupOutcome
+
+
+@dataclass
+class StreamOutcome:
+    """Result of running one arrival stream under one online policy."""
+
+    policy: str
+    config: GPUConfig
+    groups: List[ScheduledGroup]
+    records: Dict[str, AppRecord]
+    makespan: int
+    busy_cycles: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(s.thread_instructions
+                   for g in self.groups
+                   for s in g.outcome.result.app_stats.values())
+
+    @property
+    def device_throughput(self) -> float:
+        """Eq. 1.1 over the whole stream (idle gaps included)."""
+        return self.total_instructions / max(1, self.makespan)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the makespan the device was executing a group."""
+        return self.busy_cycles / max(1, self.makespan)
+
+
+def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
+               ctx: PolicyContext,
+               max_cycles: int = DEFAULT_MAX_CYCLES) -> StreamOutcome:
+    """Drive `policy` over `arrivals`; return the scheduled timeline.
+
+    The loop alternates two steps: deliver every arrival whose cycle
+    has passed, then ask the policy for the next group.  A ``None``
+    group with arrivals still in flight fast-forwards the clock to the
+    next arrival; a ``None`` group with applications still waiting and
+    nothing in flight is a policy bug and raises.
+    """
+    ordered = sorted(arrivals, key=lambda a: a.cycle)
+    if len(set(a.name for a in ordered)) != len(ordered):
+        raise ValueError("arrival names must be unique within a stream")
+
+    now = 0
+    i = 0
+    n = len(ordered)
+    arrival_cycle: Dict[str, int] = {}
+    records: Dict[str, AppRecord] = {}
+    groups: List[ScheduledGroup] = []
+    busy = 0
+
+    while True:
+        while i < n and ordered[i].cycle <= now:
+            a = ordered[i]
+            arrival_cycle[a.name] = a.cycle
+            policy.on_arrival((a.name, a.spec), now, ctx)
+            i += 1
+
+        group = policy.next_group(now, ctx)
+        if group is None:
+            if i < n:
+                now = max(now, ordered[i].cycle)
+                continue
+            if policy.pending:
+                raise RuntimeError(
+                    f"policy {policy.name!r} holds waiting applications "
+                    f"but returned no group and no arrivals remain")
+            break
+
+        for name, _spec in group.members:
+            if name not in arrival_cycle:
+                raise RuntimeError(
+                    f"policy {policy.name!r} scheduled {name!r} before "
+                    f"its arrival")
+            if name in records:
+                raise RuntimeError(
+                    f"policy {policy.name!r} scheduled {name!r} twice")
+
+        outcome = run_group(group, ctx.config, ctx.smra_params, max_cycles)
+        groups.append(ScheduledGroup(start_cycle=now, outcome=outcome))
+        for name in outcome.members:
+            records[name] = AppRecord(
+                name=name,
+                arrival_cycle=arrival_cycle[name],
+                start_cycle=now,
+                finish_cycle=now + outcome.finish_cycle_of(name),
+                group_index=len(groups) - 1)
+        busy += outcome.cycles
+        now += outcome.cycles
+        policy.on_group_finish(outcome, now, ctx)
+
+    return StreamOutcome(policy=policy.name, config=ctx.config,
+                         groups=groups, records=records, makespan=now,
+                         busy_cycles=busy)
+
+
+def drain_queue(queue: Queue, policy: Policy, ctx: PolicyContext,
+                max_cycles: int = DEFAULT_MAX_CYCLES,
+                executor: Optional[Executor] = None) -> QueueOutcome:
+    """Batch drain: plan the full queue, execute groups via `executor`.
+
+    With the default :class:`SerialExecutor` this is exactly the seed
+    scheduler's loop (same calls in the same order); a parallel executor
+    fans the independent groups across workers and merges results in
+    plan order, which the engine's determinism makes bit-identical.
+    """
+    if executor is None:
+        executor = SerialExecutor()
+    planned = policy.plan(queue, ctx)
+    outcomes = executor.run_groups(planned, ctx.config, ctx.smra_params,
+                                   max_cycles)
+    return QueueOutcome(policy=policy.name, groups=outcomes,
+                        config=ctx.config)

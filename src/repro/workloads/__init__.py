@@ -6,6 +6,8 @@ from .queues import (DISTRIBUTIONS, PAPER_QUEUE_ORDER,
 from .rodinia import (ALL_BENCHMARKS, BENCHMARK_ORDER, RODINIA_SPECS,
                       TABLE_3_2_CLASSES, base_benchmark_name, benchmark_spec,
                       make_application)
+from .streams import (batch_arrivals, bursty_arrivals, load_trace,
+                      poisson_arrivals, stream_queue, trace_arrivals)
 from .synthetic import CLASSES, synthetic_spec
 
 __all__ = [
@@ -16,4 +18,6 @@ __all__ = [
     "queue_class_counts", "DISTRIBUTIONS", "QueueEntry",
     "PAPER_QUEUE_ORDER", "PAPER_QUEUE_ORDER_THREE",
     "synthetic_spec", "CLASSES",
+    "stream_queue", "batch_arrivals", "poisson_arrivals", "bursty_arrivals",
+    "trace_arrivals", "load_trace",
 ]

@@ -1,0 +1,165 @@
+"""Arrival-stream generators: continuous traffic for the online runtime.
+
+The paper's evaluation drains fixed queues; the runtime in
+:mod:`repro.runtime` schedules *arrival streams*.  This module builds
+them:
+
+* :func:`stream_queue` — scaled queues of 50–200 applications mixing
+  the calibrated Rodinia models with the synthetic spec generator (so
+  streams are not limited to 14 distinct kernels);
+* :func:`poisson_arrivals` — memoryless arrivals (exponential
+  inter-arrival gaps), the standard open-system traffic model;
+* :func:`bursty_arrivals` — arrivals clumped into bursts separated by
+  quiet gaps (flash-crowd traffic);
+* :func:`batch_arrivals` — everything present at cycle 0 (the paper's
+  batch scenario, useful as a baseline and in tests);
+* :func:`trace_arrivals` / :func:`load_trace` — replay an explicit
+  ``cycle benchmark`` trace file.
+
+All generators are deterministic in their ``seed``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import re
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.runtime import Arrival
+
+from .queues import QueueEntry
+from .rodinia import ALL_BENCHMARKS, RODINIA_SPECS, benchmark_spec
+from .synthetic import CLASSES, synthetic_spec
+
+
+def _uniquify(names_seen: Dict[str, int], base: str) -> str:
+    instance = names_seen.get(base, 0)
+    names_seen[base] = instance + 1
+    return base if instance == 0 else f"{base}#{instance}"
+
+
+def stream_queue(length: int = 50, seed: int = 0,
+                 synthetic_fraction: float = 0.5,
+                 scale: float = 1.0) -> List[QueueEntry]:
+    """A large mixed queue for stream scenarios.
+
+    Each slot is drawn (deterministically in `seed`) either from the 14
+    calibrated Rodinia models or from the synthetic generator with a
+    random class — so a 200-app stream contains far more than 14
+    distinct kernels.  `scale` shrinks every entry's instruction count
+    (Rodinia and synthetic alike).  Entry names are unique.
+    """
+    if length < 1:
+        raise ValueError("stream queue length must be >= 1")
+    if not 0.0 <= synthetic_fraction <= 1.0:
+        raise ValueError("synthetic_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    seen: Dict[str, int] = {}
+    entries: List[QueueEntry] = []
+    for k in range(length):
+        if rng.random() < synthetic_fraction:
+            cls = rng.choice(CLASSES)
+            spec_seed = rng.randrange(1 << 16)
+            spec = synthetic_spec(cls, seed=spec_seed)
+            if scale != 1.0:
+                spec = spec.scaled(scale)
+            entries.append((_uniquify(seen, spec.name), spec))
+        else:
+            bench = rng.choice(ALL_BENCHMARKS)
+            entries.append((_uniquify(seen, bench),
+                            benchmark_spec(bench, scale)))
+    return entries
+
+
+def batch_arrivals(queue: Sequence[QueueEntry],
+                   cycle: int = 0) -> List[Arrival]:
+    """Every application present at `cycle` — the batch scenario."""
+    return [Arrival(cycle, name, spec) for name, spec in queue]
+
+
+def poisson_arrivals(queue: Sequence[QueueEntry], mean_gap: float,
+                     seed: int = 0, start: int = 0) -> List[Arrival]:
+    """Poisson arrivals: exponential gaps with mean `mean_gap` cycles.
+
+    The first application arrives at `start`; each subsequent arrival
+    follows after an independent exponential gap (rate ``1/mean_gap``).
+    """
+    if mean_gap <= 0:
+        raise ValueError("mean_gap must be positive")
+    rng = random.Random(seed)
+    arrivals: List[Arrival] = []
+    t = float(start)
+    for name, spec in queue:
+        arrivals.append(Arrival(int(t), name, spec))
+        t += rng.expovariate(1.0 / mean_gap)
+    return arrivals
+
+
+def bursty_arrivals(queue: Sequence[QueueEntry], burst_size: int,
+                    burst_gap: float, within_gap: float = 0.0,
+                    seed: int = 0, start: int = 0) -> List[Arrival]:
+    """Bursts of `burst_size` arrivals separated by ~`burst_gap` cycles.
+
+    Inside a burst consecutive arrivals are `within_gap` cycles apart
+    (0 = simultaneous); between bursts the quiet gap is exponential
+    with mean `burst_gap`.
+    """
+    if burst_size < 1:
+        raise ValueError("burst_size must be >= 1")
+    if burst_gap <= 0:
+        raise ValueError("burst_gap must be positive")
+    rng = random.Random(seed)
+    arrivals: List[Arrival] = []
+    t = float(start)
+    for k, (name, spec) in enumerate(queue):
+        if k and k % burst_size == 0:
+            t += rng.expovariate(1.0 / burst_gap)
+        arrivals.append(Arrival(int(t), name, spec))
+        if within_gap:
+            t += within_gap
+    return arrivals
+
+
+def trace_arrivals(lines: Iterable[str],
+                   scale: float = 1.0) -> List[Arrival]:
+    """Parse a trace of ``<cycle> <benchmark>`` lines into arrivals.
+
+    Blank lines and ``#`` comments (a ``#`` at line start or preceded
+    by whitespace) are skipped.  Benchmarks are the *base* Rodinia
+    names (scaled by `scale`); repeated benchmarks get unique
+    ``NAME#k`` instance names assigned by the parser — a pasted
+    instance name like ``LUD#1`` is rejected as unknown rather than
+    silently renumbered.  Arrival cycles may appear in any order.
+    """
+    seen: Dict[str, int] = {}
+    arrivals: List[Arrival] = []
+    comment = re.compile(r"(?:^|\s)#.*$")
+    for lineno, raw in enumerate(lines, start=1):
+        line = comment.sub("", raw).strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(
+                f"trace line {lineno}: expected '<cycle> <benchmark>', "
+                f"got {raw.strip()!r}")
+        cycle_text, bench = parts
+        try:
+            cycle = int(cycle_text)
+        except ValueError:
+            raise ValueError(
+                f"trace line {lineno}: bad cycle {cycle_text!r}") from None
+        if bench not in RODINIA_SPECS:
+            raise ValueError(
+                f"trace line {lineno}: unknown benchmark {bench!r}")
+        arrivals.append(Arrival(cycle, _uniquify(seen, bench),
+                                benchmark_spec(bench, scale)))
+    return sorted(arrivals, key=lambda a: a.cycle)
+
+
+def load_trace(path: Union[str, pathlib.Path],
+               scale: float = 1.0) -> List[Arrival]:
+    """Read a trace file (see :func:`trace_arrivals` for the format)."""
+    text = pathlib.Path(path).read_text()
+    return trace_arrivals(text.splitlines(), scale=scale)

@@ -82,6 +82,31 @@ class TestRunQueue:
         assert run_queue(queue, SerialPolicy(), ctx).policy == "Serial"
 
 
+class TestGroupIndex:
+    """The name → group index must behave exactly like the old scans."""
+
+    def test_index_consistent_with_groups(self, ctx, queue):
+        out = run_queue(queue, EvenPolicy(2), ctx)
+        for group in out.groups:
+            for name in group.members:
+                assert out.group_of(name) is group
+
+    def test_index_built_lazily_once(self, ctx, queue):
+        out = run_queue(queue, EvenPolicy(2), ctx)
+        assert out._group_index is None
+        out.group_of(queue[0][0])
+        index = out._group_index
+        assert index is not None
+        out.app_finish_cycles(queue[1][0])
+        assert out._group_index is index  # not rebuilt
+
+    def test_repeated_lookups_stable(self, ctx, queue):
+        out = run_queue(queue, EvenPolicy(2), ctx)
+        first = [out.app_throughput(n) for n, _ in queue]
+        second = [out.app_throughput(n) for n, _ in queue]
+        assert first == second
+
+
 class TestMakeContext:
     def test_interference_requires_suite(self):
         with pytest.raises(ValueError):
@@ -92,6 +117,19 @@ class TestMakeContext:
         a = make_context(cfg, suite=toy_suite(), need_interference=True,
                          samples_per_pair=1)
         b = make_context(cfg, suite=toy_suite(), need_interference=True,
+                         samples_per_pair=1)
+        assert a.interference is b.interference
+
+    def test_interference_cache_ignores_suite_order(self):
+        """The cache keys by content hash, so a re-ordered (but equal)
+        suite dict must hit the same entry."""
+        cfg = small_test_config()
+        suite = toy_suite()
+        reordered = dict(reversed(list(suite.items())))
+        assert list(reordered) != list(suite)
+        a = make_context(cfg, suite=suite, need_interference=True,
+                         samples_per_pair=1)
+        b = make_context(cfg, suite=reordered, need_interference=True,
                          samples_per_pair=1)
         assert a.interference is b.interference
 

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core import SMRAController, SMRAParams
-from repro.gpusim import Application, GPU, small_test_config
+from repro.gpusim import (Application, GPU, WindowSample,
+                          small_test_config)
 
 from ..conftest import make_tiny_spec
 
@@ -108,6 +109,123 @@ class TestScoringAndMigration:
         assert scored
         hog_scores = [d.scores.get(0) for d in scored if 0 in d.scores]
         assert max(hog_scores) >= 3
+
+
+class _StubApp:
+    finished = False
+
+
+class _StubSM:
+    idle = True
+
+
+class _StubDistributor:
+    """Minimal WorkDistributor stand-in: SM index → owning app."""
+
+    def __init__(self, owners):
+        self._owners = dict(owners)
+
+    def sms_of(self, app_id):
+        return [i for i, o in sorted(self._owners.items()) if o == app_id]
+
+    def set_sm_owner(self, index, app_id):
+        self._owners[index] = app_id
+
+
+class _StubBoard:
+    """Scripted window samples, one dict per controller tick."""
+
+    def __init__(self, ticks):
+        self._ticks = list(ticks)
+        self._tick = 0
+        self.marks = []
+
+    def window_delta(self, app_id, now):
+        return self._ticks[self._tick][app_id]
+
+    def mark_window(self, now):
+        self.marks.append(now)
+        self._tick += 1
+
+
+class _StubGPU:
+    """Just enough device surface for SMRAController._tick."""
+
+    def __init__(self, config, ticks, sms_per_app=4):
+        self.config = config
+        self.stats = _StubBoard(ticks)
+        self.apps = {0: _StubApp(), 1: _StubApp()}
+        owners = {i: 0 for i in range(sms_per_app)}
+        owners.update({sms_per_app + i: 1 for i in range(sms_per_app)})
+        self.distributor = _StubDistributor(owners)
+        self.sms = [_StubSM() for _ in range(2 * sms_per_app)]
+
+
+class TestForcedRollback:
+    """Deterministic unit coverage of the rollback path: a migration
+    followed by a window-throughput drop must be reverted exactly."""
+
+    def _controller_and_gpu(self, ticks):
+        params = SMRAParams(interval=100, ipc_thr=50.0, bw_thr=0.99,
+                            nr=2, r_min=1)
+        return SMRAController(params), _StubGPU(small_test_config(), ticks)
+
+    def _sample(self, instructions, cycles=100):
+        return WindowSample(thread_instructions=instructions, dram_bytes=0,
+                            cycles=cycles)
+
+    def test_migration_then_drop_is_reverted(self):
+        ticks = [
+            # Tick 1: app0 IPC 1 (score 1) donates to app1 IPC 1000.
+            {0: self._sample(100), 1: self._sample(100_000)},
+            # Tick 2: device throughput collapses → rollback.
+            {0: self._sample(50), 1: self._sample(500)},
+        ]
+        ctl, gpu = self._controller_and_gpu(ticks)
+        ctl._tick(gpu, 100)
+        assert ctl.decisions[0].moved_from == 0
+        assert ctl.decisions[0].moved_to == 1
+        assert ctl.decisions[0].moved_sms == 2
+        assert len(gpu.distributor.sms_of(0)) == 2
+        assert len(gpu.distributor.sms_of(1)) == 6
+
+        ctl._tick(gpu, 200)
+        assert ctl.decisions[1].reverted
+        assert ctl.total_rollbacks == 1
+        # The migrated SMs went back: the original 4/4 split is restored.
+        assert len(gpu.distributor.sms_of(0)) == 4
+        assert len(gpu.distributor.sms_of(1)) == 4
+
+    def test_rollback_consumes_the_move(self):
+        """After a rollback the controller must not revert again on the
+        next drop — the move record is cleared."""
+        ticks = [
+            {0: self._sample(100), 1: self._sample(100_000)},
+            {0: self._sample(50), 1: self._sample(500)},      # rollback
+            {0: self._sample(40), 1: self._sample(40_000)},   # re-score
+        ]
+        ctl, gpu = self._controller_and_gpu(ticks)
+        ctl._tick(gpu, 100)
+        ctl._tick(gpu, 200)
+        ctl._tick(gpu, 300)
+        assert ctl.total_rollbacks == 1
+        # The third tick re-scores instead of reverting: app0 (low IPC)
+        # donates again.
+        assert ctl.decisions[2].moved_from == 0
+
+    def test_improved_throughput_keeps_migration(self):
+        ticks = [
+            {0: self._sample(100), 1: self._sample(100_000)},
+            # Throughput improves → keep the new allocation.
+            {0: self._sample(100), 1: self._sample(150_000)},
+        ]
+        ctl, gpu = self._controller_and_gpu(ticks)
+        ctl._tick(gpu, 100)
+        ctl._tick(gpu, 200)
+        assert ctl.total_rollbacks == 0
+        assert not ctl.decisions[1].reverted
+        # app0 keeps donating: allocation stays at (or moves past) 2/6.
+        assert len(gpu.distributor.sms_of(0)) <= 2
 
 
 class TestRollback:

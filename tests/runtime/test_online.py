@@ -1,0 +1,193 @@
+"""Online policy tests: adapters, FCFS, and class-aware backfill."""
+
+import pytest
+
+from repro.core import (AppClass, EvenPolicy, FCFSPolicy, ILPPolicy,
+                        InterferenceModel, PolicyContext, Profiler,
+                        ClassificationThresholds, make_context)
+from repro.gpusim import small_test_config
+from repro.runtime import (ONLINE_POLICY_FACTORIES, BatchPolicyAdapter,
+                           ClassAwareBackfill, OnlineFCFS, online_policy)
+
+from ..conftest import make_tiny_spec
+
+
+def entries(n, prefix="app"):
+    return [(f"{prefix}{i}", make_tiny_spec(f"{prefix}{i}", seed=i))
+            for i in range(n)]
+
+
+@pytest.fixture
+def ctx(small_cfg):
+    return make_context(small_cfg)
+
+
+def feed(policy, items, ctx, now=0):
+    for entry in items:
+        policy.on_arrival(entry, now, ctx)
+
+
+class TestOnlineFCFS:
+    def test_groups_in_arrival_order(self, ctx):
+        policy = OnlineFCFS(2)
+        feed(policy, entries(5), ctx)
+        groups = []
+        while policy.pending:
+            groups.append(policy.next_group(0, ctx))
+        names = [[n for n, _ in g.members] for g in groups]
+        assert names == [["app0", "app1"], ["app2", "app3"], ["app4"]]
+
+    def test_idle_returns_none(self, ctx):
+        assert OnlineFCFS(2).next_group(0, ctx) is None
+
+    def test_work_conserving_partial_group(self, ctx):
+        policy = OnlineFCFS(3)
+        feed(policy, entries(1), ctx)
+        group = policy.next_group(0, ctx)
+        assert [n for n, _ in group.members] == ["app0"]
+        assert not policy.pending
+
+    def test_rejects_bad_nc(self):
+        with pytest.raises(ValueError):
+            OnlineFCFS(0)
+
+
+class TestBatchPolicyAdapter:
+    def test_reproduces_batch_plan(self, ctx):
+        queue = entries(5)
+        batch_groups = EvenPolicy(2).plan(queue, ctx)
+        adapter = BatchPolicyAdapter(EvenPolicy(2))
+        feed(adapter, queue, ctx)
+        online_groups = []
+        while adapter.pending:
+            online_groups.append(adapter.next_group(0, ctx))
+        assert ([g.members for g in online_groups] ==
+                [g.members for g in batch_groups])
+
+    def test_takes_policy_name(self):
+        assert BatchPolicyAdapter(FCFSPolicy(2)).name == "FCFS"
+        assert BatchPolicyAdapter(ILPPolicy(2)).name == "ILP"
+
+    def test_empty_plan_raises_instead_of_dropping_apps(self, ctx):
+        class NoOpPolicy(EvenPolicy):
+            name = "NoOp"
+
+            def plan(self, queue, ctx):
+                return []
+
+        adapter = BatchPolicyAdapter(NoOpPolicy(2))
+        feed(adapter, entries(2), ctx)
+        with pytest.raises(RuntimeError, match="planned no groups"):
+            adapter.next_group(0, ctx)
+        assert adapter.pending  # nothing was silently discarded
+
+    def test_replans_per_backlog_window(self, ctx):
+        adapter = BatchPolicyAdapter(EvenPolicy(2))
+        first = entries(2, "early")
+        feed(adapter, first, ctx)
+        assert [n for n, _ in adapter.next_group(0, ctx).members] == \
+            ["early0", "early1"]
+        # Later arrivals get their own plan.
+        feed(adapter, entries(2, "late"), ctx, now=100)
+        assert [n for n, _ in adapter.next_group(100, ctx).members] == \
+            ["late0", "late1"]
+        assert adapter.next_group(200, ctx) is None
+
+
+def _matrix(overrides=None):
+    """A hand-built slowdown matrix; indices follow (M, MC, C, A)."""
+    base = [[1.0] * 4 for _ in range(4)]
+    order = [AppClass.M, AppClass.MC, AppClass.C, AppClass.A]
+    for (victim, aggressor), value in (overrides or {}).items():
+        base[order.index(victim)][order.index(aggressor)] = value
+    return InterferenceModel(slowdown=tuple(tuple(r) for r in base))
+
+
+@pytest.fixture
+def backfill_ctx(small_cfg):
+    """A context with a synthetic interference model: M hurts M badly,
+    A is harmless."""
+    model = _matrix({
+        (AppClass.M, AppClass.M): 3.0,
+        (AppClass.M, AppClass.A): 1.1,
+        (AppClass.A, AppClass.M): 1.2,
+        (AppClass.A, AppClass.A): 1.05,
+    })
+    return PolicyContext(
+        config=small_cfg, profiler=Profiler(small_cfg),
+        thresholds=ClassificationThresholds.for_device(small_cfg),
+        interference=model)
+
+
+class TestClassAwareBackfill:
+    def test_anchor_is_oldest_waiting(self, backfill_ctx):
+        policy = ClassAwareBackfill(2, classes={
+            "m0": AppClass.M, "m1": AppClass.M, "a0": AppClass.A})
+        feed(policy, [(n, make_tiny_spec(n)) for n in ("m0", "m1", "a0")],
+             backfill_ctx)
+        group = policy.next_group(0, backfill_ctx)
+        assert [n for n, _ in group.members][0] == "m0"
+
+    def test_backfills_least_interfering_partner(self, backfill_ctx):
+        """With an M anchor, the A app is chosen over the older M app:
+        S(M|A)+S(A|M) = 2.3 beats S(M|M)+S(M|M) = 6.0."""
+        policy = ClassAwareBackfill(2, classes={
+            "m0": AppClass.M, "m1": AppClass.M, "a0": AppClass.A})
+        feed(policy, [(n, make_tiny_spec(n)) for n in ("m0", "m1", "a0")],
+             backfill_ctx)
+        first = policy.next_group(0, backfill_ctx)
+        assert [n for n, _ in first.members] == ["m0", "a0"]
+        second = policy.next_group(0, backfill_ctx)
+        assert [n for n, _ in second.members] == ["m1"]
+        assert not policy.pending
+
+    def test_ties_keep_arrival_order(self, backfill_ctx):
+        policy = ClassAwareBackfill(2, classes={
+            "a0": AppClass.A, "a1": AppClass.A, "a2": AppClass.A})
+        feed(policy, [(n, make_tiny_spec(n)) for n in ("a0", "a1", "a2")],
+             backfill_ctx)
+        group = policy.next_group(0, backfill_ctx)
+        assert [n for n, _ in group.members] == ["a0", "a1"]
+
+    def test_without_model_degrades_to_fcfs(self, ctx):
+        policy = ClassAwareBackfill(2)
+        feed(policy, entries(3), ctx)
+        group = policy.next_group(0, ctx)
+        assert [n for n, _ in group.members] == ["app0", "app1"]
+
+    def test_smra_flag(self, backfill_ctx):
+        policy = ClassAwareBackfill(2, use_smra=True, classes={
+            "m0": AppClass.M, "a0": AppClass.A})
+        feed(policy, [(n, make_tiny_spec(n)) for n in ("m0", "a0")],
+             backfill_ctx)
+        assert policy.next_group(0, backfill_ctx).use_smra
+
+    def test_classifies_via_profiler_when_not_supplied(self, ctx):
+        policy = ClassAwareBackfill(2)
+        model_ctx = PolicyContext(
+            config=ctx.config, profiler=ctx.profiler,
+            thresholds=ctx.thresholds, interference=_matrix())
+        feed(policy, entries(2), model_ctx)
+        group = policy.next_group(0, model_ctx)
+        assert len(group.members) == 2
+        assert set(policy._classes) == {"app0", "app1"}
+
+
+class TestRegistry:
+    def test_known_keys(self):
+        assert {"serial", "fcfs", "even", "profile", "ilp", "ilp-smra",
+                "backfill", "backfill-smra"} <= set(ONLINE_POLICY_FACTORIES)
+
+    def test_factory_instances(self):
+        assert isinstance(online_policy("fcfs", 2), OnlineFCFS)
+        assert isinstance(online_policy("backfill", 2), ClassAwareBackfill)
+        assert isinstance(online_policy("ilp", 2), BatchPolicyAdapter)
+        assert online_policy("backfill-smra", 2).use_smra
+
+    def test_smra_variant_has_distinct_name(self):
+        assert online_policy("backfill", 2).name == "Backfill"
+        assert online_policy("backfill-smra", 2).name == "Backfill-SMRA"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            online_policy("magic", 2)

@@ -42,6 +42,38 @@ class TestParser:
         assert names == {"Serial", "Even", "FCFS", "Profile-based", "ILP",
                          "ILP-SMRA"}
 
+    def test_run_queue_accepts_all_and_workers(self):
+        args = build_parser().parse_args(
+            ["run-queue", "--policies", "all", "--workers", "4"])
+        assert args.policies == ["all"]
+        assert args.workers == 4
+
+    def test_policy_keys_expand_all(self):
+        from repro.cli import _policy_keys
+        assert _policy_keys(["all"]) == sorted(POLICY_FACTORIES)
+        assert _policy_keys(["serial", "serial"]) == ["serial"]
+        assert _policy_keys(["ilp", "all"])[0] == "ilp"
+
+    def test_run_stream_defaults(self):
+        args = build_parser().parse_args(["run-stream"])
+        assert args.apps == 50
+        assert args.arrival == "poisson"
+        assert args.policies == ["fcfs", "backfill", "ilp"]
+        assert args.nc == 2
+        assert args.workers == 1
+
+    def test_run_stream_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-stream", "--policies", "magic"])
+
+    def test_run_stream_bursty_options(self):
+        args = build_parser().parse_args(
+            ["run-stream", "--arrival", "bursty", "--burst-size", "4",
+             "--burst-gap", "10000", "--nc", "3"])
+        assert args.arrival == "bursty"
+        assert args.burst_size == 4
+        assert args.nc == 3
+
 
 class TestCommands:
     def test_list_runs(self, capsys):
@@ -67,3 +99,24 @@ class TestCommands:
         assert main(["scalability", "LUD", "--sms", "10", "20"]) == 0
         out = capsys.readouterr().out
         assert "10 SMs" in out and "20 SMs" in out
+
+    def test_run_stream_small_batch(self, capsys):
+        assert main(["run-stream", "--apps", "3", "--scale", "0.1",
+                     "--synthetic-fraction", "0", "--policies", "fcfs",
+                     "--arrival", "batch"]) == 0
+        out = capsys.readouterr().out
+        assert "ANTT" in out and "FCFS" in out
+
+    def test_run_stream_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("# tiny trace\n0 LUD\n100 LUD\n")
+        assert main(["run-stream", "--trace", str(trace), "--scale", "0.1",
+                     "--policies", "fcfs"]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out
+
+    def test_run_stream_empty_trace_rejected(self, tmp_path):
+        trace = tmp_path / "empty.txt"
+        trace.write_text("# nothing here\n\n")
+        with pytest.raises(SystemExit, match="empty"):
+            main(["run-stream", "--trace", str(trace)])

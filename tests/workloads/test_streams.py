@@ -1,0 +1,165 @@
+"""Tests for arrival-stream generators (workloads/streams.py)."""
+
+import pytest
+
+from repro.workloads import (RODINIA_SPECS, batch_arrivals, bursty_arrivals,
+                             load_trace, poisson_arrivals, stream_queue,
+                             trace_arrivals)
+
+
+class TestStreamQueue:
+    @pytest.mark.parametrize("length", [50, 120, 200])
+    def test_requested_length(self, length):
+        assert len(stream_queue(length, seed=1)) == length
+
+    def test_names_unique(self):
+        names = [n for n, _ in stream_queue(200, seed=2)]
+        assert len(set(names)) == 200
+
+    def test_deterministic_in_seed(self):
+        a = stream_queue(80, seed=5)
+        b = stream_queue(80, seed=5)
+        assert [n for n, _ in a] == [n for n, _ in b]
+        assert [s for _, s in a] == [s for _, s in b]
+
+    def test_seed_changes_content(self):
+        a = [n for n, _ in stream_queue(80, seed=5)]
+        b = [n for n, _ in stream_queue(80, seed=6)]
+        assert a != b
+
+    def test_mixes_rodinia_and_synthetic(self):
+        queue = stream_queue(100, seed=3, synthetic_fraction=0.5)
+        synth = [n for n, _ in queue if n.startswith("SYN-")]
+        rodinia = [n for n, _ in queue
+                   if n.split("#", 1)[0] in RODINIA_SPECS]
+        assert synth and rodinia
+        assert len(synth) + len(rodinia) == 100
+
+    def test_pure_rodinia_and_pure_synthetic(self):
+        assert all(n.split("#", 1)[0] in RODINIA_SPECS
+                   for n, _ in stream_queue(30, seed=1,
+                                            synthetic_fraction=0.0))
+        assert all(n.startswith("SYN-")
+                   for n, _ in stream_queue(30, seed=1,
+                                            synthetic_fraction=1.0))
+
+    def test_scale_applies_to_rodinia(self):
+        queue = stream_queue(40, seed=7, synthetic_fraction=0.0, scale=0.5)
+        for name, spec in queue:
+            base = RODINIA_SPECS[name.split("#", 1)[0]]
+            assert spec.instr_per_warp == base.instr_per_warp // 2
+
+    def test_scale_applies_to_synthetic(self):
+        full = stream_queue(20, seed=7, synthetic_fraction=1.0)
+        scaled = stream_queue(20, seed=7, synthetic_fraction=1.0, scale=0.5)
+        for (name_f, spec_f), (name_s, spec_s) in zip(full, scaled):
+            assert name_f == name_s
+            assert spec_s.instr_per_warp == \
+                max(1, int(spec_f.instr_per_warp * 0.5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stream_queue(0)
+        with pytest.raises(ValueError):
+            stream_queue(10, synthetic_fraction=1.5)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_in_seed(self):
+        queue = stream_queue(60, seed=1)
+        a = poisson_arrivals(queue, 2000, seed=9)
+        b = poisson_arrivals(queue, 2000, seed=9)
+        assert a == b
+        c = poisson_arrivals(queue, 2000, seed=10)
+        assert [x.cycle for x in a] != [x.cycle for x in c]
+
+    def test_monotonic_nondecreasing(self):
+        arrivals = poisson_arrivals(stream_queue(100, seed=2), 1500, seed=4)
+        cycles = [a.cycle for a in arrivals]
+        assert cycles == sorted(cycles)
+        assert cycles[0] == 0
+
+    def test_mean_gap_roughly_respected(self):
+        arrivals = poisson_arrivals(stream_queue(200, seed=3), 3000, seed=5)
+        span = arrivals[-1].cycle - arrivals[0].cycle
+        mean = span / (len(arrivals) - 1)
+        assert 1500 < mean < 6000  # loose CLT bound, deterministic seed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(stream_queue(5, seed=0), 0)
+
+
+class TestBurstyArrivals:
+    def test_burst_structure(self):
+        queue = stream_queue(24, seed=1)
+        arrivals = bursty_arrivals(queue, burst_size=8, burst_gap=100_000,
+                                   seed=2)
+        cycles = [a.cycle for a in arrivals]
+        assert cycles == sorted(cycles)
+        # Within a burst all arrivals share one cycle (within_gap=0).
+        for start in range(0, 24, 8):
+            burst = cycles[start:start + 8]
+            assert len(set(burst)) == 1
+        # Distinct bursts are separated.
+        assert cycles[0] < cycles[8] < cycles[16]
+
+    def test_within_gap_spreads_burst(self):
+        arrivals = bursty_arrivals(stream_queue(6, seed=1), burst_size=3,
+                                   burst_gap=50_000, within_gap=10, seed=2)
+        cycles = [a.cycle for a in arrivals]
+        assert cycles[1] == cycles[0] + 10
+
+    def test_validation(self):
+        queue = stream_queue(5, seed=0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(queue, burst_size=0, burst_gap=100)
+        with pytest.raises(ValueError):
+            bursty_arrivals(queue, burst_size=2, burst_gap=0)
+
+
+class TestBatchArrivals:
+    def test_all_at_zero(self):
+        queue = stream_queue(10, seed=1)
+        arrivals = batch_arrivals(queue)
+        assert all(a.cycle == 0 for a in arrivals)
+        assert [a.name for a in arrivals] == [n for n, _ in queue]
+
+
+class TestTraceArrivals:
+    def test_parse_with_comments_and_blanks(self):
+        lines = [
+            "# warm-up phase",
+            "",
+            "0 BLK",
+            "1000 HS  # inline comment",
+            "500 BLK",
+        ]
+        arrivals = trace_arrivals(lines)
+        assert [(a.cycle, a.name) for a in arrivals] == [
+            (0, "BLK"), (500, "BLK#1"), (1000, "HS")]
+        assert arrivals[0].spec == RODINIA_SPECS["BLK"]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            trace_arrivals(["0 NOPE"])
+
+    def test_instance_names_rejected_not_renumbered(self):
+        """A pasted 'LUD#1' must error, not silently parse as 'LUD'."""
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            trace_arrivals(["0 LUD#1"])
+
+    def test_bad_cycle_rejected(self):
+        with pytest.raises(ValueError, match="bad cycle"):
+            trace_arrivals(["soon BLK"])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            trace_arrivals(["0 BLK HS"])
+
+    def test_load_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0 BLK\n10 HS\n")
+        arrivals = load_trace(path)
+        assert [(a.cycle, a.name) for a in arrivals] == [(0, "BLK"),
+                                                         (10, "HS")]

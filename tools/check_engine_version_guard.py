@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""CI guard: simulation goldens must not change without an
+ENGINE_VERSION bump.
+
+The golden determinism test (tests/gpusim/test_golden_determinism.py)
+pins every simulation counter to values captured from the seed engine.
+A PR that edits those goldens is intentionally changing simulation
+results, and the contract (see repro/gpusim/__init__.py) is that such a
+PR must also bump ``ENGINE_VERSION`` so stale on-disk profile caches are
+invalidated.  This script compares the working tree against a base git
+ref and fails loudly when the goldens changed but the version did not.
+
+Usage::
+
+    python tools/check_engine_version_guard.py [BASE_REF]
+
+``BASE_REF`` defaults to ``HEAD~1`` (CI passes the PR base commit).
+Exit status: 0 = consistent, 1 = goldens changed without a bump,
+2 = could not compare (e.g. shallow history without the base ref).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+GOLDEN_FILE = "tests/gpusim/test_golden_determinism.py"
+ENGINE_FILE = "src/repro/gpusim/__init__.py"
+VERSION_RE = re.compile(r"^ENGINE_VERSION\s*=\s*(\d+)", re.MULTILINE)
+
+
+def _git_show(ref: str, path: str) -> str:
+    return subprocess.run(
+        ["git", "-C", str(REPO_ROOT), "show", f"{ref}:{path}"],
+        check=True, capture_output=True, text=True).stdout
+
+
+def _engine_version(text: str) -> int:
+    match = VERSION_RE.search(text)
+    if match is None:
+        raise ValueError(f"no ENGINE_VERSION assignment found")
+    return int(match.group(1))
+
+
+def main(argv) -> int:
+    base = argv[1] if len(argv) > 1 else "HEAD~1"
+    try:
+        base_golden = _git_show(base, GOLDEN_FILE)
+        base_engine = _git_show(base, ENGINE_FILE)
+    except subprocess.CalledProcessError as err:
+        print(f"engine-version guard: cannot read {base!r} "
+              f"({err.stderr.strip()}); skipping", file=sys.stderr)
+        return 2
+
+    head_golden = (REPO_ROOT / GOLDEN_FILE).read_text()
+    head_engine = (REPO_ROOT / ENGINE_FILE).read_text()
+
+    goldens_changed = base_golden != head_golden
+    old_version = _engine_version(base_engine)
+    new_version = _engine_version(head_engine)
+
+    if goldens_changed and new_version == old_version:
+        print(
+            f"ERROR: {GOLDEN_FILE} changed relative to {base} but "
+            f"ENGINE_VERSION is still {new_version}.\n"
+            f"Changing simulation goldens means simulation *results* "
+            f"changed; bump ENGINE_VERSION in {ENGINE_FILE} so stale "
+            f"on-disk profile caches are invalidated (see its "
+            f"docstring), or revert the golden edit if the change was "
+            f"unintentional.", file=sys.stderr)
+        return 1
+
+    if goldens_changed:
+        print(f"engine-version guard: goldens changed with a version "
+              f"bump ({old_version} -> {new_version}) — OK")
+    else:
+        print("engine-version guard: goldens unchanged — OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
