@@ -9,7 +9,6 @@ prints its rows/series and also writes them to
 capture.
 """
 
-import os
 import pathlib
 
 import pytest
@@ -18,7 +17,7 @@ from repro.core import (EvenPolicy, FCFSPolicy, ILPPolicy, ILPSMRAPolicy,
                         ProfileBasedPolicy, SerialPolicy, SMRAParams,
                         make_context, run_queue, shared_profiler)
 from repro.gpusim import gtx480
-from repro.runtime import make_executor
+from repro.runtime import make_executor, workers_from_env
 from repro.workloads import (RODINIA_SPECS, distribution_queue, paper_queue,
                              paper_queue_three)
 
@@ -44,9 +43,9 @@ class Lab:
         self._outcomes = {}
         #: REPRO_WORKERS=N fans the interference co-runs and the queue
         #: groups across N worker processes (identical results, less
-        #: wall clock); unset/1 keeps the serial seed behavior.
-        self.executor = make_executor(
-            int(os.environ.get("REPRO_WORKERS", "1") or "1"))
+        #: wall clock); unset/1 keeps the serial seed behavior.  Bad
+        #: values fail fast with the variable named in the message.
+        self.executor = make_executor(workers_from_env())
 
     @property
     def ctx(self):

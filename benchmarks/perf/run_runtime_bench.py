@@ -120,7 +120,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="pool size (default: CPU count)")
     parser.add_argument("--out", type=pathlib.Path, default=BENCH_PATH)
     args = parser.parse_args(argv)
-    workers = args.workers or os.cpu_count() or 1
+    # No `or`-coercion: 0 must reach the executor's validation, not
+    # silently become the CPU count.
+    workers = args.workers if args.workers is not None \
+        else (os.cpu_count() or 1)
 
     scenarios = {
         "interference_matrix": bench_interference(workers, args.quick),

@@ -12,10 +12,15 @@ Subpackages
     contention-minimization ILP, SMRA, and the scheduling policies.
 ``repro.ilp``
     From-scratch simplex / branch-and-bound integer programming.
+``repro.runtime``
+    Online scheduling runtime: arrival streams, pluggable executors.
+``repro.cluster``
+    Multi-device fleet simulation: placement + load balancing.
 ``repro.analysis``
     Metrics (throughput, utilization, speedups) and text rendering.
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["gpusim", "workloads", "core", "ilp", "analysis", "__version__"]
+__all__ = ["gpusim", "workloads", "core", "ilp", "runtime", "cluster",
+           "analysis", "__version__"]

@@ -1,5 +1,7 @@
 """Analysis helpers: evaluation metrics and plain-text chart rendering."""
 
+from .fleet import (FleetSummary, load_imbalance, queue_depth_timeline,
+                    summarize_fleet)
 from .metrics import (average_normalized_turnaround, fairness, geometric_mean,
                       harmonic_mean, normalize, slowdown, speedup, throughput,
                       utilization, weighted_speedup)
@@ -12,5 +14,7 @@ __all__ = [
     "average_normalized_turnaround", "fairness", "harmonic_mean",
     "geometric_mean", "normalize",
     "percentile", "StreamSummary", "summarize_stream", "per_app_slowdown",
+    "FleetSummary", "summarize_fleet", "load_imbalance",
+    "queue_depth_timeline",
     "render_table", "render_bars", "render_grouped_bars",
 ]

@@ -1,0 +1,112 @@
+"""Fleet metrics: how well a placement policy balanced a device fleet.
+
+Builds on the per-application stream metrics
+(:func:`~repro.analysis.streams.summarize_stream` applies unchanged to a
+:class:`~repro.cluster.FleetOutcome` — fleet ANTT/STP/percentiles) and
+adds the fleet-level view:
+
+* **per-device utilization** — each device's busy fraction of the fleet
+  makespan (idle tails show up as low utilization on that device);
+* **load imbalance** — max/mean of per-device busy cycles: 1.0 is a
+  perfectly balanced fleet, 2.0 means the hottest device did twice the
+  mean work (and the fleet's makespan is hostage to it);
+* **queue-depth timelines** — waiting-application count over time, per
+  device or fleet-wide, for burst-absorption plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .streams import summarize_stream
+
+
+def load_imbalance(busy_cycles: Sequence[int]) -> float:
+    """``max/mean`` of per-device busy cycles (1.0 = perfectly balanced).
+
+    An all-idle fleet is balanced by definition (1.0) rather than a
+    division by zero.
+    """
+    if not busy_cycles:
+        raise ValueError("load_imbalance of an empty fleet")
+    mean = sum(busy_cycles) / len(busy_cycles)
+    if mean == 0:
+        return 1.0
+    return max(busy_cycles) / mean
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """One placement policy's scorecard over one arrival stream."""
+
+    placement: str
+    policy: str
+    devices: int
+    apps: int
+    makespan: int
+    fleet_throughput: float              # instructions/cycle, fleet-wide
+    antt: float
+    stp: float
+    utilization: float                   # mean of per-device utilizations
+    per_device_utilization: Tuple[float, ...]
+    per_device_apps: Tuple[int, ...]
+    load_imbalance: float
+    wait_p50: float
+    wait_p99: float
+    latency_p50: float
+    latency_p99: float
+
+
+def summarize_fleet(outcome, solo_cycles: Mapping[str, int]) -> FleetSummary:
+    """Compute the :class:`FleetSummary` of one fleet outcome."""
+    stream = summarize_stream(outcome, solo_cycles)
+    makespan = max(1, outcome.makespan)
+    utils = tuple(d.busy_cycles / makespan for d in outcome.devices)
+    served: Dict[int, int] = {d.device_id: 0 for d in outcome.devices}
+    for record in outcome.records.values():
+        served[record.device] += 1
+    return FleetSummary(
+        placement=outcome.placement,
+        policy=outcome.policy,
+        devices=len(outcome.devices),
+        apps=stream.apps,
+        makespan=stream.makespan,
+        fleet_throughput=outcome.device_throughput,
+        antt=stream.antt,
+        stp=stream.stp,
+        utilization=sum(utils) / len(utils),
+        per_device_utilization=utils,
+        per_device_apps=tuple(served[d.device_id]
+                              for d in outcome.devices),
+        load_imbalance=load_imbalance(
+            [d.busy_cycles for d in outcome.devices]),
+        wait_p50=stream.wait_p50,
+        wait_p99=stream.wait_p99,
+        latency_p50=stream.latency_p50,
+        latency_p99=stream.latency_p99,
+    )
+
+
+def queue_depth_timeline(outcome, device: Optional[int] = None
+                         ) -> List[Tuple[int, int]]:
+    """Waiting-application count over time: ``[(cycle, depth), ...]``.
+
+    Depth counts applications that have arrived (and been placed on
+    `device`, or anywhere when `device` is None) but whose group has not
+    launched yet.  The returned steps are sorted by cycle; each entry is
+    the depth *after* all of that cycle's arrivals and launches.
+    """
+    deltas: Dict[int, int] = {}
+    for record in outcome.records.values():
+        if device is not None and record.device != device:
+            continue
+        deltas[record.arrival_cycle] = deltas.get(record.arrival_cycle,
+                                                  0) + 1
+        deltas[record.start_cycle] = deltas.get(record.start_cycle, 0) - 1
+    timeline: List[Tuple[int, int]] = []
+    depth = 0
+    for cycle in sorted(deltas):
+        depth += deltas[cycle]
+        timeline.append((cycle, depth))
+    return timeline

@@ -15,6 +15,10 @@ Subcommands
 ``run-stream``
     Run an online arrival stream (Poisson / bursty / trace) under online
     scheduling policies and print ANTT/STP + latency percentiles.
+``run-fleet``
+    Drain one shared arrival stream across a fleet of simulated devices
+    under one or more placement policies; print fleet ANTT/STP, load
+    imbalance, and per-device utilization.
 ``scalability``
     Sweep SM counts for selected benchmarks (Fig. 3.5/3.6).
 ``list``
@@ -28,7 +32,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import (normalize, render_bars, render_table,
-                            summarize_stream)
+                            summarize_fleet, summarize_stream)
+from repro.cluster import PLACEMENT_FACTORIES, placement_policy, run_fleet
 from repro.core import (CLASS_ORDER, ClassificationThresholds, FCFSPolicy,
                         EvenPolicy, ILPPolicy, ILPSMRAPolicy,
                         ProfileBasedPolicy, SerialPolicy, SMRAParams,
@@ -51,6 +56,55 @@ POLICY_FACTORIES = {
     "ilp": ILPPolicy,
     "ilp-smra": ILPSMRAPolicy,
 }
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer, rejected clearly."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive, finite rate/gap/scale."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}") from None
+    if not value > 0 or value != value or value == float("inf"):
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _fraction(text: str) -> float:
+    """argparse type: a fraction in [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a fraction in [0, 1], got {text!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be in [0, 1], got {text}")
+    return value
+
+
+def _seed(text: str) -> int:
+    """argparse type: a non-negative stream seed."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer seed, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"seed must be >= 0, got {value}")
+    return value
 
 
 def _select_benchmarks(names: Optional[Sequence[str]]) -> List[str]:
@@ -127,15 +181,21 @@ def cmd_interference(args) -> int:
     return 0
 
 
+def _unique(keys: Sequence[str]) -> List[str]:
+    """Deduplicate, preserving first-seen order."""
+    out: List[str] = []
+    for key in keys:
+        if key not in out:
+            out.append(key)
+    return out
+
+
 def _policy_keys(keys: Sequence[str]) -> List[str]:
     """Expand the ``all`` shorthand, preserving order and uniqueness."""
     out: List[str] = []
     for key in keys:
-        expanded = sorted(POLICY_FACTORIES) if key == "all" else [key]
-        for k in expanded:
-            if k not in out:
-                out.append(k)
-    return out
+        out.extend(sorted(POLICY_FACTORIES) if key == "all" else [key])
+    return _unique(out)
 
 
 def cmd_run_queue(args) -> int:
@@ -172,6 +232,33 @@ def cmd_run_queue(args) -> int:
     return 0
 
 
+def _build_arrivals(args):
+    """The arrival stream an `args` namespace describes.
+
+    Everything is reproducible from ``--seed``: the stream queue's
+    kernel mix and the Poisson/bursty arrival process both derive from
+    it (a trace replay is deterministic by construction).
+    """
+    if getattr(args, "trace", None):
+        arrivals = load_trace(args.trace, scale=args.scale)
+    else:
+        queue = stream_queue(args.apps, seed=args.seed,
+                             synthetic_fraction=args.synthetic_fraction,
+                             scale=args.scale)
+        if args.arrival == "poisson":
+            arrivals = poisson_arrivals(queue, args.mean_gap,
+                                        seed=args.seed)
+        elif args.arrival == "bursty":
+            arrivals = bursty_arrivals(queue, args.burst_size,
+                                       args.burst_gap, seed=args.seed)
+        else:
+            arrivals = batch_arrivals(queue)
+    if not arrivals:
+        raise SystemExit("the arrival stream is empty (trace with no "
+                         "entries?)")
+    return arrivals
+
+
 def cmd_run_stream(args) -> int:
     config = gtx480()
     # One policy instance per run; whether the Fig. 3.4 matrix must be
@@ -184,23 +271,7 @@ def cmd_run_stream(args) -> int:
             samples_per_pair=args.samples,
             smra_params=SMRAParams(), executor=executor)
 
-        if args.trace:
-            arrivals = load_trace(args.trace, scale=args.scale)
-        else:
-            queue = stream_queue(args.apps, seed=args.seed,
-                                 synthetic_fraction=args.synthetic_fraction,
-                                 scale=args.scale)
-            if args.arrival == "poisson":
-                arrivals = poisson_arrivals(queue, args.mean_gap,
-                                            seed=args.seed)
-            elif args.arrival == "bursty":
-                arrivals = bursty_arrivals(queue, args.burst_size,
-                                           args.burst_gap, seed=args.seed)
-            else:
-                arrivals = batch_arrivals(queue)
-        if not arrivals:
-            raise SystemExit("the arrival stream is empty (trace with no "
-                             "entries?)")
+        arrivals = _build_arrivals(args)
 
         # Solo times (ANTT/STP denominators) — parallel warm, then cached.
         warm_profiles(ctx.profiler, executor,
@@ -231,6 +302,67 @@ def cmd_run_stream(args) -> int:
         rows,
         title=f"Online stream: {len(arrivals)} apps, {kind} arrivals, "
               f"NC={args.nc} (ANTT lower / STP higher is better)"))
+    return 0
+
+
+def cmd_run_fleet(args) -> int:
+    config = gtx480()
+    placements = [placement_policy(key) for key in _unique(args.placement)]
+    # Probe one policy instance: whether the Fig. 3.4 matrix is needed
+    # is declared by the per-device policy and the placement policies.
+    need_interference = (online_policy(args.policy, args.nc)
+                         .needs_interference
+                         or any(p.needs_interference for p in placements))
+    with make_executor(args.workers) as executor:
+        ctx = make_context(config, suite=dict(RODINIA_SPECS),
+                           need_interference=need_interference,
+                           samples_per_pair=args.samples,
+                           smra_params=SMRAParams(), executor=executor)
+
+        arrivals = _build_arrivals(args)
+
+        # Solo times (ANTT/STP denominators) — parallel warm, then cached.
+        warm_profiles(ctx.profiler, executor,
+                      [(a.name, a.spec) for a in arrivals])
+        solo = {a.name: ctx.profiler.profile(a.name, a.spec).solo_cycles
+                for a in arrivals}
+
+        rows = []
+        summaries = []
+        for placement in placements:
+            outcome = run_fleet(
+                arrivals, placement,
+                lambda _i: online_policy(args.policy, args.nc), ctx,
+                num_devices=args.devices, executor=executor)
+            s = summarize_fleet(outcome, solo)
+            summaries.append(s)
+            rows.append([s.placement, s.antt, s.stp, s.fleet_throughput,
+                         100.0 * s.utilization, s.load_imbalance,
+                         s.wait_p50, s.wait_p99, s.latency_p99])
+            if args.verbose:
+                print(f"\n{s.placement}: makespan {outcome.makespan:,} "
+                      f"cycles")
+                for dev in outcome.devices:
+                    print(f"  device {dev.device_id}: "
+                          f"{dev.apps_served:>3} apps in "
+                          f"{len(dev.groups):>3} groups, "
+                          f"{dev.busy_cycles:>12,} busy cycles")
+
+    kind = f"trace:{args.trace}" if args.trace else args.arrival
+    print()
+    print(render_table(
+        ["placement", "ANTT", "STP", "IPC", "util %", "imbalance",
+         "wait p50", "wait p99", "lat p99"],
+        rows,
+        title=f"Fleet of {args.devices} devices x {args.policy}: "
+              f"{len(arrivals)} apps, {kind} arrivals, NC={args.nc} "
+              f"(ANTT/imbalance lower, STP higher is better)"))
+    for s in summaries:
+        utils = " ".join(f"{100.0 * u:.0f}%"
+                         for u in s.per_device_utilization)
+        apps = " ".join(str(a) for a in s.per_device_apps)
+        print(f"{s.placement:>14}: util/device = {utils}   "
+              f"apps/device = {apps}")
     return 0
 
 
@@ -268,9 +400,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("interference",
                        help="measure the class slowdown matrix")
-    p.add_argument("--samples", type=int, default=2,
+    p.add_argument("--samples", type=_positive_int, default=2,
                    help="benchmark pairs per class pair (default 2)")
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for the pair co-runs")
 
     p = sub.add_parser("run-queue", help="drain a queue under policies")
@@ -279,52 +411,81 @@ def build_parser() -> argparse.ArgumentParser:
                    help="queue to run (default: the paper's 14-app queue)")
     p.add_argument("--nc", type=int, default=2, choices=(2, 3),
                    help="concurrent applications per group")
-    p.add_argument("--length", type=int, default=20,
+    p.add_argument("--length", type=_positive_int, default=20,
                    help="queue length for distribution queues")
-    p.add_argument("--seed", type=int, default=42)
-    p.add_argument("--samples", type=int, default=2)
+    p.add_argument("--seed", type=_seed, default=42)
+    p.add_argument("--samples", type=_positive_int, default=2)
     p.add_argument("--policies", nargs="+",
                    default=["serial", "fcfs", "ilp", "ilp-smra"],
                    choices=sorted(POLICY_FACTORIES) + ["all"])
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for group execution and "
                         "interference measurement (default: serial)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print each group's members and cycles")
 
+    def add_stream_arguments(p, default_apps):
+        """Arrival-stream options shared by run-stream and run-fleet.
+
+        Every random choice (queue mix, Poisson/bursty gaps) derives
+        from ``--seed``, so a scenario is reproducible from its command
+        line alone; rates and gaps reject non-positive values up front.
+        """
+        p.add_argument("--apps", type=_positive_int, default=default_apps,
+                       help=f"stream length (default {default_apps})")
+        p.add_argument("--arrival", default="poisson",
+                       choices=["poisson", "bursty", "batch"],
+                       help="arrival process (default poisson)")
+        p.add_argument("--trace", default=None,
+                       help="replay a '<cycle> <benchmark>' trace file "
+                            "(overrides --arrival/--apps)")
+        p.add_argument("--mean-gap", type=_positive_float, default=5000.0,
+                       help="mean Poisson inter-arrival gap in cycles")
+        p.add_argument("--burst-size", type=_positive_int, default=8)
+        p.add_argument("--burst-gap", type=_positive_float, default=50000.0,
+                       help="mean quiet gap between bursts in cycles")
+        p.add_argument("--nc", type=int, default=2, choices=(2, 3),
+                       help="concurrent applications per group")
+        p.add_argument("--seed", type=_seed, default=42,
+                       help="seed for the stream mix and arrival gaps "
+                            "(default 42)")
+        p.add_argument("--scale", type=_positive_float, default=1.0,
+                       help="kernel scale factor (smaller = faster runs)")
+        p.add_argument("--synthetic-fraction", type=_fraction, default=0.5,
+                       help="fraction of stream apps drawn from the "
+                            "synthetic generator (rest are Rodinia)")
+        p.add_argument("--samples", type=_positive_int, default=1,
+                       help="benchmark pairs per class pair for the "
+                            "interference matrix")
+
     p = sub.add_parser("run-stream",
                        help="run an online arrival stream under policies")
-    p.add_argument("--apps", type=int, default=50,
-                   help="stream length (default 50)")
-    p.add_argument("--arrival", default="poisson",
-                   choices=["poisson", "bursty", "batch"],
-                   help="arrival process (default poisson)")
-    p.add_argument("--trace", default=None,
-                   help="replay a '<cycle> <benchmark>' trace file "
-                        "(overrides --arrival/--apps)")
-    p.add_argument("--mean-gap", type=float, default=5000.0,
-                   help="mean Poisson inter-arrival gap in cycles")
-    p.add_argument("--burst-size", type=int, default=8)
-    p.add_argument("--burst-gap", type=float, default=50000.0,
-                   help="mean quiet gap between bursts in cycles")
-    p.add_argument("--nc", type=int, default=2, choices=(2, 3),
-                   help="concurrent applications per group")
+    add_stream_arguments(p, default_apps=50)
     p.add_argument("--policies", nargs="+",
                    default=["fcfs", "backfill", "ilp"],
                    choices=sorted(ONLINE_POLICY_FACTORIES))
-    p.add_argument("--seed", type=int, default=42)
-    p.add_argument("--scale", type=float, default=1.0,
-                   help="kernel scale factor (smaller = faster runs)")
-    p.add_argument("--synthetic-fraction", type=float, default=0.5,
-                   help="fraction of stream apps drawn from the "
-                        "synthetic generator (rest are Rodinia)")
-    p.add_argument("--samples", type=int, default=1,
-                   help="benchmark pairs per class pair for the "
-                        "interference matrix")
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for profiling/interference")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print the scheduled timeline per policy")
+
+    p = sub.add_parser("run-fleet",
+                       help="drain one arrival stream across a device fleet")
+    add_stream_arguments(p, default_apps=200)
+    p.add_argument("--devices", type=_positive_int, default=4,
+                   help="number of simulated devices (default 4)")
+    p.add_argument("--placement", nargs="+",
+                   default=["round-robin", "least-loaded", "interference"],
+                   choices=sorted(PLACEMENT_FACTORIES),
+                   help="placement policies to compare (default: all)")
+    p.add_argument("--policy", default="fcfs",
+                   choices=sorted(ONLINE_POLICY_FACTORIES),
+                   help="per-device online policy (default fcfs)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="worker processes for same-instant group "
+                        "simulations and profiling")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print the per-device breakdown per placement")
 
     p = sub.add_parser("scalability", help="IPC vs SM count sweep")
     p.add_argument("benchmarks", nargs="*")
@@ -341,6 +502,7 @@ COMMANDS = {
     "interference": cmd_interference,
     "run-queue": cmd_run_queue,
     "run-stream": cmd_run_stream,
+    "run-fleet": cmd_run_fleet,
     "scalability": cmd_scalability,
 }
 

@@ -1,0 +1,32 @@
+"""Multi-device cluster simulation: placement + load balancing at scale.
+
+The runtime (:mod:`repro.runtime`) schedules one device; this package
+simulates a **fleet** of them draining one shared arrival stream:
+
+* **devices** (:mod:`.device`) — :class:`Device` wraps one machine's
+  online policy, waiting queue, resident applications, and timeline.
+* **placement** (:mod:`.placement`) — which device an arrival joins:
+  round-robin, least-loaded (join-shortest-queue), or
+  interference-aware (route to the device whose resident class mix the
+  Fig. 3.4 matrix predicts to degrade the arrival least).
+* **fleet** (:mod:`.fleet`) — :func:`run_fleet` merges per-device
+  completion events into one virtual clock and fans same-instant group
+  simulations through an executor; results are deterministic and
+  independent of the worker count.
+
+Fleet-level metrics live in :mod:`repro.analysis.fleet`; the CLI front
+end is ``python -m repro run-fleet``.
+"""
+
+from .device import Device
+from .fleet import DeviceOutcome, FleetAppRecord, FleetOutcome, run_fleet
+from .placement import (PLACEMENT_FACTORIES, InterferenceAwarePlacement,
+                        LeastLoadedPlacement, PlacementPolicy,
+                        RoundRobinPlacement, placement_policy)
+
+__all__ = [
+    "Device",
+    "DeviceOutcome", "FleetAppRecord", "FleetOutcome", "run_fleet",
+    "PlacementPolicy", "RoundRobinPlacement", "LeastLoadedPlacement",
+    "InterferenceAwarePlacement", "PLACEMENT_FACTORIES", "placement_policy",
+]

@@ -1,0 +1,111 @@
+"""One simulated GPU device inside a fleet.
+
+A :class:`Device` bundles everything the fleet event loop needs to know
+about one machine: its own online policy instance (holding the waiting
+queue), the set of applications *resident* on it (assigned by the
+placement layer and not yet finished — what interference-aware placement
+scores against), the in-flight group, and the per-device timeline that
+fleet analysis reads back (groups, busy cycles).
+
+The lifecycle mirrors :func:`repro.runtime.run_stream` for a single
+device — assign → launch → complete with the same hook order
+(``on_group_finish`` before new arrivals before ``next_group``).  One
+deliberate refinement: the fleet clock stops at every arrival, so
+``on_arrival`` sees the *true* arrival cycle, where ``run_stream`` only
+wakes at group boundaries and stamps arrivals with the completion cycle
+that delivered them.  Schedules are therefore identical for a
+one-device fleet under every shipped policy (none reads ``now`` in
+``on_arrival``; a parity test enforces this), but a policy that ages
+waiting apps by that timestamp would see the more accurate fleet clock.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.gpusim import KernelSpec
+
+from repro.core.policies import PlannedGroup, PolicyContext
+from repro.core.scheduler import GroupOutcome
+from repro.runtime.engine import ScheduledGroup
+from repro.runtime.online import OnlinePolicy
+
+Entry = Tuple[str, KernelSpec]
+
+
+class Device:
+    """Per-device queue + policy state driven by the fleet clock."""
+
+    __slots__ = ("device_id", "policy", "resident", "groups", "busy_cycles",
+                 "completion_cycle", "_running")
+
+    def __init__(self, device_id: int, policy: OnlinePolicy):
+        if device_id < 0:
+            raise ValueError("device_id must be >= 0")
+        self.device_id = device_id
+        self.policy = policy
+        #: Applications assigned here and not yet finished (waiting or
+        #: running) — the "queue" of join-shortest-queue placement and
+        #: the class mix interference-aware placement scores against.
+        self.resident: List[Entry] = []
+        self.groups: List[ScheduledGroup] = []
+        self.busy_cycles = 0
+        #: Absolute cycle the in-flight group completes; None = idle.
+        self.completion_cycle: Optional[int] = None
+        self._running: List[str] = []
+
+    @property
+    def busy(self) -> bool:
+        return self.completion_cycle is not None
+
+    @property
+    def pending(self) -> bool:
+        """True while the policy still holds undispatched applications."""
+        return self.policy.pending
+
+    def load(self) -> int:
+        """Applications in the system here (waiting + running)."""
+        return len(self.resident)
+
+    def remaining_busy(self, now: int) -> int:
+        """Cycles until the in-flight group completes (0 when idle)."""
+        if self.completion_cycle is None:
+            return 0
+        return max(0, self.completion_cycle - now)
+
+    def assign(self, entry: Entry, now: int, ctx: PolicyContext) -> None:
+        """Placement routed `entry` here: it joins the waiting queue."""
+        self.resident.append(entry)
+        self.policy.on_arrival(entry, now, ctx)
+
+    def next_group(self, now: int,
+                   ctx: PolicyContext) -> Optional[PlannedGroup]:
+        """Ask the policy what to launch; only valid while idle."""
+        if self.busy:
+            raise RuntimeError(
+                f"device {self.device_id} asked for a group while busy")
+        return self.policy.next_group(now, ctx)
+
+    def launch(self, outcome: GroupOutcome, now: int) -> None:
+        """Occupy the device with a simulated group starting at `now`."""
+        if self.busy:
+            raise RuntimeError(
+                f"device {self.device_id} launched a group while busy")
+        self.groups.append(ScheduledGroup(start_cycle=now, outcome=outcome))
+        self.busy_cycles += outcome.cycles
+        self.completion_cycle = now + outcome.cycles
+        self._running = list(outcome.members)
+
+    def complete(self, ctx: PolicyContext) -> GroupOutcome:
+        """Retire the in-flight group at its completion cycle."""
+        if not self.busy:
+            raise RuntimeError(
+                f"device {self.device_id} has no group to complete")
+        finished_at = self.completion_cycle
+        outcome = self.groups[-1].outcome
+        self.completion_cycle = None
+        done = set(self._running)
+        self._running = []
+        self.resident = [e for e in self.resident if e[0] not in done]
+        self.policy.on_group_finish(outcome, finished_at, ctx)
+        return outcome

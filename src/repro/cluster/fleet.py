@@ -1,0 +1,229 @@
+"""The fleet event loop: N devices draining one shared arrival stream.
+
+:func:`run_fleet` generalizes :func:`repro.runtime.run_stream` from one
+device to a fleet.  One virtual clock advances over the merged event
+sequence (arrivals plus per-device group completions); at every event
+time the loop
+
+1. retires every group completing now (device-id order) — the freed
+   device's policy sees ``on_group_finish``;
+2. delivers every arrival due now (arrival order), routing each through
+   the placement policy onto one device's waiting queue;
+3. asks every idle device's policy for its next group (device-id order)
+   and simulates all groups launched at this instant as **one batch**
+   through the executor.
+
+Step 3 is where the PR-2 :class:`~repro.runtime.executors
+.ParallelExecutor` earns its keep: a group's simulation result depends
+only on its membership, so the same-instant launches (all N devices at
+a burst, several devices after simultaneous completions) fan out across
+worker processes and merge back in device-id order — results are
+bit-identical for any worker count, because every *decision* (placement,
+group formation, event ordering) happens on this loop's clock, never in
+a worker.
+
+Per-application lifecycles come back as :class:`FleetAppRecord` (an
+:class:`~repro.runtime.engine.AppRecord` plus the device id), so the
+stream metrics of :mod:`repro.analysis.streams` apply unchanged and
+:mod:`repro.analysis.fleet` adds the fleet-level view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.gpusim import GPUConfig
+
+from repro.core.policies import PolicyContext
+from repro.runtime.engine import AppRecord, Arrival, ScheduledGroup
+from repro.runtime.executors import (DEFAULT_MAX_CYCLES, Executor,
+                                     SerialExecutor)
+from repro.runtime.online import OnlinePolicy
+
+from .device import Device
+from .placement import PlacementPolicy
+
+#: Builds one fresh policy per device (called with the device id).
+PolicyFactory = Callable[[int], OnlinePolicy]
+
+
+@dataclass
+class FleetAppRecord(AppRecord):
+    """An app's lifecycle plus the device that served it.
+
+    ``group_index`` indexes into the *serving device's* ``groups`` list
+    (not a fleet-global timeline — devices run concurrently).
+    """
+
+    device: int = 0
+
+
+@dataclass
+class DeviceOutcome:
+    """One device's share of a fleet run."""
+
+    device_id: int
+    policy: str
+    groups: List[ScheduledGroup]
+    busy_cycles: int
+
+    @property
+    def apps_served(self) -> int:
+        return sum(len(g.outcome.members) for g in self.groups)
+
+
+@dataclass
+class FleetOutcome:
+    """Result of draining one arrival stream across a fleet.
+
+    Duck-type-compatible with :class:`~repro.runtime.StreamOutcome` for
+    :func:`repro.analysis.streams.summarize_stream` — ``utilization``
+    and ``device_throughput`` are fleet aggregates.
+    """
+
+    placement: str
+    policy: str
+    config: GPUConfig
+    devices: List[DeviceOutcome]
+    records: Dict[str, FleetAppRecord]
+    #: app name → device id, exactly as the placement policy decided.
+    assignments: Dict[str, int]
+    makespan: int
+
+    @property
+    def busy_cycles(self) -> int:
+        return sum(d.busy_cycles for d in self.devices)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(s.thread_instructions
+                   for d in self.devices
+                   for g in d.groups
+                   for s in g.outcome.result.app_stats.values())
+
+    @property
+    def device_throughput(self) -> float:
+        """Eq. 1.1 aggregated across the fleet (instructions/cycle)."""
+        return self.total_instructions / max(1, self.makespan)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the fleet's total device-cycles."""
+        return self.busy_cycles / max(1, len(self.devices) * self.makespan)
+
+
+def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
+              policy_factory: PolicyFactory, ctx: PolicyContext,
+              num_devices: int = 2, executor: Optional[Executor] = None,
+              max_cycles: int = DEFAULT_MAX_CYCLES) -> FleetOutcome:
+    """Drain `arrivals` across `num_devices` devices; return the timeline.
+
+    Each device runs its own policy instance from `policy_factory`;
+    `placement` routes every arrival to exactly one device.  `executor`
+    only affects wall clock (same-instant group launches fan out), never
+    results.
+    """
+    if num_devices < 1:
+        raise ValueError("a fleet needs at least one device")
+    ordered = sorted(arrivals, key=lambda a: a.cycle)
+    if len(set(a.name for a in ordered)) != len(ordered):
+        raise ValueError("arrival names must be unique within a stream")
+    if executor is None:
+        executor = SerialExecutor()
+
+    devices = [Device(i, policy_factory(i)) for i in range(num_devices)]
+    now = 0
+    i = 0
+    n = len(ordered)
+    arrival_cycle: Dict[str, int] = {}
+    assignments: Dict[str, int] = {}
+    records: Dict[str, FleetAppRecord] = {}
+
+    while True:
+        # 1) retire every group finishing at `now` (device-id order).
+        for device in devices:
+            if device.busy and device.completion_cycle <= now:
+                device.complete(ctx)
+
+        # 2) deliver arrivals due at `now`; placement sees the fleet
+        #    state left by the completions above.
+        while i < n and ordered[i].cycle <= now:
+            a = ordered[i]
+            i += 1
+            arrival_cycle[a.name] = a.cycle
+            device = placement.choose((a.name, a.spec), now, devices, ctx)
+            if not (0 <= device.device_id < len(devices)
+                    and devices[device.device_id] is device):
+                raise RuntimeError(
+                    f"placement {placement.name!r} returned a device "
+                    f"outside the fleet")
+            assignments[a.name] = device.device_id
+            device.assign((a.name, a.spec), now, ctx)
+
+        # 3) launch on every idle device; simulate this instant's groups
+        #    as one batch (the parallel fan-out).
+        launches = []
+        for device in devices:
+            if device.busy:
+                continue
+            group = device.next_group(now, ctx)
+            if group is None:
+                continue
+            for name, _spec in group.members:
+                if name not in arrival_cycle:
+                    raise RuntimeError(
+                        f"device {device.device_id} policy "
+                        f"{device.policy.name!r} scheduled {name!r} "
+                        f"before its arrival")
+                if name in records:
+                    raise RuntimeError(
+                        f"device {device.device_id} policy "
+                        f"{device.policy.name!r} scheduled {name!r} twice")
+                if assignments[name] != device.device_id:
+                    raise RuntimeError(
+                        f"device {device.device_id} scheduled {name!r}, "
+                        f"which placement assigned to device "
+                        f"{assignments[name]}")
+            launches.append((device, group))
+        if launches:
+            outcomes = executor.run_groups([g for _d, g in launches],
+                                           ctx.config, ctx.smra_params,
+                                           max_cycles)
+            for (device, _group), outcome in zip(launches, outcomes):
+                device.launch(outcome, now)
+                for name in outcome.members:
+                    records[name] = FleetAppRecord(
+                        name=name,
+                        arrival_cycle=arrival_cycle[name],
+                        start_cycle=now,
+                        finish_cycle=now + outcome.finish_cycle_of(name),
+                        group_index=len(device.groups) - 1,
+                        device=device.device_id)
+            continue  # same instant: retire zero-length groups, if any
+
+        # 4) advance the clock to the next completion/arrival, or stop.
+        due = [d.completion_cycle for d in devices if d.busy]
+        if i < n:
+            due.append(ordered[i].cycle)
+        if not due:
+            stalled = [d.device_id for d in devices if d.pending]
+            if stalled:
+                raise RuntimeError(
+                    f"devices {stalled} hold waiting applications but "
+                    f"their policies returned no group and no arrivals "
+                    f"remain")
+            break
+        now = min(due)
+
+    policy_name = devices[0].policy.name if devices else ""
+    return FleetOutcome(
+        placement=placement.name,
+        policy=policy_name,
+        config=ctx.config,
+        devices=[DeviceOutcome(device_id=d.device_id, policy=d.policy.name,
+                               groups=d.groups, busy_cycles=d.busy_cycles)
+                 for d in devices],
+        records=records,
+        assignments=assignments,
+        makespan=now)

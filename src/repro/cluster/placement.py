@@ -1,0 +1,135 @@
+"""Placement policies: which device an arriving application joins.
+
+The fleet event loop calls :meth:`PlacementPolicy.choose` once per
+arrival, before the application enters any device queue.  Placement is
+the fleet-level counterpart of the paper's group-formation problem: the
+online policy on each device decides *who shares the device*, placement
+decides *which device's resident mix* the application will eventually
+share.
+
+Three policies, in increasing awareness:
+
+* :class:`RoundRobinPlacement` — rotate through devices regardless of
+  state (the classic load-oblivious baseline).
+* :class:`LeastLoadedPlacement` — join the shortest queue: the device
+  with the fewest resident applications, breaking ties toward the one
+  that frees up soonest, then the lowest device id.
+* :class:`InterferenceAwarePlacement` — route to the device whose
+  resident class mix the Fig. 3.4 interference matrix predicts to
+  degrade the arrival least (additive model of
+  :class:`~repro.core.interference.InterferenceModel`), breaking ties
+  like least-loaded.  Degrades to least-loaded when the context has no
+  interference model.
+
+All three are deterministic: same arrivals + same device states → same
+choice, independent of executor workers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.classification import AppClass
+from repro.core.policies import PolicyContext, cached_class_of
+
+from .device import Device, Entry
+
+
+class PlacementPolicy:
+    """Base class: route one arrival to one device of the fleet."""
+
+    name = "base"
+    #: True when choices use ctx.interference; callers (e.g. the CLI)
+    #: measure the matrix only when placement or policy needs it.
+    needs_interference = False
+
+    def choose(self, entry: Entry, now: int, devices: Sequence[Device],
+               ctx: PolicyContext) -> Device:
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Rotate through devices in id order, ignoring their state."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, entry, now, devices, ctx):
+        device = devices[self._next % len(devices)]
+        self._next += 1
+        return device
+
+
+def _least_loaded_key(device: Device, now: int) -> Tuple[int, int, int]:
+    return (device.load(), device.remaining_busy(now), device.device_id)
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Join the shortest queue (fewest resident apps, soonest free)."""
+
+    name = "least-loaded"
+
+    def choose(self, entry, now, devices, ctx):
+        return min(devices, key=lambda d: _least_loaded_key(d, now))
+
+
+class InterferenceAwarePlacement(PlacementPolicy):
+    """Route to the device whose resident mix degrades the arrival least.
+
+    The score of a device is the predicted slowdown the arriving
+    application would suffer co-resident with that device's current
+    applications: ``S(class_new | resident classes)`` under the additive
+    model.  Lower is better; ties fall back to the least-loaded key so
+    an empty device (score exactly 1.0) still wins over a loaded device
+    with a benign mix.
+
+    ``classes`` optionally pre-supplies name → :class:`AppClass` (tests,
+    or callers that already classified the stream); otherwise classes
+    come from the context's profiler + thresholds, a one-time cost per
+    distinct kernel spec thanks to the profile caches.
+    """
+
+    name = "interference"
+    needs_interference = True
+
+    def __init__(self, classes: Optional[Mapping[str, AppClass]] = None):
+        self._classes: Dict[str, AppClass] = dict(classes or {})
+
+    def _class_of(self, entry: Entry, ctx: PolicyContext) -> AppClass:
+        return cached_class_of(self._classes, entry, ctx)
+
+    def choose(self, entry, now, devices, ctx):
+        if ctx.interference is None:
+            return min(devices, key=lambda d: _least_loaded_key(d, now))
+        cls = self._class_of(entry, ctx)
+        model = ctx.interference
+
+        def score(device: Device):
+            mix: List[AppClass] = [self._class_of(e, ctx)
+                                   for e in device.resident]
+            return ((model.group_slowdown(cls, mix),)
+                    + _least_loaded_key(device, now))
+
+        return min(devices, key=score)
+
+
+#: CLI keys → placement policy factories (fresh instance per fleet run —
+#: round-robin counters and class caches are per-run state).
+PLACEMENT_FACTORIES = {
+    "round-robin": RoundRobinPlacement,
+    "least-loaded": LeastLoadedPlacement,
+    "interference": InterferenceAwarePlacement,
+}
+
+
+def placement_policy(key: str) -> PlacementPolicy:
+    """Build the placement policy registered under `key`."""
+    try:
+        factory = PLACEMENT_FACTORIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {key!r}; expected one of "
+            f"{sorted(PLACEMENT_FACTORIES)}") from None
+    return factory()

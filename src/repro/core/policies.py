@@ -55,12 +55,31 @@ class PolicyContext:
     interference: Optional[InterferenceModel] = None
     smra_params: SMRAParams = field(default_factory=SMRAParams)
 
+    def class_of(self, name: str, spec: KernelSpec) -> AppClass:
+        """Profile-and-classify one application (profile caches make
+        repeated queries a one-time cost per distinct kernel spec)."""
+        return classify(self.profiler.profile(name, spec), self.thresholds)
+
     def classify_queue(self, queue: Queue) -> List[Tuple[str, AppClass]]:
-        out = []
-        for name, spec in queue:
-            metrics = self.profiler.profile(name, spec)
-            out.append((name, classify(metrics, self.thresholds)))
-        return out
+        return [(name, self.class_of(name, spec)) for name, spec in queue]
+
+
+def cached_class_of(cache: Dict[str, AppClass],
+                    entry: Tuple[str, KernelSpec],
+                    ctx: PolicyContext) -> AppClass:
+    """`entry`'s class via a name-keyed memo dict.
+
+    `cache` may be pre-seeded by callers that already classified their
+    stream (tests, ablation harnesses); misses fall through to
+    :meth:`PolicyContext.class_of` and are remembered.  Shared by every
+    interference-aware component (backfill policy, placement).
+    """
+    name, spec = entry
+    cls = cache.get(name)
+    if cls is None:
+        cls = ctx.class_of(name, spec)
+        cache[name] = cls
+    return cls
 
 
 class Policy:

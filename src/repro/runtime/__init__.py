@@ -17,7 +17,7 @@ Three coordinated layers on top of :mod:`repro.core`:
 from .engine import (AppRecord, Arrival, ScheduledGroup, StreamOutcome,
                      drain_queue, run_stream)
 from .executors import (Executor, ParallelExecutor, SerialExecutor,
-                        make_executor)
+                        make_executor, workers_from_env)
 from .online import (ONLINE_POLICY_FACTORIES, BatchPolicyAdapter,
                      ClassAwareBackfill, OnlineFCFS, OnlinePolicy,
                      online_policy)
@@ -26,6 +26,7 @@ __all__ = [
     "Arrival", "AppRecord", "ScheduledGroup", "StreamOutcome",
     "run_stream", "drain_queue",
     "Executor", "SerialExecutor", "ParallelExecutor", "make_executor",
+    "workers_from_env",
     "OnlinePolicy", "OnlineFCFS", "BatchPolicyAdapter",
     "ClassAwareBackfill", "online_policy", "ONLINE_POLICY_FACTORIES",
 ]

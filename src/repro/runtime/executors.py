@@ -39,6 +39,41 @@ from repro.core.smra import SMRAParams
 Entry = Tuple[str, KernelSpec]
 
 
+def _validated_workers(workers) -> int:
+    """`workers` as a positive int, or a clear ValueError.
+
+    Callers (CLI flags, ``REPRO_WORKERS``) used to hand bad values
+    straight to the process pool, which died with a deep traceback;
+    rejecting them here names the actual problem.
+    """
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(
+            f"workers must be a positive integer, got {workers!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def workers_from_env(var: str = "REPRO_WORKERS", default: int = 1) -> int:
+    """Parse a worker count from the environment (``REPRO_WORKERS=N``).
+
+    Unset or empty falls back to `default`; anything that is not a
+    positive integer raises a ValueError naming the variable instead of
+    surfacing as an int() traceback deep inside a harness.
+    """
+    raw = os.environ.get(var)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{var} must be a positive integer, got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"{var} must be >= 1, got {value}")
+    return value
+
+
 # -- module-level job functions (picklable by the process pool) -------------
 
 def _group_job(args) -> GroupOutcome:
@@ -124,7 +159,9 @@ class ParallelExecutor(Executor):
     name = "process-pool"
 
     def __init__(self, workers: Optional[int] = None):
-        self.workers = max(1, workers or os.cpu_count() or 1)
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = _validated_workers(workers)
         self._pool = None
 
     def _ensure_pool(self):
@@ -162,7 +199,11 @@ class ParallelExecutor(Executor):
 
 
 def make_executor(workers: Optional[int] = None) -> Executor:
-    """``workers`` ≤ 1 (or None) → serial; otherwise a process pool."""
-    if workers is None or workers <= 1:
+    """``workers`` None/1 → serial; ≥ 2 → process pool.
+
+    ``workers`` ≤ 0 or a non-integer raises a ValueError up front —
+    silently mapping 0 to serial hid typos like ``REPRO_WORKERS=O``.
+    """
+    if workers is None or _validated_workers(workers) == 1:
         return SerialExecutor()
     return ParallelExecutor(workers)

@@ -32,11 +32,11 @@ from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.gpusim import KernelSpec
 
-from repro.core.classification import AppClass, classify
+from repro.core.classification import AppClass
 from repro.core.policies import (EvenPolicy, FCFSPolicy, ILPPolicy,
                                  ILPSMRAPolicy, PlannedGroup, Policy,
                                  PolicyContext, ProfileBasedPolicy,
-                                 SerialPolicy)
+                                 SerialPolicy, cached_class_of)
 
 Entry = Tuple[str, KernelSpec]
 
@@ -159,13 +159,7 @@ class ClassAwareBackfill(OnlinePolicy):
         self._classes: Dict[str, AppClass] = dict(classes or {})
 
     def _class_of(self, entry: Entry, ctx: PolicyContext) -> AppClass:
-        name, spec = entry
-        cls = self._classes.get(name)
-        if cls is None:
-            metrics = ctx.profiler.profile(name, spec)
-            cls = classify(metrics, ctx.thresholds)
-            self._classes[name] = cls
-        return cls
+        return cached_class_of(self._classes, entry, ctx)
 
     def _predicted_cost(self, classes: List[AppClass], ctx) -> float:
         model = ctx.interference

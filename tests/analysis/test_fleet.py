@@ -1,0 +1,99 @@
+"""Fleet metric tests on handcrafted outcomes (no simulation)."""
+
+import pytest
+
+from repro.analysis import (load_imbalance, queue_depth_timeline,
+                            summarize_fleet)
+from repro.cluster import DeviceOutcome, FleetAppRecord
+
+
+def record(name, arrival, start, finish, device):
+    return FleetAppRecord(name=name, arrival_cycle=arrival,
+                          start_cycle=start, finish_cycle=finish,
+                          group_index=0, device=device)
+
+
+class FakeFleetOutcome:
+    """The duck type summarize_fleet/summarize_stream read."""
+
+    def __init__(self, records, devices, makespan):
+        self.placement = "least-loaded"
+        self.policy = "FCFS"
+        self.records = {r.name: r for r in records}
+        self.devices = devices
+        self.makespan = makespan
+        self.device_throughput = 10.0
+        self.utilization = 0.5
+
+
+def two_device_outcome():
+    records = [
+        record("a", 0, 0, 100, 0),     # no wait, solo 100 → slowdown 1
+        record("b", 0, 100, 300, 0),   # waits 100, runs 200
+        record("c", 50, 50, 150, 1),   # no wait
+    ]
+    devices = [
+        DeviceOutcome(device_id=0, policy="FCFS", groups=[],
+                      busy_cycles=300),
+        DeviceOutcome(device_id=1, policy="FCFS", groups=[],
+                      busy_cycles=100),
+    ]
+    return FakeFleetOutcome(records, devices, makespan=400)
+
+
+class TestLoadImbalance:
+    def test_balanced_fleet_is_one(self):
+        assert load_imbalance([100, 100, 100]) == 1.0
+
+    def test_hot_device_raises_ratio(self):
+        assert load_imbalance([300, 100]) == pytest.approx(1.5)
+
+    def test_idle_fleet_is_balanced(self):
+        assert load_imbalance([0, 0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            load_imbalance([])
+
+
+class TestSummarizeFleet:
+    def test_fleet_numbers(self):
+        solo = {"a": 100, "b": 200, "c": 100}
+        s = summarize_fleet(two_device_outcome(), solo)
+        assert s.placement == "least-loaded"
+        assert s.policy == "FCFS"
+        assert s.devices == 2
+        assert s.apps == 3
+        assert s.makespan == 400
+        assert s.fleet_throughput == 10.0
+        # Turnarounds: a=100/100=1, b=300/200=1.5, c=100/100=1.
+        assert s.antt == pytest.approx((1 + 1.5 + 1) / 3)
+        assert s.stp == pytest.approx(1 + 200 / 300 + 1)
+        assert s.per_device_utilization == (pytest.approx(300 / 400),
+                                            pytest.approx(100 / 400))
+        assert s.utilization == pytest.approx((300 + 100) / (2 * 400))
+        assert s.per_device_apps == (2, 1)
+        assert s.load_imbalance == pytest.approx(300 / 200)
+        assert s.wait_p50 == 0.0
+
+    def test_missing_solo_rejected(self):
+        with pytest.raises(ValueError, match="missing solo"):
+            summarize_fleet(two_device_outcome(), {"a": 100})
+
+
+class TestQueueDepthTimeline:
+    def test_per_device_depth(self):
+        out = two_device_outcome()
+        # Device 0: a arrives+starts at 0, b arrives at 0 and starts at
+        # 100 → depth 1 after cycle 0, 0 after cycle 100.
+        assert queue_depth_timeline(out, device=0) == [(0, 1), (100, 0)]
+        # Device 1: c arrives and starts at 50 → net zero.
+        assert queue_depth_timeline(out, device=1) == [(50, 0)]
+
+    def test_fleet_wide_depth(self):
+        assert queue_depth_timeline(two_device_outcome()) == \
+            [(0, 1), (50, 1), (100, 0)]
+
+    def test_empty_outcome(self):
+        assert queue_depth_timeline(
+            FakeFleetOutcome([], [], makespan=0)) == []

@@ -1,0 +1,138 @@
+"""Placement policy tests: round-robin, least-loaded, interference."""
+
+import pytest
+
+from repro.core import make_context
+from repro.core.classification import AppClass
+from repro.core.interference import InterferenceModel
+from repro.cluster import (Device, InterferenceAwarePlacement,
+                           LeastLoadedPlacement, RoundRobinPlacement,
+                           placement_policy, PLACEMENT_FACTORIES)
+from repro.runtime import OnlineFCFS
+
+from ..conftest import make_tiny_spec
+
+
+@pytest.fixture
+def ctx(small_cfg):
+    return make_context(small_cfg)
+
+
+def fleet(n):
+    return [Device(i, OnlineFCFS(2)) for i in range(n)]
+
+
+def entry(name, seed=0):
+    return (name, make_tiny_spec(name, seed=seed))
+
+
+#: M suffers badly next to M, mildly next to MC/C, not at all next to A;
+#: all other victims are insensitive.  Rows/columns follow CLASS_ORDER
+#: (M, MC, C, A).
+MODEL = InterferenceModel(slowdown=(
+    (3.0, 1.5, 1.2, 1.0),
+    (1.1, 1.1, 1.1, 1.0),
+    (1.1, 1.1, 1.1, 1.0),
+    (1.0, 1.0, 1.0, 1.0),
+))
+
+
+class TestRoundRobin:
+    def test_cycles_through_devices(self, ctx):
+        devices = fleet(3)
+        placement = RoundRobinPlacement()
+        chosen = [placement.choose(entry(f"a{i}", i), 0, devices, ctx)
+                  .device_id for i in range(7)]
+        assert chosen == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_ignores_load(self, ctx):
+        devices = fleet(2)
+        devices[0].assign(entry("busy0"), 0, ctx)
+        placement = RoundRobinPlacement()
+        assert placement.choose(entry("x"), 0, devices, ctx).device_id == 0
+
+
+class TestLeastLoaded:
+    def test_prefers_emptiest_queue(self, ctx):
+        devices = fleet(3)
+        devices[0].assign(entry("a"), 0, ctx)
+        devices[0].assign(entry("b", 1), 0, ctx)
+        devices[1].assign(entry("c", 2), 0, ctx)
+        placement = LeastLoadedPlacement()
+        assert placement.choose(entry("x", 3), 0, devices, ctx).device_id == 2
+
+    def test_tie_breaks_by_soonest_free_then_id(self, ctx):
+        devices = fleet(2)
+        # Equal load; device 1 frees sooner than device 0.
+        devices[0].completion_cycle = 500
+        devices[1].completion_cycle = 100
+        placement = LeastLoadedPlacement()
+        assert placement.choose(entry("x"), 0, devices, ctx).device_id == 1
+        # All equal → lowest id.
+        devices[1].completion_cycle = 500
+        assert placement.choose(entry("x"), 0, devices, ctx).device_id == 0
+
+
+class TestInterferenceAware:
+    def test_avoids_hostile_resident_mix(self, ctx):
+        """An M app must dodge the device holding another M app."""
+        ctx.interference = MODEL
+        devices = fleet(2)
+        classes = {"m0": AppClass.M, "a0": AppClass.A, "new": AppClass.M}
+        devices[0].assign(entry("m0"), 0, ctx)
+        devices[1].assign(entry("a0", 1), 0, ctx)
+        placement = InterferenceAwarePlacement(classes=classes)
+        assert placement.choose(entry("new", 2), 0, devices,
+                                ctx).device_id == 1
+
+    def test_empty_device_beats_benign_mix(self, ctx):
+        """Score ties (A next to anything = 1.0) fall back to load."""
+        ctx.interference = MODEL
+        devices = fleet(2)
+        classes = {"a0": AppClass.A, "new": AppClass.A}
+        devices[0].assign(entry("a0"), 0, ctx)
+        placement = InterferenceAwarePlacement(classes=classes)
+        assert placement.choose(entry("new", 1), 0, devices,
+                                ctx).device_id == 1
+
+    def test_additive_model_penalizes_crowds(self, ctx):
+        """Two mild aggressors outweigh one, per the additive model."""
+        ctx.interference = MODEL
+        devices = fleet(2)
+        classes = {"mc0": AppClass.MC, "mc1": AppClass.MC,
+                   "m0": AppClass.M, "new": AppClass.M}
+        devices[0].assign(entry("mc0"), 0, ctx)
+        devices[0].assign(entry("mc1", 1), 0, ctx)   # S = 1.5+1.5-1 = 2.0
+        devices[1].assign(entry("m0", 2), 0, ctx)    # S = 3.0
+        placement = InterferenceAwarePlacement(classes=classes)
+        assert placement.choose(entry("new", 3), 0, devices,
+                                ctx).device_id == 0
+
+    def test_degrades_to_least_loaded_without_model(self, ctx):
+        assert ctx.interference is None
+        devices = fleet(2)
+        devices[0].assign(entry("a"), 0, ctx)
+        placement = InterferenceAwarePlacement(
+            classes={"a": AppClass.M, "x": AppClass.M})
+        assert placement.choose(entry("x", 1), 0, devices, ctx).device_id == 1
+
+    def test_declares_interference_need(self):
+        assert InterferenceAwarePlacement.needs_interference
+        assert not RoundRobinPlacement.needs_interference
+        assert not LeastLoadedPlacement.needs_interference
+
+
+class TestRegistry:
+    def test_known_keys(self):
+        assert set(PLACEMENT_FACTORIES) == {"round-robin", "least-loaded",
+                                            "interference"}
+        for key in PLACEMENT_FACTORIES:
+            assert placement_policy(key).name == key
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            placement_policy("magic")
+
+    def test_fresh_instance_per_call(self):
+        assert placement_policy("round-robin") is not \
+            placement_policy("round-robin")

@@ -6,7 +6,8 @@ from repro.core import (EvenPolicy, PlannedGroup, Profiler, SMRAParams,
                         make_context, measure_interference, run_group,
                         run_queue)
 from repro.gpusim import small_test_config
-from repro.runtime import (ParallelExecutor, SerialExecutor, make_executor)
+from repro.runtime import (ParallelExecutor, SerialExecutor, make_executor,
+                           workers_from_env)
 
 from ..conftest import make_tiny_spec
 
@@ -59,7 +60,6 @@ class TestMakeExecutor:
     def test_default_is_serial(self):
         assert isinstance(make_executor(None), SerialExecutor)
         assert isinstance(make_executor(1), SerialExecutor)
-        assert isinstance(make_executor(0), SerialExecutor)
 
     def test_multi_worker_is_parallel(self):
         ex = make_executor(2)
@@ -67,10 +67,39 @@ class TestMakeExecutor:
         assert ex.workers == 2
         ex.close()
 
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "4", True])
+    def test_invalid_workers_rejected(self, bad):
+        with pytest.raises(ValueError, match="workers must be"):
+            make_executor(bad)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_parallel_executor_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="workers must be"):
+            ParallelExecutor(bad)
+
     def test_context_manager_closes(self):
         with ParallelExecutor(2) as ex:
             assert ex.run_pairs(small_test_config(), []) == []
         assert ex._pool is None
+
+
+class TestWorkersFromEnv:
+    def test_unset_and_empty_use_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert workers_from_env() == 1
+        assert workers_from_env(default=3) == 3
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        assert workers_from_env() == 1
+
+    def test_valid_value_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", " 4 ")
+        assert workers_from_env() == 4
+
+    @pytest.mark.parametrize("bad", ["O", "2.5", "-1", "0"])
+    def test_invalid_value_names_the_variable(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            workers_from_env()
 
 
 class TestRunGroups:

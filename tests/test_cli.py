@@ -74,6 +74,61 @@ class TestParser:
         assert args.burst_size == 4
         assert args.nc == 3
 
+    def test_run_stream_threads_seed(self):
+        args = build_parser().parse_args(["run-stream", "--seed", "7"])
+        assert args.seed == 7
+
+    @pytest.mark.parametrize("argv", [
+        ["run-stream", "--mean-gap", "-5"],
+        ["run-stream", "--mean-gap", "0"],
+        ["run-stream", "--mean-gap", "nan"],
+        ["run-stream", "--burst-gap", "-1"],
+        ["run-stream", "--burst-size", "0"],
+        ["run-stream", "--apps", "0"],
+        ["run-stream", "--scale", "-0.5"],
+        ["run-stream", "--synthetic-fraction", "1.5"],
+        ["run-fleet", "--synthetic-fraction", "-0.1"],
+        ["run-stream", "--seed", "-1"],
+        ["run-stream", "--workers", "0"],
+        ["run-stream", "--workers", "x"],
+        ["run-queue", "--workers", "-2"],
+        ["run-queue", "--seed", "1.5"],
+        ["interference", "--samples", "0"],
+    ])
+    def test_invalid_rates_and_counts_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert argv[1] in capsys.readouterr().err
+
+    def test_run_fleet_defaults(self):
+        args = build_parser().parse_args(["run-fleet"])
+        assert args.devices == 4
+        assert args.apps == 200
+        assert args.arrival == "poisson"
+        assert args.placement == ["round-robin", "least-loaded",
+                                  "interference"]
+        assert args.policy == "fcfs"
+        assert args.workers == 1
+
+    def test_run_fleet_selections(self):
+        args = build_parser().parse_args(
+            ["run-fleet", "--devices", "8", "--placement", "interference",
+             "--policy", "backfill", "--workers", "4"])
+        assert args.devices == 8
+        assert args.placement == ["interference"]
+        assert args.policy == "backfill"
+        assert args.workers == 4
+
+    @pytest.mark.parametrize("argv", [
+        ["run-fleet", "--placement", "magic"],
+        ["run-fleet", "--devices", "0"],
+        ["run-fleet", "--policy", "magic"],
+        ["run-fleet", "--workers", "0"],
+    ])
+    def test_run_fleet_rejects_bad_options(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
 
 class TestCommands:
     def test_list_runs(self, capsys):
@@ -120,3 +175,26 @@ class TestCommands:
         trace.write_text("# nothing here\n\n")
         with pytest.raises(SystemExit, match="empty"):
             main(["run-stream", "--trace", str(trace)])
+
+    def test_run_stream_seed_is_reproducible(self, capsys):
+        argv = ["run-stream", "--apps", "3", "--scale", "0.1",
+                "--synthetic-fraction", "0", "--policies", "fcfs",
+                "--seed", "11"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert main(argv[:-1] + ["12"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_run_fleet_small_batch(self, capsys):
+        assert main(["run-fleet", "--devices", "2", "--apps", "4",
+                     "--scale", "0.1", "--synthetic-fraction", "0",
+                     "--arrival", "batch", "--policy", "fcfs",
+                     "--placement", "round-robin", "least-loaded",
+                     "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "round-robin" in out and "least-loaded" in out
+        assert "ANTT" in out and "imbalance" in out
+        assert "util/device" in out
+        assert "device 0" in out and "device 1" in out
