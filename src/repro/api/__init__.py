@@ -1,0 +1,36 @@
+"""The declarative Scenario/Experiment API: one entry point for runs.
+
+Three pieces (see ``docs/api.md``):
+
+* **registry** (:mod:`.registry`) — the single pluggable kind → name →
+  factory table behind every policy / placement / stream / benchmark /
+  config lookup, with decorator-based extension;
+* **scenario** (:mod:`.scenario`) — the :class:`Scenario` dataclass
+  tree (workload, policy, placement, devices, execution) with strict
+  validation and a lossless JSON round-trip;
+* **runner** (:mod:`.runner`) — :func:`run_scenario` dispatches a
+  scenario to the queue / stream / fleet engine and normalizes the
+  outcome into one serializable :class:`RunResult` (headline metrics,
+  per-app records, per-device breakdown, provenance block);
+  :mod:`.sweep` expands a base scenario × parameter grid into points.
+
+The CLI front ends are ``python -m repro run <scenario.json>`` and
+``python -m repro sweep <sweep.json>``; the classic ``run-queue`` /
+``run-stream`` / ``run-fleet`` subcommands are thin wrappers over the
+same path.
+"""
+
+from .registry import BUILTIN_KINDS, REGISTRY, Registry, RegistryError
+from .runner import RunResult, build_arrivals, build_queue, run_scenario
+from .scenario import (KINDS, SCHEMA_VERSION, SOURCES, DeviceSpec,
+                       ExecutionSpec, PlacementSpec, PolicySpec, Scenario,
+                       WorkloadSpec)
+from .sweep import expand_grid, load_sweep, point_filename
+
+__all__ = [
+    "REGISTRY", "Registry", "RegistryError", "BUILTIN_KINDS",
+    "Scenario", "WorkloadSpec", "PolicySpec", "PlacementSpec",
+    "DeviceSpec", "ExecutionSpec", "KINDS", "SOURCES", "SCHEMA_VERSION",
+    "RunResult", "run_scenario", "build_queue", "build_arrivals",
+    "expand_grid", "load_sweep", "point_filename",
+]

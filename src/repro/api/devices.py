@@ -1,0 +1,20 @@
+"""Named device configurations for the ``gpu-configs`` registry kind.
+
+A :class:`~repro.api.scenario.DeviceSpec` names its configuration
+instead of embedding one, so a scenario JSON stays small and a config
+change (e.g. recalibrating the GTX-480 model) propagates to every
+stored scenario.  Register additional named configs here or downstream::
+
+    @REGISTRY.register("gpu-configs", "my-lab-gpu")
+    def _my_lab_gpu():
+        return gtx480(num_sms=80)
+"""
+
+from __future__ import annotations
+
+from repro.gpusim import gtx480, small_test_config
+
+from .registry import REGISTRY
+
+REGISTRY.register("gpu-configs", "gtx480", gtx480)
+REGISTRY.register("gpu-configs", "small-test", small_test_config)

@@ -1,0 +1,423 @@
+"""The declarative Scenario tree: one serializable run description.
+
+A :class:`Scenario` fully describes one queue / stream / fleet run —
+workload, policy, placement, devices, execution — as plain data with a
+lossless JSON round-trip (``Scenario.from_dict(s.to_dict()) == s``).
+It is the single input format of :func:`repro.api.runner.run_scenario`,
+the ``python -m repro run`` CLI, and the sweep expander; the classic
+``run-queue`` / ``run-stream`` / ``run-fleet`` subcommands are thin
+wrappers that build a :class:`Scenario` from their flags.
+
+Design rules
+------------
+* **Strict validation at construction.**  Every spec validates in
+  ``__post_init__``; a malformed dict never becomes a half-usable
+  object.  Registry names (policy, placement, config, arrival) are
+  validated against :data:`~repro.api.registry.REGISTRY` so a typo
+  fails at load time with a did-you-mean message, not mid-run.
+* **Strict decoding.**  ``from_dict`` rejects unknown keys and wrong
+  schema versions with errors naming the offending key.
+* **Deterministic identity.**  :meth:`Scenario.spec_hash` is a sha256
+  over the canonical JSON encoding with ``execution.workers``
+  normalized to 1 — the worker count changes wall-clock only, never
+  results, so two runs of the same experiment share one hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from .registry import REGISTRY
+
+#: Version of the Scenario/RunResult JSON schema.  Bump on any change
+#: that alters field meaning; ``from_dict`` rejects other versions.
+SCHEMA_VERSION = 1
+
+#: The run kinds :func:`repro.api.runner.run_scenario` dispatches on.
+KINDS = ("queue", "stream", "fleet")
+
+#: Workload sources understood by :class:`WorkloadSpec`.
+SOURCES = ("paper", "distribution", "stream", "trace")
+
+#: The distribution-queue orientations of §4.1 (mirrors
+#: ``repro.workloads.DISTRIBUTIONS`` without importing the heavyweight
+#: workloads package at decode time).
+_DISTRIBUTIONS = ("equal", "M", "MC", "C", "A")
+
+#: Simulation budget default (mirrors ``repro.gpusim.DEFAULT_MAX_CYCLES``).
+_DEFAULT_MAX_CYCLES = 50_000_000
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValueError(message)
+
+
+def _check_registry(kind: str, name: str) -> None:
+    # Delegates to the registry so the error carries the did-you-mean
+    # hint; RegistryError is a ValueError, the decode contract.
+    REGISTRY.get(kind, name)
+
+
+def _decode(cls, data: Mapping[str, Any], context: str):
+    """Build dataclass `cls` from `data`, rejecting unknown keys."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{context} must be an object, got "
+                         f"{type(data).__name__}")
+    fields = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - fields)
+    if unknown:
+        raise ValueError(f"{context} has unknown key(s): "
+                         f"{', '.join(unknown)} (known: "
+                         f"{', '.join(sorted(fields))})")
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What applications arrive, and when.
+
+    ``source`` selects the queue builder:
+
+    * ``paper`` — the paper's 14-app queue (12-app when the policy runs
+      NC=3 groups), Fig. 4.1/4.2;
+    * ``distribution`` — a §4.1 class-distribution queue
+      (``distribution`` + ``length``);
+    * ``stream`` — the Rodinia+synthetic mixed queue of the online
+      scenarios (``apps`` + ``synthetic_fraction``);
+    * ``trace`` — replay a ``<cycle> <benchmark>`` file (``trace``).
+
+    ``arrival`` selects the arrival process layered on top (a name of
+    the ``streams`` registry kind): ``batch`` (everything at cycle 0 —
+    the only choice for ``queue`` scenarios), ``poisson`` or ``bursty``.
+    A ``trace`` source carries its own arrival cycles.
+
+    Every stochastic choice — the stream mix, synthetic specs, Poisson
+    and bursty gaps, the distribution-queue shuffle — derives from
+    ``seed`` alone, so one scenario JSON reproduces bit-identical
+    results.
+    """
+
+    source: str = "paper"
+    #: class orientation for ``source="distribution"``.
+    distribution: str = "equal"
+    #: queue length for ``source="distribution"``.
+    length: int = 20
+    #: stream length for ``source="stream"``.
+    apps: int = 50
+    #: synthetic share of the stream mix for ``source="stream"``.
+    synthetic_fraction: float = 0.5
+    #: trace file path for ``source="trace"``.
+    trace: str = ""
+    #: kernel scale factor (smaller = faster runs).
+    scale: float = 1.0
+    #: master seed for mix + arrival randomness.
+    seed: int = 42
+    #: arrival process (``streams`` registry kind).
+    arrival: str = "batch"
+    #: mean Poisson inter-arrival gap in cycles.
+    mean_gap: float = 5000.0
+    #: arrivals per burst for ``arrival="bursty"``.
+    burst_size: int = 8
+    #: mean quiet gap between bursts in cycles.
+    burst_gap: float = 50000.0
+
+    def __post_init__(self):
+        _require(self.source in SOURCES,
+                 f"unknown workload source {self.source!r}; expected one "
+                 f"of {list(SOURCES)}")
+        _require(self.distribution in _DISTRIBUTIONS,
+                 f"unknown distribution {self.distribution!r}; expected "
+                 f"one of {list(_DISTRIBUTIONS)}")
+        _require(isinstance(self.length, int) and self.length >= 1,
+                 f"length must be a positive integer, got {self.length!r}")
+        _require(isinstance(self.apps, int) and self.apps >= 1,
+                 f"apps must be a positive integer, got {self.apps!r}")
+        _require(0.0 <= self.synthetic_fraction <= 1.0,
+                 f"synthetic_fraction must be in [0, 1], got "
+                 f"{self.synthetic_fraction!r}")
+        _require(self.scale > 0,
+                 f"scale must be > 0, got {self.scale!r}")
+        _require(isinstance(self.seed, int) and self.seed >= 0,
+                 f"seed must be a non-negative integer, got {self.seed!r}")
+        _require(self.source != "trace" or bool(self.trace),
+                 "a trace workload needs a trace file path")
+        _require(self.source == "trace" or not self.trace,
+                 f"trace path is only valid with source='trace', not "
+                 f"{self.source!r}")
+        if self.source != "trace":
+            _check_registry("streams", self.arrival)
+        _require(self.mean_gap > 0,
+                 f"mean_gap must be > 0, got {self.mean_gap!r}")
+        _require(isinstance(self.burst_size, int) and self.burst_size >= 1,
+                 f"burst_size must be a positive integer, got "
+                 f"{self.burst_size!r}")
+        _require(self.burst_gap > 0,
+                 f"burst_gap must be > 0, got {self.burst_gap!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        return _decode(cls, data, "workload")
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Which scheduling policy forms groups, and its arity.
+
+    ``name`` is a ``policies`` registry name for queue scenarios and an
+    ``online-policies`` name for stream/fleet scenarios (the scenario's
+    ``kind`` decides which; :meth:`Scenario.__post_init__` validates).
+    """
+
+    name: str = "fcfs"
+    #: concurrent applications per group.
+    nc: int = 2
+
+    def __post_init__(self):
+        _require(bool(self.name) and isinstance(self.name, str),
+                 f"policy name must be a non-empty string, got "
+                 f"{self.name!r}")
+        _require(isinstance(self.nc, int) and self.nc >= 1,
+                 f"nc must be a positive integer, got {self.nc!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolicySpec":
+        return _decode(cls, data, "policy")
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """Which device an arriving application joins (fleet scenarios)."""
+
+    name: str = "least-loaded"
+
+    def __post_init__(self):
+        _check_registry("placements", self.name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlacementSpec":
+        return _decode(cls, data, "placement")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """How many devices, and which named configuration they run.
+
+    ``per_device`` is the heterogeneity hook: an explicit per-device
+    list of ``gpu-configs`` names.  The engines currently simulate
+    homogeneous fleets only, so a mixed list is rejected here with a
+    pointer at the ROADMAP item — the schema (and every stored
+    scenario) is already shaped for big/little fleets.
+    """
+
+    count: int = 1
+    #: a ``gpu-configs`` registry name.
+    config: str = "gtx480"
+    #: per-device config names (heterogeneity hook); length must equal
+    #: ``count`` and, until heterogeneous fleets land, every entry must
+    #: equal ``config``.
+    per_device: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self):
+        _require(isinstance(self.count, int) and self.count >= 1,
+                 f"device count must be a positive integer, got "
+                 f"{self.count!r}")
+        _check_registry("gpu-configs", self.config)
+        if self.per_device is not None:
+            # JSON decodes to lists; normalize to the hashable tuple.
+            object.__setattr__(self, "per_device", tuple(self.per_device))
+            _require(len(self.per_device) == self.count,
+                     f"per_device lists {len(self.per_device)} configs "
+                     f"for {self.count} device(s)")
+            for name in self.per_device:
+                _check_registry("gpu-configs", name)
+            mixed = sorted(set(self.per_device) - {self.config})
+            _require(not mixed,
+                     f"heterogeneous fleets are not simulated yet "
+                     f"(per_device mixes in {mixed}); see the ROADMAP "
+                     f"fleet-heterogeneity item")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        if data["per_device"] is not None:
+            data["per_device"] = list(data["per_device"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DeviceSpec":
+        return _decode(cls, data, "devices")
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """Resources and budgets: never part of the result's identity.
+
+    ``workers`` fans independent simulations across processes — the
+    engines guarantee bit-identical results for any worker count, so
+    :meth:`Scenario.spec_hash` normalizes it away.  ``samples_per_pair``
+    sizes the Fig. 3.4 interference measurement; ``max_cycles`` is the
+    per-simulation safety budget.
+    """
+
+    workers: int = 1
+    max_cycles: int = _DEFAULT_MAX_CYCLES
+    samples_per_pair: int = 1
+
+    def __post_init__(self):
+        _require(isinstance(self.workers, int)
+                 and not isinstance(self.workers, bool)
+                 and self.workers >= 1,
+                 f"workers must be a positive integer, got "
+                 f"{self.workers!r}")
+        _require(isinstance(self.max_cycles, int) and self.max_cycles >= 1,
+                 f"max_cycles must be a positive integer, got "
+                 f"{self.max_cycles!r}")
+        _require(isinstance(self.samples_per_pair, int)
+                 and self.samples_per_pair >= 1,
+                 f"samples_per_pair must be a positive integer, got "
+                 f"{self.samples_per_pair!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionSpec":
+        return _decode(cls, data, "execution")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative run: kind + workload + policy (+ placement).
+
+    ``kind`` selects the engine — ``queue`` (batch drain), ``stream``
+    (one device, online arrivals), ``fleet`` (N devices + placement).
+    """
+
+    kind: str
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    placement: Optional[PlacementSpec] = None
+    devices: DeviceSpec = field(default_factory=DeviceSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    #: free-form label, carried into results and sweep file names.
+    name: str = ""
+
+    def __post_init__(self):
+        _require(self.kind in KINDS,
+                 f"unknown scenario kind {self.kind!r}; expected one of "
+                 f"{list(KINDS)}")
+        _check_registry(self._policy_kind(), self.policy.name)
+        if self.kind == "queue":
+            _require(self.workload.arrival == "batch",
+                     "queue scenarios drain a batch; set workload.arrival "
+                     "to 'batch' (or use kind='stream')")
+            _require(self.workload.source != "trace",
+                     "queue scenarios have no arrival timeline; replay "
+                     "traces with kind='stream'")
+        if self.kind == "fleet":
+            if self.placement is None:
+                object.__setattr__(self, "placement", PlacementSpec())
+        else:
+            _require(self.placement is None,
+                     f"placement is only valid for fleet scenarios, not "
+                     f"kind={self.kind!r}")
+            _require(self.devices.count == 1,
+                     f"{self.kind} scenarios run one device; use "
+                     f"kind='fleet' for {self.devices.count}")
+        _require(isinstance(self.name, str),
+                 f"name must be a string, got {self.name!r}")
+
+    def _policy_kind(self) -> str:
+        """The registry kind ``policy.name`` resolves in."""
+        return "policies" if self.kind == "queue" else "online-policies"
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data encoding; ``from_dict`` inverts it losslessly."""
+        data: Dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "workload": self.workload.to_dict(),
+            "policy": self.policy.to_dict(),
+            "devices": self.devices.to_dict(),
+            "execution": self.execution.to_dict(),
+        }
+        if self.placement is not None:
+            data["placement"] = self.placement.to_dict()
+        if self.name:
+            data["name"] = self.name
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Strict decode: unknown keys / versions are :class:`ValueError`."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"scenario must be an object, got "
+                             f"{type(data).__name__}")
+        data = dict(data)
+        version = data.pop("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported scenario schema_version {version!r}; this "
+                f"build reads version {SCHEMA_VERSION}")
+        known = {"kind", "workload", "policy", "placement", "devices",
+                 "execution", "name"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"scenario has unknown key(s): "
+                             f"{', '.join(unknown)} (known: "
+                             f"{', '.join(sorted(known))})")
+        if "kind" not in data:
+            raise ValueError("scenario is missing the required 'kind' key")
+        placement = data.get("placement")
+        return cls(
+            kind=data["kind"],
+            workload=WorkloadSpec.from_dict(data.get("workload", {})),
+            policy=PolicySpec.from_dict(data.get("policy", {})),
+            placement=(PlacementSpec.from_dict(placement)
+                       if placement is not None else None),
+            devices=DeviceSpec.from_dict(data.get("devices", {})),
+            execution=ExecutionSpec.from_dict(data.get("execution", {})),
+            name=data.get("name", ""),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"scenario is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    # -- identity ----------------------------------------------------------
+
+    def spec_hash(self) -> str:
+        """sha256 identity of the *experiment* this scenario describes.
+
+        ``execution.workers`` is normalized to 1 before hashing: the
+        engines produce bit-identical results for any worker count, so
+        a serial run and a ``--workers 4`` run of the same scenario
+        share one hash (and their result JSONs compare byte-equal).
+        """
+        data = self.to_dict()
+        data["execution"]["workers"] = 1
+        canon = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()

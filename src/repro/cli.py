@@ -2,6 +2,13 @@
 
 Subcommands
 -----------
+``run``
+    Execute one declarative scenario JSON (queue / stream / fleet)
+    through :func:`repro.api.run_scenario`; print the headline metrics
+    and optionally write the full :class:`~repro.api.RunResult` JSON.
+``sweep``
+    Expand a base scenario × parameter grid into scenarios and run each
+    point, writing one results JSON per point plus a manifest.
 ``profile``
     Solo-profile benchmarks and print their Table 3.2 metric rows.
 ``classify``
@@ -22,40 +29,34 @@ Subcommands
 ``scalability``
     Sweep SM counts for selected benchmarks (Fig. 3.5/3.6).
 ``list``
-    List the available benchmarks with their paper classes.
+    List the benchmark models, or any registry kind via ``--kind``.
+
+``run-queue`` / ``run-stream`` / ``run-fleet`` are thin wrappers: each
+builds a :class:`~repro.api.Scenario` per policy (or placement) and
+routes it through the same :func:`~repro.api.run_scenario` path as
+``run`` — component lookups all resolve in the single
+:data:`~repro.api.REGISTRY`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import (normalize, render_bars, render_table,
                             summarize_fleet, summarize_stream)
-from repro.cluster import PLACEMENT_FACTORIES, placement_policy, run_fleet
-from repro.core import (CLASS_ORDER, ClassificationThresholds, FCFSPolicy,
-                        EvenPolicy, ILPPolicy, ILPSMRAPolicy,
-                        ProfileBasedPolicy, SerialPolicy, SMRAParams,
-                        classify, make_context, run_queue, shared_profiler,
-                        warm_profiles)
+from repro.api import (REGISTRY, DeviceSpec, ExecutionSpec, PlacementSpec,
+                       PolicySpec, RunResult, Scenario, WorkloadSpec,
+                       load_sweep, point_filename, run_scenario)
+from repro.core import (CLASS_ORDER, ClassificationThresholds, classify,
+                        make_context, shared_profiler)
 from repro.gpusim import Application, gtx480, simulate
-from repro.runtime import (ONLINE_POLICY_FACTORIES, make_executor,
-                           online_policy, run_stream)
+from repro.runtime import make_executor
 from repro.workloads import (ALL_BENCHMARKS, DISTRIBUTIONS, RODINIA_SPECS,
-                             TABLE_3_2_CLASSES, batch_arrivals,
-                             bursty_arrivals, distribution_queue, load_trace,
-                             paper_queue, paper_queue_three,
-                             poisson_arrivals, stream_queue)
-
-POLICY_FACTORIES = {
-    "serial": lambda nc: SerialPolicy(),
-    "even": EvenPolicy,
-    "fcfs": FCFSPolicy,
-    "profile": ProfileBasedPolicy,
-    "ilp": ILPPolicy,
-    "ilp-smra": ILPSMRAPolicy,
-}
+                             TABLE_3_2_CLASSES)
 
 
 def _positive_int(text: str) -> int:
@@ -117,7 +118,21 @@ def _select_benchmarks(names: Optional[Sequence[str]]) -> List[str]:
     return list(names)
 
 
-def cmd_list(_args) -> int:
+def _run_or_exit(scenario: Scenario, executor=None) -> RunResult:
+    """:func:`run_scenario` with CLI-grade errors (clean exit, no trace)."""
+    try:
+        return run_scenario(scenario, executor=executor)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def cmd_list(args) -> int:
+    kind = getattr(args, "kind", None)
+    if kind and kind != "benchmarks":
+        names = REGISTRY.names(kind)
+        print(render_table(["name"], [[n] for n in names],
+                           title=f"Registered {kind} ({len(names)})"))
+        return 0
     rows = [(name, TABLE_3_2_CLASSES[name],
              RODINIA_SPECS[name].blocks, RODINIA_SPECS[name].warps_per_block,
              RODINIA_SPECS[name].kernel_launches)
@@ -194,33 +209,145 @@ def _policy_keys(keys: Sequence[str]) -> List[str]:
     """Expand the ``all`` shorthand, preserving order and uniqueness."""
     out: List[str] = []
     for key in keys:
-        out.extend(sorted(POLICY_FACTORIES) if key == "all" else [key])
+        out.extend(REGISTRY.names("policies") if key == "all" else [key])
     return _unique(out)
 
 
-def cmd_run_queue(args) -> int:
-    config = gtx480()
-    with make_executor(args.workers) as executor:
-        ctx = make_context(config, suite=dict(RODINIA_SPECS),
-                           need_interference=True,
-                           samples_per_pair=args.samples,
-                           smra_params=SMRAParams(), executor=executor)
-        if args.queue == "paper":
-            queue = paper_queue() if args.nc == 2 else paper_queue_three()
-        else:
-            queue = distribution_queue(args.queue, length=args.length,
-                                       seed=args.seed)
+# -- scenario construction from argparse namespaces --------------------------
 
+def _queue_scenario(args, policy_key: str) -> Scenario:
+    if args.queue == "paper":
+        workload = WorkloadSpec(source="paper", seed=args.seed)
+    else:
+        workload = WorkloadSpec(source="distribution",
+                                distribution=args.queue,
+                                length=args.length, seed=args.seed)
+    return Scenario(
+        kind="queue",
+        workload=workload,
+        policy=PolicySpec(name=policy_key, nc=args.nc),
+        execution=ExecutionSpec(workers=args.workers,
+                                samples_per_pair=args.samples))
+
+
+def _stream_workload(args) -> WorkloadSpec:
+    """The arrival stream an `args` namespace describes.
+
+    Everything is reproducible from ``--seed``: the stream queue's
+    kernel mix and the Poisson/bursty arrival process both derive from
+    it (a trace replay is deterministic by construction).
+    """
+    if getattr(args, "trace", None):
+        return WorkloadSpec(source="trace", trace=args.trace,
+                            scale=args.scale, seed=args.seed)
+    return WorkloadSpec(source="stream", apps=args.apps,
+                        synthetic_fraction=args.synthetic_fraction,
+                        scale=args.scale, seed=args.seed,
+                        arrival=args.arrival, mean_gap=args.mean_gap,
+                        burst_size=args.burst_size,
+                        burst_gap=args.burst_gap)
+
+
+def _stream_scenario(args, policy_key: str) -> Scenario:
+    return Scenario(
+        kind="stream",
+        workload=_stream_workload(args),
+        policy=PolicySpec(name=policy_key, nc=args.nc),
+        execution=ExecutionSpec(workers=args.workers,
+                                samples_per_pair=args.samples))
+
+
+def _fleet_scenario(args, placement_key: str) -> Scenario:
+    return Scenario(
+        kind="fleet",
+        workload=_stream_workload(args),
+        policy=PolicySpec(name=args.policy, nc=args.nc),
+        placement=PlacementSpec(name=placement_key),
+        devices=DeviceSpec(count=args.devices),
+        execution=ExecutionSpec(workers=args.workers,
+                                samples_per_pair=args.samples))
+
+
+# -- the declarative entry points --------------------------------------------
+
+def _write_result(result: RunResult, path: str) -> None:
+    pathlib.Path(path).write_text(result.to_json())
+
+
+def _print_result_summary(result: RunResult) -> None:
+    prov = result.provenance
+    label = result.scenario.get("name") or result.metrics.get("policy", "")
+    rows = [[key, value] for key, value in sorted(result.metrics.items())
+            if not isinstance(value, (list, dict))]
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"{result.kind} scenario {label!r} "
+              f"(engine v{prov['engine_version']}, "
+              f"spec {prov['spec_hash'][:10]})"))
+
+
+def cmd_run(args) -> int:
+    try:
+        scenario = Scenario.from_json(
+            pathlib.Path(args.scenario).read_text())
+    except ValueError as exc:
+        raise SystemExit(f"{args.scenario}: {exc}") from None
+    executor = make_executor(args.workers) if args.workers else None
+    try:
+        result = _run_or_exit(scenario, executor=executor)
+    finally:
+        if executor is not None:
+            executor.close()
+    _print_result_summary(result)
+    if args.out:
+        _write_result(result, args.out)
+        print(f"\nwrote results to {args.out}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    try:
+        points = load_sweep(pathlib.Path(args.sweep).read_text())
+    except ValueError as exc:
+        raise SystemExit(f"{args.sweep}: {exc}") from None
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    executor = make_executor(args.workers) if args.workers else None
+    manifest = []
+    try:
+        for index, (overrides, scenario) in enumerate(points):
+            result = _run_or_exit(scenario, executor=executor)
+            filename = point_filename(scenario, index)
+            _write_result(result, out_dir / filename)
+            manifest.append({"index": index, "overrides": overrides,
+                             "file": filename,
+                             "spec_hash": result.provenance["spec_hash"]})
+            shown = ", ".join(f"{k}={v}" for k, v in overrides.items())
+            print(f"[{index + 1}/{len(points)}] {filename}"
+                  + (f"  ({shown})" if shown else ""))
+    finally:
+        if executor is not None:
+            executor.close()
+    (out_dir / "sweep_manifest.json").write_text(
+        json.dumps({"points": manifest}, sort_keys=True, indent=2) + "\n")
+    print(f"\n{len(points)} point(s) written to {out_dir}")
+    return 0
+
+
+# -- classic front doors (thin wrappers over run_scenario) -------------------
+
+def cmd_run_queue(args) -> int:
+    with make_executor(args.workers) as executor:
         throughputs = {}
         for key in _policy_keys(args.policies):
-            policy = POLICY_FACTORIES[key](args.nc)
-            outcome = run_queue(queue, policy, ctx, executor=executor)
-            throughputs[policy.name] = outcome.device_throughput
+            result = _run_or_exit(_queue_scenario(args, key), executor)
+            throughputs[result.metrics["policy"]] = \
+                result.metrics["device_throughput"]
             if args.verbose:
-                print(f"\n{policy.name}:")
-                for group in outcome.groups:
-                    print(f"  {' + '.join(group.members):40} "
-                          f"{group.cycles:>9,} cycles")
+                print(f"\n{result.metrics['policy']}:")
+                for group in result.groups:
+                    print(f"  {' + '.join(group['members']):40} "
+                          f"{group['cycles']:>9,} cycles")
 
     baseline = list(throughputs)[0]
     print()
@@ -232,67 +359,25 @@ def cmd_run_queue(args) -> int:
     return 0
 
 
-def _build_arrivals(args):
-    """The arrival stream an `args` namespace describes.
-
-    Everything is reproducible from ``--seed``: the stream queue's
-    kernel mix and the Poisson/bursty arrival process both derive from
-    it (a trace replay is deterministic by construction).
-    """
-    if getattr(args, "trace", None):
-        arrivals = load_trace(args.trace, scale=args.scale)
-    else:
-        queue = stream_queue(args.apps, seed=args.seed,
-                             synthetic_fraction=args.synthetic_fraction,
-                             scale=args.scale)
-        if args.arrival == "poisson":
-            arrivals = poisson_arrivals(queue, args.mean_gap,
-                                        seed=args.seed)
-        elif args.arrival == "bursty":
-            arrivals = bursty_arrivals(queue, args.burst_size,
-                                       args.burst_gap, seed=args.seed)
-        else:
-            arrivals = batch_arrivals(queue)
-    if not arrivals:
-        raise SystemExit("the arrival stream is empty (trace with no "
-                         "entries?)")
-    return arrivals
-
-
 def cmd_run_stream(args) -> int:
-    config = gtx480()
-    # One policy instance per run; whether the Fig. 3.4 matrix must be
-    # measured is the policies' own declaration, not CLI knowledge.
-    policies = [online_policy(key, args.nc) for key in args.policies]
+    rows = []
+    apps = 0
     with make_executor(args.workers) as executor:
-        ctx = make_context(
-            config, suite=dict(RODINIA_SPECS),
-            need_interference=any(p.needs_interference for p in policies),
-            samples_per_pair=args.samples,
-            smra_params=SMRAParams(), executor=executor)
-
-        arrivals = _build_arrivals(args)
-
-        # Solo times (ANTT/STP denominators) — parallel warm, then cached.
-        warm_profiles(ctx.profiler, executor,
-                      [(a.name, a.spec) for a in arrivals])
-        solo = {a.name: ctx.profiler.profile(a.name, a.spec).solo_cycles
-                for a in arrivals}
-
-        rows = []
-        for policy in policies:
-            outcome = run_stream(arrivals, policy, ctx)
-            s = summarize_stream(outcome, solo)
-            rows.append([s.policy, s.antt, s.stp, s.device_throughput,
-                         100.0 * s.utilization, s.wait_p50, s.wait_p99,
-                         s.latency_p50, s.latency_p99])
+        for key in args.policies:
+            result = _run_or_exit(_stream_scenario(args, key), executor)
+            m = result.metrics
+            apps = m["apps"]
+            rows.append([m["policy"], m["antt"], m["stp"],
+                         m["device_throughput"], 100.0 * m["utilization"],
+                         m["wait_p50"], m["wait_p99"],
+                         m["latency_p50"], m["latency_p99"]])
             if args.verbose:
-                print(f"\n{s.policy}: makespan {outcome.makespan:,} cycles, "
-                      f"{len(outcome.groups)} groups")
-                for g in outcome.groups:
-                    print(f"  @{g.start_cycle:>10,} "
-                          f"{' + '.join(g.outcome.members):46} "
-                          f"{g.outcome.cycles:>9,} cycles")
+                print(f"\n{m['policy']}: makespan {m['makespan']:,} "
+                      f"cycles, {len(result.groups)} groups")
+                for g in result.groups:
+                    print(f"  @{g['start_cycle']:>10,} "
+                          f"{' + '.join(g['members']):46} "
+                          f"{g['cycles']:>9,} cycles")
 
     kind = f"trace:{args.trace}" if args.trace else args.arrival
     print()
@@ -300,53 +385,33 @@ def cmd_run_stream(args) -> int:
         ["policy", "ANTT", "STP", "IPC", "util %", "wait p50", "wait p99",
          "lat p50", "lat p99"],
         rows,
-        title=f"Online stream: {len(arrivals)} apps, {kind} arrivals, "
+        title=f"Online stream: {apps} apps, {kind} arrivals, "
               f"NC={args.nc} (ANTT lower / STP higher is better)"))
     return 0
 
 
 def cmd_run_fleet(args) -> int:
-    config = gtx480()
-    placements = [placement_policy(key) for key in _unique(args.placement)]
-    # Probe one policy instance: whether the Fig. 3.4 matrix is needed
-    # is declared by the per-device policy and the placement policies.
-    need_interference = (online_policy(args.policy, args.nc)
-                         .needs_interference
-                         or any(p.needs_interference for p in placements))
+    rows = []
+    summaries = []
+    apps = 0
     with make_executor(args.workers) as executor:
-        ctx = make_context(config, suite=dict(RODINIA_SPECS),
-                           need_interference=need_interference,
-                           samples_per_pair=args.samples,
-                           smra_params=SMRAParams(), executor=executor)
-
-        arrivals = _build_arrivals(args)
-
-        # Solo times (ANTT/STP denominators) — parallel warm, then cached.
-        warm_profiles(ctx.profiler, executor,
-                      [(a.name, a.spec) for a in arrivals])
-        solo = {a.name: ctx.profiler.profile(a.name, a.spec).solo_cycles
-                for a in arrivals}
-
-        rows = []
-        summaries = []
-        for placement in placements:
-            outcome = run_fleet(
-                arrivals, placement,
-                lambda _i: online_policy(args.policy, args.nc), ctx,
-                num_devices=args.devices, executor=executor)
-            s = summarize_fleet(outcome, solo)
-            summaries.append(s)
-            rows.append([s.placement, s.antt, s.stp, s.fleet_throughput,
-                         100.0 * s.utilization, s.load_imbalance,
-                         s.wait_p50, s.wait_p99, s.latency_p99])
+        for key in _unique(args.placement):
+            result = _run_or_exit(_fleet_scenario(args, key), executor)
+            m = result.metrics
+            apps = m["apps"]
+            summaries.append(m)
+            rows.append([m["placement"], m["antt"], m["stp"],
+                         m["fleet_throughput"], 100.0 * m["utilization"],
+                         m["load_imbalance"], m["wait_p50"], m["wait_p99"],
+                         m["latency_p99"]])
             if args.verbose:
-                print(f"\n{s.placement}: makespan {outcome.makespan:,} "
+                print(f"\n{m['placement']}: makespan {m['makespan']:,} "
                       f"cycles")
-                for dev in outcome.devices:
-                    print(f"  device {dev.device_id}: "
-                          f"{dev.apps_served:>3} apps in "
-                          f"{len(dev.groups):>3} groups, "
-                          f"{dev.busy_cycles:>12,} busy cycles")
+                for dev in result.devices:
+                    print(f"  device {dev['device_id']}: "
+                          f"{dev['apps_served']:>3} apps in "
+                          f"{dev['groups']:>3} groups, "
+                          f"{dev['busy_cycles']:>12,} busy cycles")
 
     kind = f"trace:{args.trace}" if args.trace else args.arrival
     print()
@@ -355,14 +420,14 @@ def cmd_run_fleet(args) -> int:
          "wait p50", "wait p99", "lat p99"],
         rows,
         title=f"Fleet of {args.devices} devices x {args.policy}: "
-              f"{len(arrivals)} apps, {kind} arrivals, NC={args.nc} "
+              f"{apps} apps, {kind} arrivals, NC={args.nc} "
               f"(ANTT/imbalance lower, STP higher is better)"))
-    for s in summaries:
+    for m in summaries:
         utils = " ".join(f"{100.0 * u:.0f}%"
-                         for u in s.per_device_utilization)
-        apps = " ".join(str(a) for a in s.per_device_apps)
-        print(f"{s.placement:>14}: util/device = {utils}   "
-              f"apps/device = {apps}")
+                         for u in m["per_device_utilization"])
+        app_counts = " ".join(str(a) for a in m["per_device_apps"])
+        print(f"{m['placement']:>14}: util/device = {utils}   "
+              f"apps/device = {app_counts}")
     return 0
 
 
@@ -389,7 +454,30 @@ def build_parser() -> argparse.ArgumentParser:
                     "(DATE 2018)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmark models")
+    p = sub.add_parser("list", help="list benchmark models or any "
+                                    "registry kind")
+    p.add_argument("--kind", default=None,
+                   choices=sorted(REGISTRY.kinds()),
+                   help="registry kind to list (default: the benchmark "
+                        "table)")
+
+    p = sub.add_parser("run", help="execute one scenario JSON")
+    p.add_argument("scenario", help="path to a scenario .json file")
+    p.add_argument("--out", default=None,
+                   help="write the full RunResult JSON here")
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="override the scenario's worker count (results "
+                        "are bit-identical for any value)")
+
+    p = sub.add_parser("sweep", help="run a base scenario x parameter grid")
+    p.add_argument("sweep", help="path to a sweep .json file "
+                                 "({'base': scenario, 'grid': {path: "
+                                 "[values]}})")
+    p.add_argument("--out-dir", default="sweep-results",
+                   help="directory for per-point result JSONs "
+                        "(default sweep-results)")
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="override every point's worker count")
 
     p = sub.add_parser("profile", help="solo-profile benchmarks")
     p.add_argument("benchmarks", nargs="*", help="benchmark names "
@@ -417,7 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=_positive_int, default=2)
     p.add_argument("--policies", nargs="+",
                    default=["serial", "fcfs", "ilp", "ilp-smra"],
-                   choices=sorted(POLICY_FACTORIES) + ["all"])
+                   choices=REGISTRY.names("policies") + ["all"])
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for group execution and "
                         "interference measurement (default: serial)")
@@ -434,7 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--apps", type=_positive_int, default=default_apps,
                        help=f"stream length (default {default_apps})")
         p.add_argument("--arrival", default="poisson",
-                       choices=["poisson", "bursty", "batch"],
+                       choices=REGISTRY.names("streams"),
                        help="arrival process (default poisson)")
         p.add_argument("--trace", default=None,
                        help="replay a '<cycle> <benchmark>' trace file "
@@ -463,7 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_stream_arguments(p, default_apps=50)
     p.add_argument("--policies", nargs="+",
                    default=["fcfs", "backfill", "ilp"],
-                   choices=sorted(ONLINE_POLICY_FACTORIES))
+                   choices=REGISTRY.names("online-policies"))
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for profiling/interference")
     p.add_argument("-v", "--verbose", action="store_true",
@@ -476,10 +564,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of simulated devices (default 4)")
     p.add_argument("--placement", nargs="+",
                    default=["round-robin", "least-loaded", "interference"],
-                   choices=sorted(PLACEMENT_FACTORIES),
+                   choices=REGISTRY.names("placements"),
                    help="placement policies to compare (default: all)")
     p.add_argument("--policy", default="fcfs",
-                   choices=sorted(ONLINE_POLICY_FACTORIES),
+                   choices=REGISTRY.names("online-policies"),
                    help="per-device online policy (default fcfs)")
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for same-instant group "
@@ -497,6 +585,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 COMMANDS = {
     "list": cmd_list,
+    "run": cmd_run,
+    "sweep": cmd_sweep,
     "profile": cmd_profile,
     "classify": cmd_classify,
     "interference": cmd_interference,

@@ -20,13 +20,13 @@ end is ``python -m repro run-fleet``.
 
 from .device import Device
 from .fleet import DeviceOutcome, FleetAppRecord, FleetOutcome, run_fleet
-from .placement import (PLACEMENT_FACTORIES, InterferenceAwarePlacement,
-                        LeastLoadedPlacement, PlacementPolicy,
-                        RoundRobinPlacement, placement_policy)
+from .placement import (InterferenceAwarePlacement, LeastLoadedPlacement,
+                        PlacementPolicy, RoundRobinPlacement,
+                        placement_policy)
 
 __all__ = [
     "Device",
     "DeviceOutcome", "FleetAppRecord", "FleetOutcome", "run_fleet",
     "PlacementPolicy", "RoundRobinPlacement", "LeastLoadedPlacement",
-    "InterferenceAwarePlacement", "PLACEMENT_FACTORIES", "placement_policy",
+    "InterferenceAwarePlacement", "placement_policy",
 ]

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.api.registry import REGISTRY
+
 from repro.core.classification import AppClass
 from repro.core.policies import PolicyContext, cached_class_of
 
@@ -115,21 +117,17 @@ class InterferenceAwarePlacement(PlacementPolicy):
         return min(devices, key=score)
 
 
-#: CLI keys → placement policy factories (fresh instance per fleet run —
-#: round-robin counters and class caches are per-run state).
-PLACEMENT_FACTORIES = {
-    "round-robin": RoundRobinPlacement,
-    "least-loaded": LeastLoadedPlacement,
-    "interference": InterferenceAwarePlacement,
-}
+# -- registry wiring ---------------------------------------------------------
+# The ``placements`` registry kind (the old module-level
+# ``PLACEMENT_FACTORIES`` dict).  Factories take no arguments and build
+# a fresh instance per fleet run — round-robin counters and class
+# caches are per-run state.
+REGISTRY.register("placements", "round-robin", RoundRobinPlacement)
+REGISTRY.register("placements", "least-loaded", LeastLoadedPlacement)
+REGISTRY.register("placements", "interference",
+                  InterferenceAwarePlacement)
 
 
 def placement_policy(key: str) -> PlacementPolicy:
     """Build the placement policy registered under `key`."""
-    try:
-        factory = PLACEMENT_FACTORIES[key]
-    except KeyError:
-        raise ValueError(
-            f"unknown placement policy {key!r}; expected one of "
-            f"{sorted(PLACEMENT_FACTORIES)}") from None
-    return factory()
+    return REGISTRY.create("placements", key)

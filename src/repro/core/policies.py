@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.gpusim import GPUConfig, KernelSpec, even_partition, proportional_partition
 
+from repro.api.registry import REGISTRY
+
 from .classification import AppClass, ClassificationThresholds, classify
 from .contention import optimize_grouping
 from .interference import InterferenceModel
@@ -208,3 +210,21 @@ def default_policies(nc: int = 2) -> List[Policy]:
     """The comparison set of Fig. 4.3/4.11."""
     return [EvenPolicy(nc), ProfileBasedPolicy(nc), ILPPolicy(nc),
             ILPSMRAPolicy(nc)]
+
+
+# -- registry wiring ---------------------------------------------------------
+# The batch policies under the ``policies`` kind (the CLI's old
+# ``POLICY_FACTORIES``).  Every factory takes the group arity ``nc``;
+# Serial ignores it (one app at a time by definition).
+REGISTRY.register("policies", "serial", lambda nc=1: SerialPolicy())
+REGISTRY.register("policies", "even", lambda nc=2: EvenPolicy(nc))
+REGISTRY.register("policies", "fcfs", lambda nc=2: FCFSPolicy(nc))
+REGISTRY.register("policies", "profile",
+                  lambda nc=2: ProfileBasedPolicy(nc))
+REGISTRY.register("policies", "ilp", lambda nc=2: ILPPolicy(nc))
+REGISTRY.register("policies", "ilp-smra", lambda nc=2: ILPSMRAPolicy(nc))
+
+
+def batch_policy(key: str, nc: int = 2) -> Policy:
+    """Build the batch policy registered under `key`."""
+    return REGISTRY.create("policies", key, nc)

@@ -18,9 +18,8 @@ from .engine import (AppRecord, Arrival, ScheduledGroup, StreamOutcome,
                      drain_queue, run_stream)
 from .executors import (Executor, ParallelExecutor, SerialExecutor,
                         make_executor, workers_from_env)
-from .online import (ONLINE_POLICY_FACTORIES, BatchPolicyAdapter,
-                     ClassAwareBackfill, OnlineFCFS, OnlinePolicy,
-                     online_policy)
+from .online import (BatchPolicyAdapter, ClassAwareBackfill, OnlineFCFS,
+                     OnlinePolicy, online_policy)
 
 __all__ = [
     "Arrival", "AppRecord", "ScheduledGroup", "StreamOutcome",
@@ -28,5 +27,5 @@ __all__ = [
     "Executor", "SerialExecutor", "ParallelExecutor", "make_executor",
     "workers_from_env",
     "OnlinePolicy", "OnlineFCFS", "BatchPolicyAdapter",
-    "ClassAwareBackfill", "online_policy", "ONLINE_POLICY_FACTORIES",
+    "ClassAwareBackfill", "online_policy",
 ]

@@ -32,6 +32,8 @@ from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.gpusim import KernelSpec
 
+from repro.api.registry import REGISTRY
+
 from repro.core.classification import AppClass
 from repro.core.policies import (EvenPolicy, FCFSPolicy, ILPPolicy,
                                  ILPSMRAPolicy, PlannedGroup, Policy,
@@ -192,25 +194,27 @@ class ClassAwareBackfill(OnlinePolicy):
         return group
 
 
-#: CLI keys → online policy factories (``nc`` is the group arity).
-ONLINE_POLICY_FACTORIES = {
-    "serial": lambda nc: BatchPolicyAdapter(SerialPolicy()),
-    "fcfs": lambda nc: OnlineFCFS(nc),
-    "even": lambda nc: BatchPolicyAdapter(EvenPolicy(nc)),
-    "profile": lambda nc: BatchPolicyAdapter(ProfileBasedPolicy(nc)),
-    "ilp": lambda nc: BatchPolicyAdapter(ILPPolicy(nc)),
-    "ilp-smra": lambda nc: BatchPolicyAdapter(ILPSMRAPolicy(nc)),
-    "backfill": lambda nc: ClassAwareBackfill(nc),
-    "backfill-smra": lambda nc: ClassAwareBackfill(nc, use_smra=True),
-}
+# -- registry wiring ---------------------------------------------------------
+# The ``online-policies`` registry kind (the old module-level
+# ``ONLINE_POLICY_FACTORIES`` dict).  Every factory takes the group
+# arity ``nc``; batch policies arrive online through the adapter.
+REGISTRY.register("online-policies", "serial",
+                  lambda nc=1: BatchPolicyAdapter(SerialPolicy()))
+REGISTRY.register("online-policies", "fcfs", lambda nc=2: OnlineFCFS(nc))
+REGISTRY.register("online-policies", "even",
+                  lambda nc=2: BatchPolicyAdapter(EvenPolicy(nc)))
+REGISTRY.register("online-policies", "profile",
+                  lambda nc=2: BatchPolicyAdapter(ProfileBasedPolicy(nc)))
+REGISTRY.register("online-policies", "ilp",
+                  lambda nc=2: BatchPolicyAdapter(ILPPolicy(nc)))
+REGISTRY.register("online-policies", "ilp-smra",
+                  lambda nc=2: BatchPolicyAdapter(ILPSMRAPolicy(nc)))
+REGISTRY.register("online-policies", "backfill",
+                  lambda nc=2: ClassAwareBackfill(nc))
+REGISTRY.register("online-policies", "backfill-smra",
+                  lambda nc=2: ClassAwareBackfill(nc, use_smra=True))
 
 
 def online_policy(key: str, nc: int = 2) -> OnlinePolicy:
     """Build the online policy registered under `key`."""
-    try:
-        factory = ONLINE_POLICY_FACTORIES[key]
-    except KeyError:
-        raise ValueError(
-            f"unknown online policy {key!r}; expected one of "
-            f"{sorted(ONLINE_POLICY_FACTORIES)}") from None
-    return factory(nc)
+    return REGISTRY.create("online-policies", key, nc)

@@ -142,3 +142,16 @@ def make_application(name: str, scale: float = 1.0,
 def base_benchmark_name(app_name: str) -> str:
     """Strip the ``#instance`` suffix from an application name."""
     return app_name.split("#", 1)[0]
+
+
+# -- registry wiring ---------------------------------------------------------
+# Each calibrated model under the ``benchmarks`` registry kind; the
+# factory takes the kernel scale factor (``repro list --kind
+# benchmarks`` and downstream suites enumerate these).
+from repro.api.registry import REGISTRY  # noqa: E402
+
+for _bench in ALL_BENCHMARKS:
+    REGISTRY.register(
+        "benchmarks", _bench,
+        lambda scale=1.0, _name=_bench: benchmark_spec(_name, scale))
+del _bench

@@ -163,3 +163,24 @@ def load_trace(path: Union[str, pathlib.Path],
     """Read a trace file (see :func:`trace_arrivals` for the format)."""
     text = pathlib.Path(path).read_text()
     return trace_arrivals(text.splitlines(), scale=scale)
+
+
+# -- registry wiring ---------------------------------------------------------
+# Arrival processes under the ``streams`` registry kind.  The factory
+# contract is ``factory(queue, **params) -> List[Arrival]`` where
+# ``params`` is the standard arrival-parameter set (``mean_gap``,
+# ``burst_size``, ``burst_gap``, ``seed``); each factory keyword-picks
+# what it needs and ignores the rest, so new processes registered
+# downstream plug straight into ``WorkloadSpec.arrival``.
+from repro.api.registry import REGISTRY  # noqa: E402
+
+REGISTRY.register("streams", "batch",
+                  lambda queue, **_params: batch_arrivals(queue))
+REGISTRY.register(
+    "streams", "poisson",
+    lambda queue, mean_gap=5000.0, seed=0, **_params:
+        poisson_arrivals(queue, mean_gap, seed=seed))
+REGISTRY.register(
+    "streams", "bursty",
+    lambda queue, burst_size=8, burst_gap=50000.0, seed=0, **_params:
+        bursty_arrivals(queue, burst_size, burst_gap, seed=seed))

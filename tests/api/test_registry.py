@@ -1,0 +1,102 @@
+"""Registry tests: registration, lookup, and error quality."""
+
+import pytest
+
+from repro.api import BUILTIN_KINDS, REGISTRY, Registry, RegistryError
+
+
+class TestRegistration:
+    def test_direct_and_decorator_registration(self):
+        reg = Registry()
+        reg.register("widgets", "plain", lambda: "plain-widget")
+
+        @reg.register("widgets", "fancy")
+        def make_fancy():
+            return "fancy-widget"
+
+        assert reg.create("widgets", "plain") == "plain-widget"
+        assert reg.create("widgets", "fancy") == "fancy-widget"
+        assert reg.names("widgets") == ["fancy", "plain"]
+        assert make_fancy() == "fancy-widget"  # decorator returns it
+
+    def test_duplicate_name_rejected(self):
+        reg = Registry()
+        reg.register("widgets", "w", lambda: 1)
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register("widgets", "w", lambda: 2)
+
+    def test_non_callable_factory_rejected(self):
+        reg = Registry()
+        with pytest.raises(RegistryError, match="callable"):
+            reg.register("widgets", "w", 42)
+
+    def test_empty_kind_or_name_rejected(self):
+        reg = Registry()
+        with pytest.raises(RegistryError):
+            reg.register("", "w", lambda: 1)
+        with pytest.raises(RegistryError):
+            reg.register("widgets", "", lambda: 1)
+
+    def test_contains(self):
+        reg = Registry()
+        reg.register("widgets", "w", lambda: 1)
+        assert ("widgets", "w") in reg
+        assert ("widgets", "x") not in reg
+        assert ("gadgets", "w") not in reg
+
+
+class TestLookupErrors:
+    def test_unknown_kind_lists_known_kinds(self):
+        reg = Registry()
+        reg.register("widgets", "w", lambda: 1)
+        with pytest.raises(RegistryError, match="widgets"):
+            reg.names("gadgets")
+
+    def test_registry_error_is_value_error(self):
+        # The decode/validation contract: callers catch ValueError.
+        assert issubclass(RegistryError, ValueError)
+
+    def test_typo_suggests_nearest_match(self):
+        # Golden error-message: a typo'd policy name must read as a
+        # typo, naming the nearest registered policy.
+        with pytest.raises(RegistryError) as err:
+            REGISTRY.get("online-policies", "backfil")
+        message = str(err.value)
+        assert message.startswith(
+            "unknown online-policy 'backfil'; did you mean 'backfill'?")
+        assert "backfill-smra" in message  # the registered list is shown
+
+    def test_no_suggestion_for_distant_names(self):
+        with pytest.raises(RegistryError) as err:
+            REGISTRY.get("placements", "zzzzzz")
+        assert "did you mean" not in str(err.value)
+
+
+class TestBuiltins:
+    def test_all_builtin_kinds_populated(self):
+        for kind in BUILTIN_KINDS:
+            assert REGISTRY.names(kind), f"no registrations for {kind}"
+        assert set(BUILTIN_KINDS) <= set(REGISTRY.kinds())
+
+    def test_policy_kinds_share_keys(self):
+        # Every batch policy is liftable online, so the online kind is
+        # a superset of the batch kind.
+        assert set(REGISTRY.names("policies")) <= \
+            set(REGISTRY.names("online-policies"))
+
+    def test_benchmark_factories_scale(self):
+        spec = REGISTRY.create("benchmarks", "LUD")
+        scaled = REGISTRY.create("benchmarks", "LUD", 0.5)
+        assert scaled.instr_per_warp == spec.instr_per_warp // 2
+
+    def test_gpu_config_factories(self):
+        assert REGISTRY.create("gpu-configs", "gtx480").num_sms == 60
+        assert REGISTRY.create("gpu-configs", "small-test").num_sms == 4
+
+    def test_stream_factories_accept_standard_params(self):
+        queue = [("A", REGISTRY.create("benchmarks", "LUD", 0.1))]
+        for name in REGISTRY.names("streams"):
+            arrivals = REGISTRY.create(
+                "streams", name, queue, mean_gap=100.0, burst_size=2,
+                burst_gap=200.0, seed=3)
+            assert [a.name for a in arrivals] == ["A"]

@@ -1,0 +1,222 @@
+"""run_scenario tests: dispatch, normalization, determinism, provenance.
+
+Scenarios here run on the ``small-test`` device configuration (or
+heavily scaled kernels) so the suite stays fast; the engines underneath
+are the same ones the full-scale CLI uses.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (DeviceSpec, ExecutionSpec, PlacementSpec,
+                       PolicySpec, RunResult, Scenario, WorkloadSpec,
+                       run_scenario)
+from repro.gpusim import ENGINE_VERSION
+from repro.runtime import ParallelExecutor
+
+
+def small_queue_scenario(policy="fcfs", seed=9):
+    return Scenario(
+        kind="queue",
+        workload=WorkloadSpec(source="stream", apps=4,
+                              synthetic_fraction=0.0, scale=0.1,
+                              seed=seed),
+        policy=PolicySpec(name=policy, nc=2),
+        devices=DeviceSpec(config="small-test"))
+
+
+def small_stream_scenario(seed=3, arrival="poisson", fraction=0.5):
+    return Scenario(
+        kind="stream",
+        workload=WorkloadSpec(source="stream", apps=4,
+                              synthetic_fraction=fraction, scale=0.1,
+                              seed=seed, arrival=arrival, mean_gap=800.0,
+                              burst_size=2, burst_gap=1500.0),
+        policy=PolicySpec(name="fcfs", nc=2),
+        devices=DeviceSpec(config="small-test"))
+
+
+def small_fleet_scenario(seed=5):
+    return Scenario(
+        kind="fleet",
+        workload=WorkloadSpec(source="stream", apps=6,
+                              synthetic_fraction=0.0, scale=0.1,
+                              seed=seed, arrival="poisson",
+                              mean_gap=500.0),
+        policy=PolicySpec(name="fcfs", nc=2),
+        placement=PlacementSpec(name="least-loaded"),
+        devices=DeviceSpec(count=2, config="small-test"))
+
+
+class TestQueueDispatch:
+    def test_matches_legacy_run_queue(self):
+        from repro.core import FCFSPolicy, make_context, run_queue
+        from repro.gpusim import small_test_config
+        from repro.workloads import RODINIA_SPECS, stream_queue
+
+        result = run_scenario(small_queue_scenario())
+
+        queue = stream_queue(4, seed=9, synthetic_fraction=0.0, scale=0.1)
+        ctx = make_context(small_test_config(),
+                           suite=dict(RODINIA_SPECS))
+        legacy = run_queue(queue, FCFSPolicy(2), ctx)
+
+        assert result.metrics["policy"] == legacy.policy
+        assert result.metrics["total_cycles"] == legacy.total_cycles
+        assert result.metrics["total_instructions"] == \
+            legacy.total_instructions
+        assert result.metrics["device_throughput"] == \
+            legacy.device_throughput
+        assert [g["members"] for g in result.groups] == \
+            [g.members for g in legacy.groups]
+
+    def test_queue_timeline_is_back_to_back(self):
+        result = run_scenario(small_queue_scenario())
+        start = 0
+        for group in result.groups:
+            assert group["start_cycle"] == start
+            start += group["cycles"]
+        assert start == result.metrics["makespan"]
+        # App records live on the same absolute timeline as the groups
+        # (the stream/fleet convention): finishes fall inside their
+        # group's window and the last finish is the makespan.
+        for rec in result.apps:
+            group = result.groups[rec["group_index"]]
+            assert rec["arrival_cycle"] == 0
+            assert rec["start_cycle"] == group["start_cycle"]
+            assert group["start_cycle"] < rec["finish_cycle"] \
+                <= group["start_cycle"] + group["cycles"]
+        assert max(r["finish_cycle"] for r in result.apps) == \
+            result.metrics["makespan"]
+
+    def test_every_app_recorded_once(self):
+        result = run_scenario(small_queue_scenario())
+        names = [a["name"] for a in result.apps]
+        assert len(names) == 4 and len(set(names)) == 4
+
+
+class TestStreamDispatch:
+    def test_records_and_metrics(self):
+        result = run_scenario(small_stream_scenario())
+        assert result.kind == "stream"
+        assert result.devices is None
+        assert result.metrics["apps"] == 4 == len(result.apps)
+        for rec in result.apps:
+            assert rec["arrival_cycle"] <= rec["start_cycle"] \
+                <= rec["finish_cycle"]
+            assert rec["solo_cycles"] > 0
+        assert result.metrics["antt"] >= 1.0
+
+    def test_trace_source(self, tmp_path):
+        trace = tmp_path / "t.txt"
+        trace.write_text("0 LUD\n500 NN\n")
+        scenario = Scenario(
+            kind="stream",
+            workload=WorkloadSpec(source="trace", trace=str(trace),
+                                  scale=0.1, seed=0),
+            policy=PolicySpec(name="fcfs", nc=2),
+            devices=DeviceSpec(config="small-test"))
+        result = run_scenario(scenario)
+        assert sorted(a["name"] for a in result.apps) == ["LUD", "NN"]
+
+    def test_empty_trace_rejected(self, tmp_path):
+        trace = tmp_path / "empty.txt"
+        trace.write_text("# nothing\n")
+        scenario = Scenario(
+            kind="stream",
+            workload=WorkloadSpec(source="trace", trace=str(trace)),
+            policy=PolicySpec(name="fcfs", nc=2))
+        with pytest.raises(ValueError, match="empty"):
+            run_scenario(scenario)
+
+
+class TestFleetDispatch:
+    def test_per_device_breakdown(self):
+        result = run_scenario(small_fleet_scenario())
+        assert result.kind == "fleet"
+        assert [d["device_id"] for d in result.devices] == [0, 1]
+        assert sum(d["apps_served"] for d in result.devices) == 6
+        served = {a["device"] for a in result.apps}
+        assert served <= {0, 1}
+        assert len(result.metrics["per_device_utilization"]) == 2
+        assert result.metrics["placement"] == "least-loaded"
+
+
+class TestDeterminism:
+    def test_identical_scenario_json_reproduces_identical_results(self):
+        # The seed-threading guarantee, end-to-end: one scenario JSON
+        # (synthetic mix + Poisson gaps + distribution shuffle all
+        # derived from workload.seed) → bit-identical result JSON.
+        text = small_stream_scenario(arrival="poisson",
+                                     fraction=0.5).to_json()
+        first = run_scenario(Scenario.from_json(text)).to_json()
+        second = run_scenario(Scenario.from_json(text)).to_json()
+        assert first == second
+
+    def test_bursty_and_distribution_seeds_thread_through(self):
+        bursty = small_stream_scenario(arrival="bursty", fraction=0.5)
+        assert run_scenario(bursty).to_json() == \
+            run_scenario(bursty).to_json()
+        dist = Scenario(
+            kind="queue",
+            workload=WorkloadSpec(source="distribution",
+                                  distribution="equal", length=4,
+                                  scale=0.1, seed=13),
+            policy=PolicySpec(name="fcfs", nc=2),
+            devices=DeviceSpec(config="small-test"))
+        assert run_scenario(dist).to_json() == \
+            run_scenario(dist).to_json()
+
+    def test_different_seed_changes_results(self):
+        a = run_scenario(small_stream_scenario(seed=1, fraction=0.5))
+        b = run_scenario(small_stream_scenario(seed=2, fraction=0.5))
+        assert a.to_json() != b.to_json()
+
+    def test_parallel_executor_is_bit_identical(self):
+        scenario = small_fleet_scenario()
+        serial = run_scenario(scenario).to_json()
+        with ParallelExecutor(2) as executor:
+            parallel = run_scenario(scenario, executor=executor).to_json()
+        assert serial == parallel
+
+    def test_scenario_workers_field_does_not_change_results(self):
+        scenario = small_fleet_scenario()
+        data = scenario.to_dict()
+        data["execution"]["workers"] = 2
+        workers2 = Scenario.from_dict(data)
+        assert run_scenario(scenario).to_json() == \
+            run_scenario(workers2).to_json()
+
+
+class TestResultSchema:
+    def test_provenance_block(self):
+        scenario = small_stream_scenario()
+        result = run_scenario(scenario)
+        prov = result.provenance
+        assert prov["engine_version"] == ENGINE_VERSION
+        assert prov["spec_hash"] == scenario.spec_hash()
+        assert prov["seed"] == scenario.workload.seed
+        assert prov["schema_version"] >= 1
+        assert prov["repro_version"]
+
+    def test_embedded_scenario_round_trips(self):
+        scenario = small_fleet_scenario()
+        result = run_scenario(scenario)
+        assert Scenario.from_dict(result.scenario) == scenario
+
+    def test_result_json_round_trips(self):
+        result = run_scenario(small_queue_scenario())
+        data = json.loads(result.to_json())
+        rebuilt = RunResult.from_dict(data)
+        assert rebuilt.to_json() == result.to_json()
+
+    def test_result_from_dict_is_strict(self):
+        data = json.loads(run_scenario(small_queue_scenario()).to_json())
+        data["extra"] = 1
+        with pytest.raises(ValueError, match="extra"):
+            RunResult.from_dict(data)
+        del data["extra"]
+        del data["provenance"]
+        with pytest.raises(ValueError, match="provenance"):
+            RunResult.from_dict(data)

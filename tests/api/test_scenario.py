@@ -1,0 +1,235 @@
+"""Scenario tree tests: validation, round-trip, identity."""
+
+import json
+
+import pytest
+
+from repro.api import (SCHEMA_VERSION, DeviceSpec, ExecutionSpec,
+                       PlacementSpec, PolicySpec, Scenario, WorkloadSpec)
+
+
+def queue_scenario(**overrides):
+    base = dict(kind="queue",
+                workload=WorkloadSpec(source="distribution",
+                                      distribution="M", length=8, seed=7),
+                policy=PolicySpec(name="ilp", nc=2),
+                execution=ExecutionSpec(samples_per_pair=2))
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def stream_scenario(**workload_overrides):
+    workload = dict(source="stream", apps=5, synthetic_fraction=0.5,
+                    scale=0.2, seed=3, arrival="poisson", mean_gap=900.0)
+    workload.update(workload_overrides)
+    return Scenario(kind="stream", workload=WorkloadSpec(**workload),
+                    policy=PolicySpec(name="backfill", nc=2))
+
+
+def fleet_scenario():
+    return Scenario(kind="fleet",
+                    workload=WorkloadSpec(source="stream", apps=6,
+                                          scale=0.1, seed=5,
+                                          arrival="bursty", burst_size=3),
+                    policy=PolicySpec(name="fcfs", nc=2),
+                    placement=PlacementSpec(name="interference"),
+                    devices=DeviceSpec(count=3),
+                    name="round trip me")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", [queue_scenario, stream_scenario,
+                                      fleet_scenario])
+    def test_dict_round_trip_is_lossless(self, make):
+        scenario = make()
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_json_round_trip_is_lossless(self):
+        scenario = fleet_scenario()
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_to_dict_carries_schema_version(self):
+        assert queue_scenario().to_dict()["schema_version"] == \
+            SCHEMA_VERSION
+
+    def test_per_device_list_normalizes_to_tuple(self):
+        spec = DeviceSpec(count=2, config="gtx480",
+                          per_device=["gtx480", "gtx480"])
+        assert spec.per_device == ("gtx480", "gtx480")
+        assert DeviceSpec.from_dict(spec.to_dict()) == spec
+
+    def test_fleet_default_placement_round_trips(self):
+        scenario = Scenario(kind="fleet",
+                            workload=WorkloadSpec(source="stream", apps=4),
+                            policy=PolicySpec("fcfs"))
+        assert scenario.placement == PlacementSpec()
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+
+class TestSchemaVersion:
+    def test_future_version_rejected(self):
+        data = queue_scenario().to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            Scenario.from_dict(data)
+
+    def test_garbage_version_rejected(self):
+        data = queue_scenario().to_dict()
+        data["schema_version"] = "one"
+        with pytest.raises(ValueError, match="schema_version"):
+            Scenario.from_dict(data)
+
+    def test_missing_version_defaults_to_current(self):
+        data = queue_scenario().to_dict()
+        del data["schema_version"]
+        assert Scenario.from_dict(data) == queue_scenario()
+
+
+class TestStrictDecoding:
+    def test_unknown_top_level_key_rejected(self):
+        data = queue_scenario().to_dict()
+        data["wokload"] = {}
+        with pytest.raises(ValueError, match="wokload"):
+            Scenario.from_dict(data)
+
+    def test_unknown_nested_key_rejected(self):
+        data = queue_scenario().to_dict()
+        data["workload"]["sedd"] = 1
+        with pytest.raises(ValueError, match="sedd"):
+            Scenario.from_dict(data)
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Scenario.from_dict({"policy": {"name": "fcfs"}})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="object"):
+            Scenario.from_dict([1, 2, 3])
+        with pytest.raises(ValueError, match="object"):
+            Scenario.from_dict({"kind": "queue", "workload": "paper"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValueError, match="JSON"):
+            Scenario.from_json("{not json")
+
+    def test_typod_policy_name_suggests_nearest(self):
+        # Golden error message: the typo fails at decode time with a
+        # did-you-mean naming the nearest registered policy.
+        data = stream_scenario().to_dict()
+        data["policy"]["name"] = "backfil"
+        with pytest.raises(ValueError) as err:
+            Scenario.from_dict(data)
+        assert str(err.value).startswith(
+            "unknown online-policy 'backfil'; did you mean 'backfill'?")
+
+    def test_queue_policy_resolves_in_batch_kind(self):
+        # "backfill" exists online-only: a queue scenario must reject it.
+        with pytest.raises(ValueError, match="unknown policy"):
+            queue_scenario(policy=PolicySpec(name="backfill"))
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            Scenario(kind="cluster", policy=PolicySpec("fcfs"))
+
+    def test_unknown_source(self):
+        with pytest.raises(ValueError, match="workload source"):
+            WorkloadSpec(source="magic")
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="distribution"):
+            WorkloadSpec(source="distribution", distribution="X")
+
+    def test_unknown_arrival(self):
+        with pytest.raises(ValueError, match="unknown stream"):
+            WorkloadSpec(source="stream", arrival="uniform")
+
+    def test_negative_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            WorkloadSpec(seed=-1)
+
+    def test_bad_rates(self):
+        with pytest.raises(ValueError, match="mean_gap"):
+            WorkloadSpec(mean_gap=0.0)
+        with pytest.raises(ValueError, match="burst_gap"):
+            WorkloadSpec(burst_gap=-2.0)
+        with pytest.raises(ValueError, match="burst_size"):
+            WorkloadSpec(burst_size=0)
+        with pytest.raises(ValueError, match="synthetic_fraction"):
+            WorkloadSpec(synthetic_fraction=1.5)
+        with pytest.raises(ValueError, match="scale"):
+            WorkloadSpec(scale=0.0)
+
+    def test_trace_needs_path_and_vice_versa(self):
+        with pytest.raises(ValueError, match="trace"):
+            WorkloadSpec(source="trace")
+        with pytest.raises(ValueError, match="trace"):
+            WorkloadSpec(source="stream", trace="/tmp/t.txt")
+
+    def test_queue_rejects_timed_arrivals(self):
+        with pytest.raises(ValueError, match="batch"):
+            Scenario(kind="queue",
+                     workload=WorkloadSpec(source="stream",
+                                           arrival="poisson"),
+                     policy=PolicySpec("fcfs"))
+
+    def test_queue_rejects_trace_source(self):
+        with pytest.raises(ValueError, match="trace"):
+            Scenario(kind="queue",
+                     workload=WorkloadSpec(source="trace", trace="t.txt"),
+                     policy=PolicySpec("fcfs"))
+
+    def test_placement_only_for_fleets(self):
+        with pytest.raises(ValueError, match="placement"):
+            Scenario(kind="stream",
+                     workload=WorkloadSpec(source="stream"),
+                     policy=PolicySpec("fcfs"),
+                     placement=PlacementSpec())
+
+    def test_multi_device_needs_fleet_kind(self):
+        with pytest.raises(ValueError, match="fleet"):
+            Scenario(kind="stream",
+                     workload=WorkloadSpec(source="stream"),
+                     policy=PolicySpec("fcfs"),
+                     devices=DeviceSpec(count=2))
+
+    def test_per_device_length_must_match_count(self):
+        with pytest.raises(ValueError, match="per_device"):
+            DeviceSpec(count=3, per_device=["gtx480", "gtx480"])
+
+    def test_heterogeneous_fleet_rejected_with_pointer(self):
+        with pytest.raises(ValueError, match="heterogeneous"):
+            DeviceSpec(count=2, config="gtx480",
+                       per_device=["gtx480", "small-test"])
+
+    def test_execution_bounds(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionSpec(workers=0)
+        with pytest.raises(ValueError, match="max_cycles"):
+            ExecutionSpec(max_cycles=0)
+        with pytest.raises(ValueError, match="samples_per_pair"):
+            ExecutionSpec(samples_per_pair=0)
+
+
+class TestSpecHash:
+    def test_stable_across_encodings(self):
+        scenario = fleet_scenario()
+        rebuilt = Scenario.from_json(scenario.to_json())
+        assert scenario.spec_hash() == rebuilt.spec_hash()
+
+    def test_workers_do_not_change_identity(self):
+        serial = stream_scenario()
+        parallel = Scenario.from_dict(
+            {**serial.to_dict(),
+             "execution": {**serial.to_dict()["execution"], "workers": 4}})
+        assert serial.spec_hash() == parallel.spec_hash()
+
+    def test_seed_changes_identity(self):
+        assert stream_scenario(seed=1).spec_hash() != \
+            stream_scenario(seed=2).spec_hash()
+
+    def test_hash_is_canonical_json_sha256(self):
+        scenario = queue_scenario()
+        assert len(scenario.spec_hash()) == 64
+        assert json.loads(scenario.to_json())  # sanity: valid JSON doc

@@ -1,0 +1,94 @@
+"""Sweep expansion tests: grids, dotted paths, determinism."""
+
+import pytest
+
+from repro.api import Scenario, expand_grid, load_sweep, point_filename
+
+
+def base_dict():
+    return {
+        "kind": "stream",
+        "name": "sweep-base",
+        "workload": {"source": "stream", "apps": 3,
+                     "synthetic_fraction": 0.0, "scale": 0.1,
+                     "seed": 1, "arrival": "batch"},
+        "policy": {"name": "fcfs", "nc": 2},
+    }
+
+
+class TestExpandGrid:
+    def test_empty_grid_yields_base(self):
+        points = expand_grid(base_dict(), {})
+        assert len(points) == 1
+        overrides, scenario = points[0]
+        assert overrides == {}
+        assert scenario == Scenario.from_dict(base_dict())
+
+    def test_cartesian_product_in_sorted_key_order(self):
+        points = expand_grid(base_dict(), {
+            "workload.seed": [1, 2],
+            "policy.name": ["fcfs", "serial"],
+        })
+        assert len(points) == 4
+        # Keys sorted ("policy.name" < "workload.seed"), last varies
+        # fastest.
+        assert [p[0] for p in points] == [
+            {"policy.name": "fcfs", "workload.seed": 1},
+            {"policy.name": "fcfs", "workload.seed": 2},
+            {"policy.name": "serial", "workload.seed": 1},
+            {"policy.name": "serial", "workload.seed": 2},
+        ]
+        assert points[3][1].policy.name == "serial"
+        assert points[3][1].workload.seed == 2
+
+    def test_dotted_path_overrides_nested_value(self):
+        (_, scenario), = expand_grid(base_dict(),
+                                     {"workload.scale": [0.5]})
+        assert scenario.workload.scale == 0.5
+
+    def test_invalid_point_fails_like_a_scenario(self):
+        with pytest.raises(ValueError, match="seed"):
+            expand_grid(base_dict(), {"workload.seed": [-1]})
+
+    def test_bad_grid_shapes_rejected(self):
+        with pytest.raises(ValueError, match="list"):
+            expand_grid(base_dict(), {"workload.seed": 3})
+        with pytest.raises(ValueError, match="list"):
+            expand_grid(base_dict(), {"workload.seed": "abc"})
+        with pytest.raises(ValueError, match="empty"):
+            expand_grid(base_dict(), {"workload.seed": []})
+        with pytest.raises(ValueError, match="non-object"):
+            expand_grid(base_dict(), {"kind.sub": [1]})
+
+
+class TestLoadSweep:
+    def test_parses_base_and_grid(self):
+        import json
+        points = load_sweep(json.dumps(
+            {"base": base_dict(), "grid": {"workload.seed": [4, 5]}}))
+        assert [p[1].workload.seed for p in points] == [4, 5]
+
+    def test_requires_base(self):
+        with pytest.raises(ValueError, match="base"):
+            load_sweep("{}")
+
+    def test_rejects_unknown_keys_and_bad_json(self):
+        with pytest.raises(ValueError, match="grids"):
+            load_sweep('{"base": {}, "grids": {}}')
+        with pytest.raises(ValueError, match="JSON"):
+            load_sweep("not json")
+
+
+class TestPointFilename:
+    def test_deterministic_and_sanitized(self):
+        scenario = Scenario.from_dict(
+            {**base_dict(), "name": "weird name/with:chars"})
+        name = point_filename(scenario, 3)
+        assert name == point_filename(scenario, 3)
+        assert name.startswith("weird-name-with-chars_0003_")
+        assert name.endswith(".json")
+        assert "/" not in name and ":" not in name
+
+    def test_falls_back_to_kind(self):
+        scenario = Scenario.from_dict({**base_dict(), "name": ""})
+        assert point_filename(scenario, 0).startswith("stream_0000_")

@@ -7,7 +7,7 @@ from repro.core.classification import AppClass
 from repro.core.interference import InterferenceModel
 from repro.cluster import (Device, InterferenceAwarePlacement,
                            LeastLoadedPlacement, RoundRobinPlacement,
-                           placement_policy, PLACEMENT_FACTORIES)
+                           placement_policy)
 from repro.runtime import OnlineFCFS
 
 from ..conftest import make_tiny_spec
@@ -124,9 +124,10 @@ class TestInterferenceAware:
 
 class TestRegistry:
     def test_known_keys(self):
-        assert set(PLACEMENT_FACTORIES) == {"round-robin", "least-loaded",
-                                            "interference"}
-        for key in PLACEMENT_FACTORIES:
+        from repro.api import REGISTRY
+        keys = REGISTRY.names("placements")
+        assert set(keys) == {"round-robin", "least-loaded", "interference"}
+        for key in keys:
             assert placement_policy(key).name == key
 
     def test_unknown_key_rejected(self):

@@ -6,8 +6,8 @@ from repro.core import (AppClass, EvenPolicy, FCFSPolicy, ILPPolicy,
                         InterferenceModel, PolicyContext, Profiler,
                         ClassificationThresholds, make_context)
 from repro.gpusim import small_test_config
-from repro.runtime import (ONLINE_POLICY_FACTORIES, BatchPolicyAdapter,
-                           ClassAwareBackfill, OnlineFCFS, online_policy)
+from repro.runtime import (BatchPolicyAdapter, ClassAwareBackfill,
+                           OnlineFCFS, online_policy)
 
 from ..conftest import make_tiny_spec
 
@@ -175,8 +175,10 @@ class TestClassAwareBackfill:
 
 class TestRegistry:
     def test_known_keys(self):
+        from repro.api import REGISTRY
         assert {"serial", "fcfs", "even", "profile", "ilp", "ilp-smra",
-                "backfill", "backfill-smra"} <= set(ONLINE_POLICY_FACTORIES)
+                "backfill", "backfill-smra"} <= \
+            set(REGISTRY.names("online-policies"))
 
     def test_factory_instances(self):
         assert isinstance(online_policy("fcfs", 2), OnlineFCFS)

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import POLICY_FACTORIES, build_parser, main
+from repro.api import REGISTRY
+from repro.cli import build_parser, main
 
 
 class TestParser:
@@ -38,7 +41,8 @@ class TestParser:
         assert args.sms == [10, 20]
 
     def test_policy_factories_cover_all_policies(self):
-        names = {POLICY_FACTORIES[k](2).name for k in POLICY_FACTORIES}
+        names = {REGISTRY.create("policies", k, 2).name
+                 for k in REGISTRY.names("policies")}
         assert names == {"Serial", "Even", "FCFS", "Profile-based", "ILP",
                          "ILP-SMRA"}
 
@@ -50,7 +54,7 @@ class TestParser:
 
     def test_policy_keys_expand_all(self):
         from repro.cli import _policy_keys
-        assert _policy_keys(["all"]) == sorted(POLICY_FACTORIES)
+        assert _policy_keys(["all"]) == REGISTRY.names("policies")
         assert _policy_keys(["serial", "serial"]) == ["serial"]
         assert _policy_keys(["ilp", "all"])[0] == "ilp"
 
@@ -186,6 +190,62 @@ class TestCommands:
         assert capsys.readouterr().out == first
         assert main(argv[:-1] + ["12"]) == 0
         assert capsys.readouterr().out != first
+
+    def test_list_kind_backed_by_registry(self, capsys):
+        assert main(["list", "--kind", "placements"]) == 0
+        out = capsys.readouterr().out
+        for name in ("round-robin", "least-loaded", "interference"):
+            assert name in out
+
+    def test_list_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list", "--kind", "sandwiches"])
+
+    def _tiny_stream_scenario(self):
+        return {
+            "schema_version": 1,
+            "kind": "stream",
+            "name": "tiny",
+            "workload": {"source": "stream", "apps": 3,
+                         "synthetic_fraction": 0.0, "scale": 0.1,
+                         "seed": 11, "arrival": "batch"},
+            "policy": {"name": "fcfs", "nc": 2},
+        }
+
+    def test_run_scenario_file_writes_results(self, capsys, tmp_path):
+        scenario = tmp_path / "s.json"
+        scenario.write_text(json.dumps(self._tiny_stream_scenario()))
+        out = tmp_path / "results.json"
+        assert main(["run", str(scenario), "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "antt" in printed and "FCFS" in printed
+        data = json.loads(out.read_text())
+        assert data["kind"] == "stream"
+        assert data["provenance"]["engine_version"] >= 1
+        assert len(data["provenance"]["spec_hash"]) == 64
+
+    def test_run_rejects_malformed_scenario(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "stream", "polcy": {}}))
+        with pytest.raises(SystemExit, match="polcy"):
+            main(["run", str(bad)])
+
+    def test_sweep_one_point_matches_run(self, tmp_path):
+        scenario = tmp_path / "s.json"
+        base = self._tiny_stream_scenario()
+        scenario.write_text(json.dumps(base))
+        out = tmp_path / "results.json"
+        assert main(["run", str(scenario), "--out", str(out)]) == 0
+        sweep = tmp_path / "sweep.json"
+        sweep.write_text(json.dumps(
+            {"base": base, "grid": {"workload.seed": [11]}}))
+        out_dir = tmp_path / "points"
+        assert main(["sweep", str(sweep), "--out-dir", str(out_dir)]) == 0
+        points = sorted(out_dir.glob("tiny_*.json"))
+        assert len(points) == 1
+        assert points[0].read_bytes() == out.read_bytes()
+        manifest = json.loads((out_dir / "sweep_manifest.json").read_text())
+        assert manifest["points"][0]["overrides"] == {"workload.seed": 11}
 
     def test_run_fleet_small_batch(self, capsys):
         assert main(["run-fleet", "--devices", "2", "--apps", "4",
