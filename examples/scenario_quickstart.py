@@ -52,11 +52,20 @@ def main():
                  policy=PolicySpec(name="fcfs", nc=2),
                  placement=PlacementSpec(name="least-loaded"),
                  devices=DeviceSpec(count=2, config="small-test")),
+        # 4) A heterogeneous big/little fleet: per-device configs, with
+        #    profiles/denominators measured per configuration and the
+        #    capability-scaled placement absorbing more on the big one.
+        Scenario(kind="fleet", workload=workload,
+                 policy=PolicySpec(name="fcfs", nc=2),
+                 placement=PlacementSpec(name="least-loaded"),
+                 devices=DeviceSpec(count=2,
+                                    per_device=["small-test",
+                                                "small-test-half"])),
     ]
 
     rows = [headline(run_scenario(s)) for s in scenarios]
 
-    # 4) Extend the system through the registry: a custom policy is a
+    # 5) Extend the system through the registry: a custom policy is a
     #    registration away from being usable in any scenario JSON.
     @REGISTRY.register("online-policies", "fcfs-solo")
     def _fcfs_solo(nc=2):

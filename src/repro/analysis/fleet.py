@@ -10,6 +10,11 @@ adds the fleet-level view:
 * **load imbalance** — max/mean of per-device busy cycles: 1.0 is a
   perfectly balanced fleet, 2.0 means the hottest device did twice the
   mean work (and the fleet's makespan is hostage to it);
+* **per-device-class breakdowns** — heterogeneous (big/little) fleets
+  group devices by their configuration name; utilization and imbalance
+  are reported per class, so a little device pinned at 100% is visible
+  next to an underused big one even when the fleet-wide mean looks
+  healthy;
 * **queue-depth timelines** — waiting-application count over time, per
   device or fleet-wide, for burst-absorption plots.
 """
@@ -38,7 +43,13 @@ def load_imbalance(busy_cycles: Sequence[int]) -> float:
 
 @dataclass(frozen=True)
 class FleetSummary:
-    """One placement policy's scorecard over one arrival stream."""
+    """One placement policy's scorecard over one arrival stream.
+
+    ``per_device_config`` names each device's configuration (device-id
+    order); ``per_config_utilization`` / ``per_config_imbalance`` fold
+    the per-device numbers by that name — on a homogeneous fleet both
+    dicts have a single entry equal to the fleet-wide figures.
+    """
 
     placement: str
     policy: str
@@ -52,20 +63,57 @@ class FleetSummary:
     per_device_utilization: Tuple[float, ...]
     per_device_apps: Tuple[int, ...]
     load_imbalance: float
+    per_device_config: Tuple[str, ...]
+    per_config_utilization: Dict[str, float]
+    per_config_imbalance: Dict[str, float]
     wait_p50: float
     wait_p99: float
     latency_p50: float
     latency_p99: float
 
 
-def summarize_fleet(outcome, solo_cycles: Mapping[str, int]) -> FleetSummary:
-    """Compute the :class:`FleetSummary` of one fleet outcome."""
+def _device_config_names(outcome) -> Tuple[str, ...]:
+    """Each device's config name, falling back to the fleet config."""
+    fallback = getattr(getattr(outcome, "config", None), "name", "") or \
+        "default"
+    return tuple(getattr(d, "config_name", "") or fallback
+                 for d in outcome.devices)
+
+
+def summarize_fleet(outcome, solo_cycles: Mapping[str, int],
+                    device_configs: Optional[Sequence[str]] = None
+                    ) -> FleetSummary:
+    """Compute the :class:`FleetSummary` of one fleet outcome.
+
+    `device_configs` optionally overrides the per-device config labels
+    (device-id order).  The scenario runner passes the ``gpu-configs``
+    registry names here so one result JSON speaks a single identifier
+    domain (``provenance.device_configs``, ``devices[].config``, and the
+    per-config metrics all join on the same keys); without it the
+    labels default to each device's :attr:`GPUConfig.name`.
+    """
     stream = summarize_stream(outcome, solo_cycles)
     makespan = max(1, outcome.makespan)
     utils = tuple(d.busy_cycles / makespan for d in outcome.devices)
     served: Dict[int, int] = {d.device_id: 0 for d in outcome.devices}
     for record in outcome.records.values():
         served[record.device] += 1
+    if device_configs is not None:
+        if len(device_configs) != len(outcome.devices):
+            raise ValueError(
+                f"device_configs lists {len(device_configs)} labels for "
+                f"{len(outcome.devices)} device(s)")
+        config_names = tuple(device_configs)
+    else:
+        config_names = _device_config_names(outcome)
+    by_config: Dict[str, List[int]] = {}
+    for name, device in zip(config_names, outcome.devices):
+        by_config.setdefault(name, []).append(device.busy_cycles)
+    per_config_utilization = {
+        name: sum(busy) / (len(busy) * makespan)
+        for name, busy in sorted(by_config.items())}
+    per_config_imbalance = {name: load_imbalance(busy)
+                            for name, busy in sorted(by_config.items())}
     return FleetSummary(
         placement=outcome.placement,
         policy=outcome.policy,
@@ -81,6 +129,9 @@ def summarize_fleet(outcome, solo_cycles: Mapping[str, int]) -> FleetSummary:
                               for d in outcome.devices),
         load_imbalance=load_imbalance(
             [d.busy_cycles for d in outcome.devices]),
+        per_device_config=config_names,
+        per_config_utilization=per_config_utilization,
+        per_config_imbalance=per_config_imbalance,
         wait_p50=stream.wait_p50,
         wait_p99=stream.wait_p99,
         latency_p50=stream.latency_p50,

@@ -8,6 +8,14 @@ stored scenario.  Register additional named configs here or downstream::
     @REGISTRY.register("gpu-configs", "my-lab-gpu")
     def _my_lab_gpu():
         return gtx480(num_sms=80)
+
+Besides the paper's GTX-480 model (and the scaled-down test device),
+the registry carries SM-scaled derivatives for heterogeneous big/little
+fleets: ``gtx480-half`` / ``gtx480-double`` halve / double the SM count
+while keeping the memory system identical, so a mixed fleet isolates
+the compute-capability axis.  Each derivative has a distinct
+``GPUConfig.name``, which keys the per-config profile and interference
+caches and labels the per-device-class fleet metrics.
 """
 
 from __future__ import annotations
@@ -18,3 +26,21 @@ from .registry import REGISTRY
 
 REGISTRY.register("gpu-configs", "gtx480", gtx480)
 REGISTRY.register("gpu-configs", "small-test", small_test_config)
+
+
+@REGISTRY.register("gpu-configs", "gtx480-half")
+def _gtx480_half():
+    """A little sibling of the GTX-480: half the SMs, same memory."""
+    return gtx480(name="GTX480-half").with_sms(30)
+
+
+@REGISTRY.register("gpu-configs", "gtx480-double")
+def _gtx480_double():
+    """A big sibling of the GTX-480: double the SMs, same memory."""
+    return gtx480(name="GTX480-double").with_sms(120)
+
+
+@REGISTRY.register("gpu-configs", "small-test-half")
+def _small_test_half():
+    """Half-size test device, for fast heterogeneous-fleet tests."""
+    return small_test_config(name="TestGPU-half").with_sms(2)

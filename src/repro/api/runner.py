@@ -89,6 +89,10 @@ def _provenance(scenario: Scenario) -> Dict[str, Any]:
         "repro_version": __version__,
         "seed": scenario.workload.seed,
         "spec_hash": scenario.spec_hash(),
+        #: the resolved gpu-configs name of every device, in device-id
+        #: order (one entry for queue/stream scenarios) — the record a
+        #: heterogeneous result needs to be replayed or audited.
+        "device_configs": list(scenario.devices.config_names()),
     }
 
 
@@ -293,18 +297,69 @@ def _run_stream_scenario(scenario, policy, ctx, executor,
                      devices=None, provenance=_provenance(scenario))
 
 
+def _device_contexts(scenario, ctx, executor):
+    """One :class:`PolicyContext` per device for a heterogeneous fleet.
+
+    Contexts are shared between devices of the same configuration (the
+    profiler and interference caches are per config anyway); the
+    homogeneous case returns ``None`` so :func:`repro.cluster.run_fleet`
+    keeps its bit-identical classic path.
+    """
+    if not scenario.devices.heterogeneous:
+        return None
+    from repro.core import SMRAParams, make_context
+    from repro.workloads import RODINIA_SPECS
+    need = ctx.interference is not None
+    contexts: Dict[str, Any] = {}
+    for name in scenario.devices.config_names():
+        if name not in contexts:
+            contexts[name] = make_context(
+                REGISTRY.create("gpu-configs", name),
+                suite=dict(RODINIA_SPECS), need_interference=need,
+                samples_per_pair=scenario.execution.samples_per_pair,
+                smra_params=SMRAParams(), executor=executor)
+    return [contexts[name] for name in scenario.devices.config_names()]
+
+
+def _per_device_solo(device_contexts, outcome, executor,
+                     arrivals) -> Dict[str, int]:
+    """Device-correct ANTT/STP denominators for a heterogeneous fleet:
+    each application's solo run is measured on the configuration of the
+    device that served it, warmed per config in one executor batch."""
+    from repro.core import warm_profiles
+    specs = {a.name: a.spec for a in arrivals}
+    by_ctx: Dict[int, Any] = {}
+    entries: Dict[int, List] = {}
+    for name, record in sorted(outcome.records.items()):
+        dctx = device_contexts[record.device]
+        by_ctx.setdefault(id(dctx), dctx)
+        entries.setdefault(id(dctx), []).append((name, specs[name]))
+    for key, dctx in by_ctx.items():
+        warm_profiles(dctx.profiler, executor, entries[key])
+    return {name: device_contexts[record.device]
+            .profiler.profile(name, specs[name]).solo_cycles
+            for name, record in outcome.records.items()}
+
+
 def _run_fleet_scenario(scenario, placement, ctx, executor,
                         max_cycles) -> RunResult:
     from repro.analysis import summarize_fleet
     from repro.cluster import run_fleet
     arrivals = build_arrivals(scenario)
-    solo = _solo_cycles(ctx, executor, arrivals)
+    device_contexts = _device_contexts(scenario, ctx, executor)
+    if device_contexts is None:
+        solo = _solo_cycles(ctx, executor, arrivals)
     outcome = run_fleet(
         arrivals, placement,
         lambda _i: _build_policy(scenario), ctx,
         num_devices=scenario.devices.count, executor=executor,
-        max_cycles=max_cycles)
-    summary = summarize_fleet(outcome, solo)
+        max_cycles=max_cycles, device_contexts=device_contexts)
+    if device_contexts is not None:
+        solo = _per_device_solo(device_contexts, outcome, executor,
+                                arrivals)
+    config_names = scenario.devices.config_names()
+    summary = summarize_fleet(outcome, solo,
+                              device_configs=config_names)
     groups: List[Dict[str, Any]] = []
     devices = []
     for dev in outcome.devices:
@@ -312,7 +367,7 @@ def _run_fleet_scenario(scenario, placement, ctx, executor,
         devices.append({
             "device_id": dev.device_id,
             "policy": dev.policy,
-            "config": scenario.devices.config,
+            "config": config_names[dev.device_id],
             "groups": len(dev.groups),
             "apps_served": dev.apps_served,
             "busy_cycles": dev.busy_cycles,

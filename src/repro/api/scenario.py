@@ -216,19 +216,21 @@ class PlacementSpec:
 class DeviceSpec:
     """How many devices, and which named configuration they run.
 
-    ``per_device`` is the heterogeneity hook: an explicit per-device
-    list of ``gpu-configs`` names.  The engines currently simulate
-    homogeneous fleets only, so a mixed list is rejected here with a
-    pointer at the ROADMAP item — the schema (and every stored
-    scenario) is already shaped for big/little fleets.
+    ``per_device`` lists one ``gpu-configs`` name per device for
+    **heterogeneous** (big/little) fleets; its length must equal
+    ``count``.  A homogeneous ``per_device`` list (every entry equal)
+    is canonicalized into the plain ``config`` form — the two spellings
+    describe the same fleet, so they compare equal, serialize
+    identically, and share one :meth:`Scenario.spec_hash`.  When
+    ``per_device`` mixes configs, ``config`` is normalized to the first
+    entry (device 0's configuration) so the encoding stays canonical.
     """
 
     count: int = 1
     #: a ``gpu-configs`` registry name.
     config: str = "gtx480"
-    #: per-device config names (heterogeneity hook); length must equal
-    #: ``count`` and, until heterogeneous fleets land, every entry must
-    #: equal ``config``.
+    #: per-device config names (heterogeneous fleets); length must
+    #: equal ``count``.  ``None`` means every device runs ``config``.
     per_device: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self):
@@ -244,11 +246,23 @@ class DeviceSpec:
                      f"for {self.count} device(s)")
             for name in self.per_device:
                 _check_registry("gpu-configs", name)
-            mixed = sorted(set(self.per_device) - {self.config})
-            _require(not mixed,
-                     f"heterogeneous fleets are not simulated yet "
-                     f"(per_device mixes in {mixed}); see the ROADMAP "
-                     f"fleet-heterogeneity item")
+            if len(set(self.per_device)) == 1:
+                # Canonical form: a homogeneous list IS the config path.
+                object.__setattr__(self, "config", self.per_device[0])
+                object.__setattr__(self, "per_device", None)
+            else:
+                object.__setattr__(self, "config", self.per_device[0])
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when the fleet mixes device configurations."""
+        return self.per_device is not None
+
+    def config_names(self) -> Tuple[str, ...]:
+        """One ``gpu-configs`` name per device, in device-id order."""
+        if self.per_device is not None:
+            return self.per_device
+        return (self.config,) * self.count
 
     def to_dict(self) -> Dict[str, Any]:
         data = dataclasses.asdict(self)

@@ -257,13 +257,33 @@ def _stream_scenario(args, policy_key: str) -> Scenario:
                                 samples_per_pair=args.samples))
 
 
+def _fleet_devices(args) -> DeviceSpec:
+    """The fleet's :class:`DeviceSpec` from ``--devices``/``--device-configs``.
+
+    One config name applies to the whole fleet; N names (N = the device
+    count) build a heterogeneous big/little fleet, device by device.
+    """
+    configs = getattr(args, "device_configs", None)
+    if not configs:
+        return DeviceSpec(count=args.devices)
+    if len(configs) == 1:
+        return DeviceSpec(count=args.devices, config=configs[0])
+    if len(configs) != args.devices:
+        raise SystemExit(
+            f"--device-configs lists {len(configs)} config(s) for "
+            f"--devices {args.devices}; give one name for a homogeneous "
+            f"fleet or exactly one per device")
+    return DeviceSpec(count=args.devices, config=configs[0],
+                      per_device=tuple(configs))
+
+
 def _fleet_scenario(args, placement_key: str) -> Scenario:
     return Scenario(
         kind="fleet",
         workload=_stream_workload(args),
         policy=PolicySpec(name=args.policy, nc=args.nc),
         placement=PlacementSpec(name=placement_key),
-        devices=DeviceSpec(count=args.devices),
+        devices=_fleet_devices(args),
         execution=ExecutionSpec(workers=args.workers,
                                 samples_per_pair=args.samples))
 
@@ -407,11 +427,14 @@ def cmd_run_fleet(args) -> int:
             if args.verbose:
                 print(f"\n{m['placement']}: makespan {m['makespan']:,} "
                       f"cycles")
+                hetero = bool(result.scenario["devices"].get("per_device"))
                 for dev in result.devices:
+                    suffix = f" [{dev['config']}]" if hetero else ""
                     print(f"  device {dev['device_id']}: "
                           f"{dev['apps_served']:>3} apps in "
                           f"{dev['groups']:>3} groups, "
-                          f"{dev['busy_cycles']:>12,} busy cycles")
+                          f"{dev['busy_cycles']:>12,} busy cycles"
+                          f"{suffix}")
 
     kind = f"trace:{args.trace}" if args.trace else args.arrival
     print()
@@ -562,6 +585,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_stream_arguments(p, default_apps=200)
     p.add_argument("--devices", type=_positive_int, default=4,
                    help="number of simulated devices (default 4)")
+    p.add_argument("--device-configs", nargs="+", default=None,
+                   choices=REGISTRY.names("gpu-configs"),
+                   help="gpu-config name(s): one name for the whole "
+                        "fleet, or exactly --devices names for a "
+                        "heterogeneous big/little fleet "
+                        "(default: gtx480 everywhere)")
     p.add_argument("--placement", nargs="+",
                    default=["round-robin", "least-loaded", "interference"],
                    choices=REGISTRY.names("placements"),

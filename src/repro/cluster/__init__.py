@@ -4,15 +4,18 @@ The runtime (:mod:`repro.runtime`) schedules one device; this package
 simulates a **fleet** of them draining one shared arrival stream:
 
 * **devices** (:mod:`.device`) — :class:`Device` wraps one machine's
-  online policy, waiting queue, resident applications, and timeline.
+  online policy, waiting queue, resident applications, timeline, and —
+  in heterogeneous fleets — its own per-config
+  :class:`~repro.core.policies.PolicyContext`.
 * **placement** (:mod:`.placement`) — which device an arrival joins:
-  round-robin, least-loaded (join-shortest-queue), or
-  interference-aware (route to the device whose resident class mix the
-  Fig. 3.4 matrix predicts to degrade the arrival least).
+  round-robin, least-loaded (capability-scaled join-shortest-queue), or
+  interference-aware (route to the device whose resident class mix that
+  device's Fig. 3.4 matrix predicts to degrade the arrival least).
 * **fleet** (:mod:`.fleet`) — :func:`run_fleet` merges per-device
   completion events into one virtual clock and fans same-instant group
-  simulations through an executor; results are deterministic and
-  independent of the worker count.
+  simulations through an executor; ``device_contexts`` makes the fleet
+  heterogeneous (per-device :class:`~repro.gpusim.GPUConfig`\\ s);
+  results are deterministic and independent of the worker count.
 
 Fleet-level metrics live in :mod:`repro.analysis.fleet`; the CLI front
 end is ``python -m repro run-fleet``.

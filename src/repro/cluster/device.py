@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.gpusim import KernelSpec
+from repro.gpusim import GPUConfig, KernelSpec
 
 from repro.core.policies import PlannedGroup, PolicyContext
 from repro.core.scheduler import GroupOutcome
@@ -34,16 +34,26 @@ Entry = Tuple[str, KernelSpec]
 
 
 class Device:
-    """Per-device queue + policy state driven by the fleet clock."""
+    """Per-device queue + policy state driven by the fleet clock.
 
-    __slots__ = ("device_id", "policy", "resident", "groups", "busy_cycles",
-                 "completion_cycle", "_running")
+    ``ctx`` is the device's own :class:`PolicyContext` in a
+    heterogeneous fleet — its profiler, classification thresholds, and
+    interference matrix are all measured on *this device's*
+    :class:`GPUConfig`, so policy and placement decisions use
+    device-correct denominators.  ``None`` (the homogeneous default)
+    means the fleet-wide context applies.
+    """
 
-    def __init__(self, device_id: int, policy: OnlinePolicy):
+    __slots__ = ("device_id", "policy", "ctx", "resident", "groups",
+                 "busy_cycles", "completion_cycle", "_running")
+
+    def __init__(self, device_id: int, policy: OnlinePolicy,
+                 ctx: Optional[PolicyContext] = None):
         if device_id < 0:
             raise ValueError("device_id must be >= 0")
         self.device_id = device_id
         self.policy = policy
+        self.ctx = ctx
         #: Applications assigned here and not yet finished (waiting or
         #: running) — the "queue" of join-shortest-queue placement and
         #: the class mix interference-aware placement scores against.
@@ -53,6 +63,11 @@ class Device:
         #: Absolute cycle the in-flight group completes; None = idle.
         self.completion_cycle: Optional[int] = None
         self._running: List[str] = []
+
+    @property
+    def config(self) -> Optional[GPUConfig]:
+        """This device's configuration (None = fleet default)."""
+        return self.ctx.config if self.ctx is not None else None
 
     @property
     def busy(self) -> bool:

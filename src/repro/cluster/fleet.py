@@ -61,12 +61,19 @@ class FleetAppRecord(AppRecord):
 
 @dataclass
 class DeviceOutcome:
-    """One device's share of a fleet run."""
+    """One device's share of a fleet run.
+
+    ``config_name`` is the :attr:`GPUConfig.name` of the device that
+    produced this timeline — the key of the per-device-class fleet
+    metrics; empty when the caller never attached per-device contexts
+    (then every device ran the fleet-wide config).
+    """
 
     device_id: int
     policy: str
     groups: List[ScheduledGroup]
     busy_cycles: int
+    config_name: str = ""
 
     @property
     def apps_served(self) -> int:
@@ -116,23 +123,44 @@ class FleetOutcome:
 def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
               policy_factory: PolicyFactory, ctx: PolicyContext,
               num_devices: int = 2, executor: Optional[Executor] = None,
-              max_cycles: int = DEFAULT_MAX_CYCLES) -> FleetOutcome:
+              max_cycles: int = DEFAULT_MAX_CYCLES,
+              device_contexts: Optional[Sequence[PolicyContext]] = None
+              ) -> FleetOutcome:
     """Drain `arrivals` across `num_devices` devices; return the timeline.
 
     Each device runs its own policy instance from `policy_factory`;
     `placement` routes every arrival to exactly one device.  `executor`
     only affects wall clock (same-instant group launches fan out), never
     results.
+
+    `device_contexts` makes the fleet **heterogeneous**: one
+    :class:`PolicyContext` per device, each built for that device's
+    :class:`GPUConfig` (its profiler's solo denominators, thresholds,
+    and interference matrix are all measured per config).  A device's
+    policy hooks see its own context, config-aware placements read it
+    through :attr:`Device.ctx`, and every group simulates on its
+    device's configuration.  ``None`` (the default) runs every device
+    on `ctx` — the homogeneous case, bit-identical to earlier behavior.
     """
     if num_devices < 1:
         raise ValueError("a fleet needs at least one device")
+    if device_contexts is not None and len(device_contexts) != num_devices:
+        raise ValueError(
+            f"device_contexts lists {len(device_contexts)} contexts for "
+            f"{num_devices} device(s)")
     ordered = sorted(arrivals, key=lambda a: a.cycle)
     if len(set(a.name for a in ordered)) != len(ordered):
         raise ValueError("arrival names must be unique within a stream")
     if executor is None:
         executor = SerialExecutor()
 
-    devices = [Device(i, policy_factory(i)) for i in range(num_devices)]
+    devices = [Device(i, policy_factory(i),
+                      ctx=device_contexts[i] if device_contexts else None)
+               for i in range(num_devices)]
+
+    def ctx_of(device: Device) -> PolicyContext:
+        return device.ctx if device.ctx is not None else ctx
+
     now = 0
     i = 0
     n = len(ordered)
@@ -144,7 +172,7 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
         # 1) retire every group finishing at `now` (device-id order).
         for device in devices:
             if device.busy and device.completion_cycle <= now:
-                device.complete(ctx)
+                device.complete(ctx_of(device))
 
         # 2) deliver arrivals due at `now`; placement sees the fleet
         #    state left by the completions above.
@@ -159,7 +187,7 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                     f"placement {placement.name!r} returned a device "
                     f"outside the fleet")
             assignments[a.name] = device.device_id
-            device.assign((a.name, a.spec), now, ctx)
+            device.assign((a.name, a.spec), now, ctx_of(device))
 
         # 3) launch on every idle device; simulate this instant's groups
         #    as one batch (the parallel fan-out).
@@ -167,7 +195,7 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
         for device in devices:
             if device.busy:
                 continue
-            group = device.next_group(now, ctx)
+            group = device.next_group(now, ctx_of(device))
             if group is None:
                 continue
             for name, _spec in group.members:
@@ -187,9 +215,17 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                         f"{assignments[name]}")
             launches.append((device, group))
         if launches:
-            outcomes = executor.run_groups([g for _d, g in launches],
-                                           ctx.config, ctx.smra_params,
-                                           max_cycles)
+            if device_contexts is None:
+                outcomes = executor.run_groups([g for _d, g in launches],
+                                               ctx.config, ctx.smra_params,
+                                               max_cycles)
+            else:
+                # Heterogeneous fleet: every group simulates on the
+                # launching device's own configuration; the batch still
+                # fans out through the executor as one job list.
+                outcomes = executor.run_device_groups(
+                    [(g, ctx_of(d).config, ctx_of(d).smra_params)
+                     for d, g in launches], max_cycles)
             for (device, _group), outcome in zip(launches, outcomes):
                 device.launch(outcome, now)
                 for name in outcome.members:
@@ -222,7 +258,9 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
         policy=policy_name,
         config=ctx.config,
         devices=[DeviceOutcome(device_id=d.device_id, policy=d.policy.name,
-                               groups=d.groups, busy_cycles=d.busy_cycles)
+                               groups=d.groups, busy_cycles=d.busy_cycles,
+                               config_name=(d.config.name if d.config
+                                            is not None else ""))
                  for d in devices],
         records=records,
         assignments=assignments,

@@ -11,14 +11,22 @@ Three policies, in increasing awareness:
 
 * :class:`RoundRobinPlacement` — rotate through devices regardless of
   state (the classic load-oblivious baseline).
-* :class:`LeastLoadedPlacement` — join the shortest queue: the device
-  with the fewest resident applications, breaking ties toward the one
-  that frees up soonest, then the lowest device id.
+* :class:`LeastLoadedPlacement` — join the shortest queue *per unit of
+  capability*: the device with the fewest resident applications
+  relative to its peak throughput, breaking ties toward the fewest
+  absolute residents, then the one that frees up soonest, then the
+  lowest device id.  On a homogeneous fleet the capability scaling is
+  a no-op (identical choices to plain join-shortest-queue); on a
+  big/little fleet a double-capability device absorbs proportionally
+  more residents before it stops winning.
 * :class:`InterferenceAwarePlacement` — route to the device whose
   resident class mix the Fig. 3.4 interference matrix predicts to
   degrade the arrival least (additive model of
   :class:`~repro.core.interference.InterferenceModel`), breaking ties
-  like least-loaded.  Degrades to least-loaded when the context has no
+  like least-loaded.  In a heterogeneous fleet each device's *own*
+  context supplies the matrix and the classification, so the score of
+  a candidate device uses the slowdowns measured on that device's
+  configuration.  Degrades to least-loaded when any device lacks an
   interference model.
 
 All three are deterministic: same arrivals + same device states → same
@@ -64,12 +72,28 @@ class RoundRobinPlacement(PlacementPolicy):
         return device
 
 
-def _least_loaded_key(device: Device, now: int) -> Tuple[int, int, int]:
-    return (device.load(), device.remaining_busy(now), device.device_id)
+def _capability(device: Device) -> float:
+    """Peak thread-instructions/cycle of the device (1.0 when unknown)."""
+    config = device.config
+    return config.peak_ipc if config is not None else 1.0
+
+
+def _least_loaded_key(device: Device,
+                      now: int) -> Tuple[float, int, int, int]:
+    """Capability-scaled join-shortest-queue ordering.
+
+    The primary score is residents per unit of peak throughput; the raw
+    resident count is the first tie-break so a homogeneous fleet (equal
+    capabilities, where the division is order-preserving) ranks exactly
+    as the classic least-loaded rule did.
+    """
+    load = device.load()
+    return (load / _capability(device), load, device.remaining_busy(now),
+            device.device_id)
 
 
 class LeastLoadedPlacement(PlacementPolicy):
-    """Join the shortest queue (fewest resident apps, soonest free)."""
+    """Join the shortest queue (fewest residents per capability)."""
 
     name = "least-loaded"
 
@@ -87,10 +111,18 @@ class InterferenceAwarePlacement(PlacementPolicy):
     an empty device (score exactly 1.0) still wins over a loaded device
     with a benign mix.
 
+    In a heterogeneous fleet every device carries its own context
+    (:attr:`Device.ctx`), and the score consults **that device's**
+    interference matrix, classifying the arrival and the residents with
+    the device's profiler/thresholds — an application can be class M on
+    a little device and MC on a big one, and the slowdown it predicts
+    is the one measured on the candidate device's configuration.
+
     ``classes`` optionally pre-supplies name → :class:`AppClass` (tests,
-    or callers that already classified the stream); otherwise classes
-    come from the context's profiler + thresholds, a one-time cost per
-    distinct kernel spec thanks to the profile caches.
+    or callers that already classified the stream); these override the
+    per-config classification on every device.  Otherwise classes come
+    from each context's profiler + thresholds, a one-time cost per
+    distinct (kernel spec, device config) thanks to the profile caches.
     """
 
     name = "interference"
@@ -98,23 +130,41 @@ class InterferenceAwarePlacement(PlacementPolicy):
 
     def __init__(self, classes: Optional[Mapping[str, AppClass]] = None):
         self._classes: Dict[str, AppClass] = dict(classes or {})
+        #: per-config memo dicts (heterogeneous fleets classify the
+        #: same application differently per device configuration); the
+        #: caller-supplied ``classes`` pre-seed every one of them.
+        self._per_config: Dict[object, Dict[str, AppClass]] = {}
 
     def _class_of(self, entry: Entry, ctx: PolicyContext) -> AppClass:
-        return cached_class_of(self._classes, entry, ctx)
+        cache = self._per_config.get(ctx.config)
+        if cache is None:
+            cache = dict(self._classes)
+            self._per_config[ctx.config] = cache
+        return cached_class_of(cache, entry, ctx)
 
     def choose(self, entry, now, devices, ctx):
-        if ctx.interference is None:
-            return min(devices, key=lambda d: _least_loaded_key(d, now))
-        cls = self._class_of(entry, ctx)
-        model = ctx.interference
+        def ctx_of(device: Device) -> PolicyContext:
+            return device.ctx if device.ctx is not None else ctx
 
-        def score(device: Device):
-            mix: List[AppClass] = [self._class_of(e, ctx)
+        # A device with its own context must be scored with its own
+        # matrix — substituting the fleet-wide one would price it with
+        # slowdowns measured on a different configuration.
+        models = [d.ctx.interference if d.ctx is not None
+                  else ctx.interference for d in devices]
+        if any(model is None for model in models):
+            return min(devices, key=lambda d: _least_loaded_key(d, now))
+
+        def score(pair):
+            device, model = pair
+            dctx = ctx_of(device)
+            cls = self._class_of(entry, dctx)
+            mix: List[AppClass] = [self._class_of(e, dctx)
                                    for e in device.resident]
             return ((model.group_slowdown(cls, mix),)
                     + _least_loaded_key(device, now))
 
-        return min(devices, key=score)
+        best, _model = min(zip(devices, models), key=score)
+        return best
 
 
 # -- registry wiring ---------------------------------------------------------

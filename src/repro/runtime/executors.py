@@ -107,6 +107,16 @@ class Executor:
                    ) -> List[GroupOutcome]:
         raise NotImplementedError
 
+    def run_device_groups(self, jobs: Sequence[
+                              Tuple[PlannedGroup, GPUConfig, SMRAParams]],
+                          max_cycles: int = DEFAULT_MAX_CYCLES
+                          ) -> List[GroupOutcome]:
+        """Like :meth:`run_groups`, but each job carries its own device
+        configuration — the heterogeneous-fleet fan-out, where the
+        same-instant launches of one fleet event land on devices with
+        different :class:`GPUConfig`\\ s (and SMRA parameters)."""
+        raise NotImplementedError
+
     def run_pairs(self, config: GPUConfig,
                   pairs: Sequence[Tuple[Entry, Entry]],
                   max_cycles: int = DEFAULT_MAX_CYCLES
@@ -139,6 +149,10 @@ class SerialExecutor(Executor):
                    max_cycles=DEFAULT_MAX_CYCLES):
         return [run_group(g, config, smra_params, max_cycles)
                 for g in groups]
+
+    def run_device_groups(self, jobs, max_cycles=DEFAULT_MAX_CYCLES):
+        return [run_group(group, config, smra_params, max_cycles)
+                for group, config, smra_params in jobs]
 
     def run_pairs(self, config, pairs, max_cycles=DEFAULT_MAX_CYCLES):
         return [_pair_job((config, a, b, max_cycles)) for a, b in pairs]
@@ -182,6 +196,13 @@ class ParallelExecutor(Executor):
         return self._map(_group_job,
                          [(g, config, smra_params, max_cycles)
                           for g in groups])
+
+    def run_device_groups(self, jobs, max_cycles=DEFAULT_MAX_CYCLES):
+        # _group_job already carries the config per job, so the
+        # heterogeneous fan-out reuses the same worker entry point.
+        return self._map(_group_job,
+                         [(group, config, smra_params, max_cycles)
+                          for group, config, smra_params in jobs])
 
     def run_pairs(self, config, pairs, max_cycles=DEFAULT_MAX_CYCLES):
         return self._map(_pair_job,

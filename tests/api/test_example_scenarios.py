@@ -1,0 +1,51 @@
+"""Every committed example scenario must decode and round-trip.
+
+The CI smoke jobs exercise one scenario end to end; this parametrized
+test loads *all* of ``examples/scenarios/*.json`` through the strict
+``Scenario.from_dict`` decoder so schema drift (a renamed field, a
+retired registry name, a stale ``schema_version``) fails tier-1
+immediately instead of surfacing only in the smoke job that happens to
+touch the broken file.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api import Scenario
+
+SCENARIO_DIR = (pathlib.Path(__file__).resolve().parents[2]
+                / "examples" / "scenarios")
+SCENARIO_FILES = sorted(SCENARIO_DIR.glob("*.json"))
+
+
+def test_scenario_examples_exist():
+    # A glob that silently matches nothing would turn the parametrized
+    # test below into a vacuous pass.
+    assert len(SCENARIO_FILES) >= 4
+
+
+@pytest.mark.parametrize("path", SCENARIO_FILES,
+                         ids=lambda p: p.name)
+def test_example_scenario_round_trips(path):
+    scenario = Scenario.from_json(path.read_text())
+    # Lossless dict and JSON round-trips through the strict decoder.
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+    assert Scenario.from_json(scenario.to_json()) == scenario
+    # The canonical re-encoding is stable (a second pass is a fixpoint).
+    assert Scenario.from_json(scenario.to_json()).to_json() == \
+        scenario.to_json()
+    # Committed files carry an explicit schema_version and a name, so
+    # results stay attributable.
+    data = json.loads(path.read_text())
+    assert "schema_version" in data
+    assert scenario.name
+
+
+@pytest.mark.parametrize("path", SCENARIO_FILES,
+                         ids=lambda p: p.name)
+def test_example_scenario_spec_hash_is_stable(path):
+    scenario = Scenario.from_json(path.read_text())
+    assert scenario.spec_hash() == \
+        Scenario.from_json(scenario.to_json()).spec_hash()

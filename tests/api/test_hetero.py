@@ -1,0 +1,135 @@
+"""Heterogeneous-fleet scenarios end to end: the DeviceSpec.per_device
+hook drives genuinely mixed fleets through run_scenario.
+
+Runs use the ``small-test`` / ``small-test-half`` configurations so the
+suite stays fast; the dispatch path is the same one ``repro run`` takes
+for a gtx480 / gtx480-half fleet.
+"""
+
+import pytest
+
+from repro.api import (REGISTRY, DeviceSpec, PlacementSpec, PolicySpec,
+                       Scenario, WorkloadSpec, run_scenario)
+from repro.runtime import ParallelExecutor
+
+
+def hetero_scenario(per_device=("small-test", "small-test-half"), seed=5):
+    return Scenario(
+        kind="fleet",
+        workload=WorkloadSpec(source="stream", apps=5,
+                              synthetic_fraction=0.0, scale=0.1,
+                              seed=seed, arrival="poisson",
+                              mean_gap=400.0),
+        policy=PolicySpec(name="fcfs", nc=2),
+        placement=PlacementSpec(name="least-loaded"),
+        devices=DeviceSpec(count=len(per_device),
+                           config=per_device[0],
+                           per_device=list(per_device)))
+
+
+class TestHeterogeneousDispatch:
+    def test_runs_end_to_end_with_per_device_configs(self):
+        result = run_scenario(hetero_scenario())
+        assert result.kind == "fleet"
+        assert [d["config"] for d in result.devices] == \
+            ["small-test", "small-test-half"]
+        assert sum(d["apps_served"] for d in result.devices) == 5
+        # One identifier domain per result: the metrics join directly
+        # against provenance.device_configs and devices[].config.
+        assert result.metrics["per_device_config"] == \
+            ["small-test", "small-test-half"]
+        assert set(result.metrics["per_config_utilization"]) == \
+            {"small-test", "small-test-half"}
+        assert set(result.metrics["per_config_imbalance"]) == \
+            {"small-test", "small-test-half"}
+
+    def test_provenance_records_per_device_config_list(self):
+        result = run_scenario(hetero_scenario())
+        assert result.provenance["device_configs"] == \
+            ["small-test", "small-test-half"]
+        # Homogeneous runs record the broadcast list the same way.
+        homo = Scenario(
+            kind="fleet",
+            workload=hetero_scenario().workload,
+            policy=PolicySpec(name="fcfs", nc=2),
+            placement=PlacementSpec(name="least-loaded"),
+            devices=DeviceSpec(count=2, config="small-test"))
+        assert run_scenario(homo).provenance["device_configs"] == \
+            ["small-test", "small-test"]
+
+    def test_solo_denominators_use_the_serving_devices_config(self):
+        from repro.api.runner import build_arrivals
+        from repro.core import shared_profiler
+        scenario = hetero_scenario()
+        result = run_scenario(scenario)
+        specs = {a.name: a.spec for a in build_arrivals(scenario)}
+        names = scenario.devices.config_names()
+        for rec in result.apps:
+            config = REGISTRY.create("gpu-configs", names[rec["device"]])
+            expected = shared_profiler(config).profile(
+                rec["name"], specs[rec["name"]]).solo_cycles
+            assert rec["solo_cycles"] == expected
+
+    def test_half_device_is_slower_on_the_same_work(self):
+        # The denominators must actually differ across configs, or the
+        # per-device profiling is vacuous.
+        from repro.core import shared_profiler
+        from ..conftest import make_tiny_spec
+        spec = make_tiny_spec("probe")
+        full = shared_profiler(
+            REGISTRY.create("gpu-configs", "small-test"))
+        half = shared_profiler(
+            REGISTRY.create("gpu-configs", "small-test-half"))
+        assert half.profile("probe", spec).solo_cycles > \
+            full.profile("probe", spec).solo_cycles
+
+
+class TestHeterogeneousDeterminism:
+    def test_workers_1_vs_4_byte_identical_on_a_mixed_fleet(self):
+        scenario = hetero_scenario()
+        serial = run_scenario(scenario).to_json()
+        with ParallelExecutor(4) as executor:
+            parallel = run_scenario(scenario, executor=executor).to_json()
+        assert serial == parallel
+
+    def test_rerun_is_byte_identical(self):
+        scenario = hetero_scenario(seed=8)
+        assert run_scenario(scenario).to_json() == \
+            run_scenario(scenario).to_json()
+
+    def test_homogeneous_per_device_byte_equals_plain_config(self):
+        # Spelling the fleet as a homogeneous per_device list must be
+        # indistinguishable from the plain config path, bytes included.
+        listed = hetero_scenario(per_device=("small-test", "small-test"))
+        plain = Scenario(
+            kind="fleet",
+            workload=listed.workload,
+            policy=PolicySpec(name="fcfs", nc=2),
+            placement=PlacementSpec(name="least-loaded"),
+            devices=DeviceSpec(count=2, config="small-test"))
+        assert listed.spec_hash() == plain.spec_hash()
+        assert run_scenario(listed).to_json() == \
+            run_scenario(plain).to_json()
+
+    def test_device_order_changes_results_identity(self):
+        flipped = hetero_scenario(
+            per_device=("small-test-half", "small-test"))
+        assert flipped.spec_hash() != hetero_scenario().spec_hash()
+
+
+class TestRegisteredDerivedConfigs:
+    def test_gtx480_siblings_scale_sms_only(self):
+        base = REGISTRY.create("gpu-configs", "gtx480")
+        half = REGISTRY.create("gpu-configs", "gtx480-half")
+        double = REGISTRY.create("gpu-configs", "gtx480-double")
+        assert (half.num_sms, double.num_sms) == (30, 120)
+        assert half.name != base.name != double.name
+        for sibling in (half, double):
+            assert sibling.num_partitions == base.num_partitions
+            assert sibling.l2_size_kb == base.l2_size_kb
+            assert sibling.dram == base.dram
+
+    def test_small_test_half(self):
+        half = REGISTRY.create("gpu-configs", "small-test-half")
+        assert half.num_sms == 2
+        assert half.name == "TestGPU-half"

@@ -54,9 +54,37 @@ class TestRoundTrip:
 
     def test_per_device_list_normalizes_to_tuple(self):
         spec = DeviceSpec(count=2, config="gtx480",
-                          per_device=["gtx480", "gtx480"])
-        assert spec.per_device == ("gtx480", "gtx480")
+                          per_device=["gtx480", "gtx480-half"])
+        assert spec.per_device == ("gtx480", "gtx480-half")
         assert DeviceSpec.from_dict(spec.to_dict()) == spec
+
+    def test_homogeneous_per_device_canonicalizes_to_config(self):
+        # The two spellings of a homogeneous fleet are one spec: same
+        # equality, same serialization, same spec_hash downstream.
+        listed = DeviceSpec(count=2, config="gtx480",
+                            per_device=["gtx480", "gtx480"])
+        plain = DeviceSpec(count=2, config="gtx480")
+        assert listed == plain
+        assert listed.per_device is None
+        assert listed.to_dict() == plain.to_dict()
+        # ... even when the list disagrees with the config field.
+        relabeled = DeviceSpec(count=2, config="gtx480",
+                               per_device=["gtx480-half", "gtx480-half"])
+        assert relabeled.config == "gtx480-half"
+        assert relabeled.per_device is None
+
+    def test_mixed_per_device_round_trips(self):
+        scenario = Scenario(
+            kind="fleet",
+            workload=WorkloadSpec(source="stream", apps=4),
+            policy=PolicySpec("fcfs"),
+            devices=DeviceSpec(count=3, config="gtx480",
+                               per_device=["gtx480", "gtx480-half",
+                                           "gtx480-double"]))
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+        assert scenario.devices.heterogeneous
+        assert scenario.devices.config_names() == \
+            ("gtx480", "gtx480-half", "gtx480-double")
 
     def test_fleet_default_placement_round_trips(self):
         scenario = Scenario(kind="fleet",
@@ -198,10 +226,16 @@ class TestValidation:
         with pytest.raises(ValueError, match="per_device"):
             DeviceSpec(count=3, per_device=["gtx480", "gtx480"])
 
-    def test_heterogeneous_fleet_rejected_with_pointer(self):
-        with pytest.raises(ValueError, match="heterogeneous"):
-            DeviceSpec(count=2, config="gtx480",
-                       per_device=["gtx480", "small-test"])
+    def test_mixed_per_device_accepted_with_first_as_primary(self):
+        spec = DeviceSpec(count=2, config="gtx480",
+                          per_device=["small-test", "gtx480"])
+        assert spec.config == "small-test"
+        assert spec.config_names() == ("small-test", "gtx480")
+
+    def test_unknown_per_device_config_suggests_nearest(self):
+        with pytest.raises(ValueError) as err:
+            DeviceSpec(count=2, per_device=["gtx480", "gtx48O"])
+        assert "did you mean 'gtx480'?" in str(err.value)
 
     def test_execution_bounds(self):
         with pytest.raises(ValueError, match="workers"):

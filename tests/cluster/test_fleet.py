@@ -139,6 +139,57 @@ class TestFleetSemantics:
         assert out.records["late"].wait_cycles == 0
 
 
+class TestHeterogeneousFleet:
+    """Per-device contexts: big/little fleets through run_fleet."""
+
+    def test_groups_simulate_on_their_devices_config(self, small_cfg):
+        import dataclasses
+        half = dataclasses.replace(small_cfg.with_sms(2),
+                                   name="TestGPU-half")
+        ctxs = [make_context(small_cfg), make_context(half)]
+        # Both devices get one identical app at the same instant.
+        arrivals = [Arrival(0, "a", make_tiny_spec("same", seed=1)),
+                    Arrival(0, "b", make_tiny_spec("same", seed=1))]
+        out = run_fleet(arrivals, RoundRobinPlacement(), fcfs_factory(),
+                        ctxs[0], num_devices=2, device_contexts=ctxs)
+        assert out.devices[0].config_name == "TestGPU"
+        assert out.devices[1].config_name == "TestGPU-half"
+        # The same kernel takes longer on the half-size device.
+        assert out.devices[1].busy_cycles > out.devices[0].busy_cycles
+
+    def test_workers_1_vs_4_identical_on_mixed_fleet(self, small_cfg):
+        import dataclasses
+        half = dataclasses.replace(small_cfg.with_sms(2),
+                                   name="TestGPU-half")
+        ctxs = [make_context(small_cfg), make_context(half)]
+        arrivals = arrivals_every(80, 8)
+        serial = run_fleet(arrivals, LeastLoadedPlacement(),
+                           fcfs_factory(), ctxs[0], num_devices=2,
+                           device_contexts=ctxs)
+        with ParallelExecutor(4) as pool:
+            parallel = run_fleet(arrivals, LeastLoadedPlacement(),
+                                 fcfs_factory(), ctxs[0], num_devices=2,
+                                 device_contexts=ctxs, executor=pool)
+        assert fingerprint(serial) == fingerprint(parallel)
+
+    def test_context_count_must_match_devices(self, small_cfg):
+        ctx = make_context(small_cfg)
+        with pytest.raises(ValueError, match="device_contexts"):
+            run_fleet([], RoundRobinPlacement(), fcfs_factory(), ctx,
+                      num_devices=2, device_contexts=[ctx])
+
+    def test_homogeneous_contexts_match_classic_path(self, small_cfg):
+        """Explicit per-device contexts for one config change nothing."""
+        ctx = make_context(small_cfg)
+        arrivals = arrivals_every(100, 5)
+        classic = run_fleet(arrivals, LeastLoadedPlacement(),
+                            fcfs_factory(), ctx, num_devices=2)
+        explicit = run_fleet(arrivals, LeastLoadedPlacement(),
+                             fcfs_factory(), ctx, num_devices=2,
+                             device_contexts=[ctx, ctx])
+        assert fingerprint(classic) == fingerprint(explicit)
+
+
 class TestGuards:
     def test_zero_devices_rejected(self, ctx):
         with pytest.raises(ValueError, match="at least one device"):

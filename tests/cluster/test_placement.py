@@ -73,6 +73,45 @@ class TestLeastLoaded:
         assert placement.choose(entry("x"), 0, devices, ctx).device_id == 0
 
 
+class TestCapabilityScaling:
+    """Least-loaded on big/little fleets: residents per peak IPC."""
+
+    def device_with_config(self, device_id, config):
+        from repro.core import make_context
+        return Device(device_id, OnlineFCFS(2), ctx=make_context(config))
+
+    def test_equal_loads_prefer_the_bigger_device(self, small_cfg, ctx):
+        big = self.device_with_config(1, small_cfg.with_sms(8))
+        little = self.device_with_config(0, small_cfg.with_sms(2))
+        little.assign(entry("a"), 0, little.ctx)
+        big.assign(entry("b", 1), 0, big.ctx)
+        placement = LeastLoadedPlacement()
+        # 1 resident / 8 SMs beats 1 resident / 2 SMs despite the id.
+        assert placement.choose(entry("x", 2), 0, [little, big],
+                                ctx).device_id == 1
+
+    def test_big_device_absorbs_proportionally_more(self, small_cfg, ctx):
+        big = self.device_with_config(1, small_cfg.with_sms(8))
+        little = self.device_with_config(0, small_cfg.with_sms(2))
+        placement = LeastLoadedPlacement()
+        chosen = []
+        for i in range(5):
+            device = placement.choose(entry(f"s{i}", i), 0,
+                                      [little, big], ctx)
+            device.assign(entry(f"s{i}", i), 0, device.ctx)
+            chosen.append(device.device_id)
+        # Empty fleet ties to device 0, then the 4x device soaks up the
+        # rest until the ratio evens out.
+        assert chosen == [0, 1, 1, 1, 1]
+
+    def test_devices_without_configs_rank_by_raw_load(self, ctx):
+        devices = fleet(2)
+        devices[0].assign(entry("a"), 0, ctx)
+        placement = LeastLoadedPlacement()
+        assert placement.choose(entry("x", 1), 0, devices,
+                                ctx).device_id == 1
+
+
 class TestInterferenceAware:
     def test_avoids_hostile_resident_mix(self, ctx):
         """An M app must dodge the device holding another M app."""
@@ -115,6 +154,57 @@ class TestInterferenceAware:
         placement = InterferenceAwarePlacement(
             classes={"a": AppClass.M, "x": AppClass.M})
         assert placement.choose(entry("x", 1), 0, devices, ctx).device_id == 1
+
+    def test_consults_each_devices_own_matrix(self, small_cfg, ctx):
+        """In a mixed fleet the score of a candidate device must come
+        from the matrix measured on that device's configuration."""
+        from repro.core import make_context
+        # Device 0's config predicts brutal M-on-M slowdown, device 1's
+        # (a different config) predicts none.
+        calm = InterferenceModel(slowdown=tuple(
+            tuple(1.0 for _ in range(4)) for _ in range(4)))
+        ctx0 = make_context(small_cfg)
+        ctx0.interference = MODEL
+        ctx1 = make_context(small_cfg.with_sms(2))
+        ctx1.interference = calm
+        devices = [Device(0, OnlineFCFS(2), ctx=ctx0),
+                   Device(1, OnlineFCFS(2), ctx=ctx1)]
+        classes = {"m0": AppClass.M, "m1": AppClass.M, "new": AppClass.M}
+        devices[0].assign(entry("m0"), 0, ctx0)
+        devices[1].assign(entry("m1", 1), 0, ctx1)
+        placement = InterferenceAwarePlacement(classes=classes)
+        # Same resident class on both sides; only device 1's matrix says
+        # co-running M with M is free there.
+        assert placement.choose(entry("new", 2), 0, devices,
+                                ctx).device_id == 1
+
+    def test_any_missing_matrix_degrades_to_least_loaded(self, small_cfg,
+                                                         ctx):
+        """A device context without a matrix must NOT be scored with the
+        fleet-wide matrix (measured on a different config): the whole
+        choice degrades to least-loaded."""
+        from repro.core import make_context
+        # Both the fleet-wide context and device 0 carry matrices;
+        # device 1's context has none.  The mixes are arranged so
+        # interference scoring would pick device 0 (benign A residents,
+        # S=1.0) while least-loaded picks device 1 (equal load/capability
+        # ratios of 2/128 vs 1/64, raw-load tie-break 1 < 2) — so a
+        # fallback that wrongly scored device 1 with the fleet-wide
+        # matrix would flip the outcome.
+        ctx.interference = MODEL
+        ctx0 = make_context(small_cfg)
+        ctx0.interference = MODEL
+        ctx1 = make_context(small_cfg.with_sms(2))  # no matrix
+        devices = [Device(0, OnlineFCFS(2), ctx=ctx0),
+                   Device(1, OnlineFCFS(2), ctx=ctx1)]
+        devices[0].assign(entry("a0"), 0, ctx0)
+        devices[0].assign(entry("a1", 1), 0, ctx0)
+        devices[1].assign(entry("m0", 2), 0, ctx1)
+        placement = InterferenceAwarePlacement(
+            classes={"a0": AppClass.A, "a1": AppClass.A,
+                     "m0": AppClass.M, "x": AppClass.M})
+        assert placement.choose(entry("x", 3), 0, devices,
+                                ctx).device_id == 1
 
     def test_declares_interference_need(self):
         assert InterferenceAwarePlacement.needs_interference

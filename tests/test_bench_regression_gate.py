@@ -1,0 +1,109 @@
+"""Exit-code contract of tools/check_bench_regression.py.
+
+The CI perf-smoke job tolerates exit 2 (cannot compare) and fails on
+exit 1 (real regression), mirroring the engine-version guard, so the
+distinction between the two is load-bearing.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+TOOL = (pathlib.Path(__file__).resolve().parents[1]
+        / "tools" / "check_bench_regression.py")
+
+spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                              TOOL)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def bench(events):
+    return {"bench": "gpusim", "schema_version": 1,
+            "workloads": {name: {"events_per_sec": eps}
+                          for name, eps in events.items()}}
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def run(tmp_path, current, baseline, tolerance=0.25):
+    return gate.main(["check_bench_regression.py",
+                      "--current", write(tmp_path, "cur.json", current),
+                      "--baseline", write(tmp_path, "base.json", baseline),
+                      "--tolerance", str(tolerance)])
+
+
+class TestVerdicts:
+    def test_identical_benches_pass(self, tmp_path):
+        payload = bench({"solo_run": 100_000, "two_app": 50_000})
+        assert run(tmp_path, payload, payload) == 0
+
+    def test_small_regression_within_tolerance_passes(self, tmp_path):
+        base = bench({"solo_run": 100_000, "two_app": 50_000})
+        cur = bench({"solo_run": 90_000, "two_app": 45_000})  # -10%
+        assert run(tmp_path, cur, base) == 0
+
+    def test_large_regression_fails(self, tmp_path):
+        base = bench({"solo_run": 100_000, "two_app": 50_000})
+        cur = bench({"solo_run": 60_000, "two_app": 30_000})  # -40%
+        assert run(tmp_path, cur, base) == 1
+
+    def test_one_noisy_workload_is_damped_by_the_geomean(self, tmp_path):
+        base = bench({"a": 100_000, "b": 100_000, "c": 100_000})
+        cur = bench({"a": 60_000, "b": 100_000, "c": 100_000})
+        # One 0.6x outlier: geomean ~0.84x stays above the 0.75 floor.
+        assert run(tmp_path, cur, base) == 0
+
+    def test_speedups_always_pass(self, tmp_path):
+        base = bench({"solo_run": 100_000})
+        cur = bench({"solo_run": 250_000})
+        assert run(tmp_path, cur, base) == 0
+
+
+class TestCannotCompare:
+    def test_missing_baseline_file_is_exit_2(self, tmp_path):
+        cur = write(tmp_path, "cur.json", bench({"solo_run": 1000}))
+        assert gate.main(["x", "--current", cur,
+                          "--baseline",
+                          str(tmp_path / "nope.json")]) == 2
+
+    def test_unresolvable_git_ref_is_exit_2(self, tmp_path):
+        cur = write(tmp_path, "cur.json", bench({"solo_run": 1000}))
+        assert gate.main(["x", "--current", cur,
+                          "--baseline", "no-such-ref-xyz"]) == 2
+
+    def test_missing_current_is_exit_2(self, tmp_path):
+        base = write(tmp_path, "base.json", bench({"solo_run": 1000}))
+        assert gate.main(["x", "--current", str(tmp_path / "nope.json"),
+                          "--baseline", base]) == 2
+
+    def test_no_shared_workloads_is_exit_2(self, tmp_path):
+        assert run(tmp_path, bench({"a": 1000}), bench({"b": 1000})) == 2
+
+    def test_corrupt_current_is_exit_2(self, tmp_path):
+        broken = tmp_path / "cur.json"
+        broken.write_text("{not json")
+        base = write(tmp_path, "base.json", bench({"a": 1000}))
+        assert gate.main(["x", "--current", str(broken),
+                          "--baseline", base]) == 2
+
+
+class TestAgainstCommittedBaseline:
+    def test_head_baseline_resolves_in_this_repo(self):
+        # `git show HEAD:BENCH_gpusim.json` must parse and expose
+        # events/s — the default CI invocation depends on it.
+        baseline = gate._load_baseline("HEAD")
+        assert baseline is not None
+        assert gate._events_per_sec(baseline)
+
+    def test_tolerance_validation(self):
+        with pytest.raises(SystemExit):
+            gate.main(["x", "--tolerance", "0"])
+        with pytest.raises(SystemExit):
+            gate.main(["x", "--tolerance", "1.5"])

@@ -128,10 +128,35 @@ class TestParser:
         ["run-fleet", "--devices", "0"],
         ["run-fleet", "--policy", "magic"],
         ["run-fleet", "--workers", "0"],
+        ["run-fleet", "--device-configs", "magic"],
     ])
     def test_run_fleet_rejects_bad_options(self, argv):
         with pytest.raises(SystemExit):
             build_parser().parse_args(argv)
+
+    def test_run_fleet_device_configs_parse(self):
+        args = build_parser().parse_args(
+            ["run-fleet", "--devices", "2",
+             "--device-configs", "gtx480", "gtx480-half"])
+        assert args.device_configs == ["gtx480", "gtx480-half"]
+
+    def test_run_fleet_device_configs_length_mismatch(self):
+        from repro.cli import _fleet_devices
+        args = build_parser().parse_args(
+            ["run-fleet", "--devices", "3",
+             "--device-configs", "gtx480", "gtx480-half"])
+        with pytest.raises(SystemExit, match="--device-configs"):
+            _fleet_devices(args)
+
+    def test_run_fleet_single_config_broadcasts(self):
+        from repro.cli import _fleet_devices
+        args = build_parser().parse_args(
+            ["run-fleet", "--devices", "3",
+             "--device-configs", "small-test"])
+        spec = _fleet_devices(args)
+        assert spec.count == 3
+        assert spec.config == "small-test"
+        assert spec.per_device is None
 
 
 class TestCommands:
@@ -258,3 +283,13 @@ class TestCommands:
         assert "ANTT" in out and "imbalance" in out
         assert "util/device" in out
         assert "device 0" in out and "device 1" in out
+
+    def test_run_fleet_heterogeneous_batch(self, capsys):
+        assert main(["run-fleet", "--devices", "2", "--apps", "4",
+                     "--device-configs", "small-test", "small-test-half",
+                     "--scale", "0.1", "--synthetic-fraction", "0",
+                     "--arrival", "batch", "--policy", "fcfs",
+                     "--placement", "least-loaded", "-v"]) == 0
+        out = capsys.readouterr().out
+        # Verbose per-device lines are labeled with each device's config.
+        assert "[small-test]" in out and "[small-test-half]" in out

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""CI gate: the perf smoke must not regress events/s by more than 25%.
+
+``benchmarks/perf/run_bench.py`` rewrites ``BENCH_gpusim.json`` at the
+repo root with per-workload ``events_per_sec`` figures.  This script
+compares that fresh measurement against the **committed** baseline (the
+same file as stored in git) and fails when throughput regressed beyond
+the tolerance — the machine-enforced version of PR 1's "hot path stays
+fast" contract, mirroring ``check_engine_version_guard.py``.
+
+The comparison is the geometric-mean ratio of ``events_per_sec`` over
+the workloads present in both files: CI runners differ from the machine
+that committed the baseline, so a single workload's jitter should not
+fail the build, but a uniform slide (a regression in the event engine
+itself) moves the whole mean.  The default tolerance of 25% absorbs
+runner-to-runner variance; pass ``--tolerance`` to tighten it on
+calibrated hardware.
+
+Usage::
+
+    python tools/check_bench_regression.py [--current PATH]
+        [--baseline REF_OR_PATH] [--tolerance FRACTION]
+
+``--baseline`` is either a file path or a git ref (default ``HEAD``,
+read as ``git show REF:BENCH_gpusim.json``).  Exit status: 0 = within
+tolerance, 1 = regression, 2 = could not compare (missing baseline or
+current file, no shared workloads) — CI tolerates 2, mirroring the
+engine-version guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_FILE = "BENCH_gpusim.json"
+
+
+def _load_current(path: pathlib.Path):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as err:
+        print(f"bench-regression gate: cannot read current {path} "
+              f"({err}); skipping", file=sys.stderr)
+        return None
+
+
+def _load_baseline(ref_or_path: str):
+    path = pathlib.Path(ref_or_path)
+    if path.is_file():
+        return _load_current(path)
+    try:
+        shown = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "show",
+             f"{ref_or_path}:{BENCH_FILE}"],
+            check=True, capture_output=True, text=True).stdout
+        return json.loads(shown)
+    except (subprocess.CalledProcessError, OSError, ValueError) as err:
+        detail = getattr(err, "stderr", "") or str(err)
+        print(f"bench-regression gate: cannot read baseline "
+              f"{ref_or_path!r} ({detail.strip()}); skipping",
+              file=sys.stderr)
+        return None
+
+
+def _events_per_sec(bench: dict) -> dict:
+    workloads = bench.get("workloads")
+    if not isinstance(workloads, dict):
+        return {}
+    return {name: data["events_per_sec"]
+            for name, data in sorted(workloads.items())
+            if isinstance(data, dict)
+            and isinstance(data.get("events_per_sec"), (int, float))
+            and data["events_per_sec"] > 0}
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail CI when BENCH_gpusim.json events/s regressed "
+                    "vs the committed baseline")
+    parser.add_argument("--current", default=str(REPO_ROOT / BENCH_FILE),
+                        help="freshly measured bench file (default: "
+                             "repo-root BENCH_gpusim.json)")
+    parser.add_argument("--baseline", default="HEAD",
+                        help="baseline file path or git ref "
+                             "(default HEAD)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="maximum allowed fractional regression of "
+                             "the geomean events/s (default 0.25)")
+    args = parser.parse_args(argv[1:])
+    if not 0 < args.tolerance < 1:
+        parser.error(f"--tolerance must be in (0, 1), got "
+                     f"{args.tolerance}")
+
+    current = _load_current(pathlib.Path(args.current))
+    if current is None:
+        return 2
+    baseline = _load_baseline(args.baseline)
+    if baseline is None:
+        return 2
+
+    new = _events_per_sec(current)
+    old = _events_per_sec(baseline)
+    shared = sorted(set(new) & set(old))
+    if not shared:
+        print("bench-regression gate: no shared workloads between "
+              "current and baseline; skipping", file=sys.stderr)
+        return 2
+
+    log_sum = 0.0
+    print(f"{'workload':28} {'baseline':>12} {'current':>12} "
+          f"{'ratio':>7}")
+    for name in shared:
+        ratio = new[name] / old[name]
+        log_sum += math.log(ratio)
+        print(f"{name:28} {old[name]:>12,.0f} {new[name]:>12,.0f} "
+              f"{ratio:>6.2f}x")
+    geomean = math.exp(log_sum / len(shared))
+    floor = 1.0 - args.tolerance
+    print(f"geomean events/s ratio over {len(shared)} workload(s): "
+          f"{geomean:.3f}x (floor {floor:.2f}x)")
+
+    if geomean < floor:
+        print(
+            f"ERROR: events/s regressed to {geomean:.2f}x of the "
+            f"committed baseline (allowed floor {floor:.2f}x).\n"
+            f"If the slowdown is intentional, re-run "
+            f"benchmarks/perf/run_bench.py and commit the refreshed "
+            f"{BENCH_FILE} alongside the change that explains it.",
+            file=sys.stderr)
+        return 1
+    print("bench-regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
