@@ -12,7 +12,11 @@ and writes ``BENCH_fleet.json`` at the repo root with two scenarios:
   :class:`SerialExecutor` vs the :class:`ParallelExecutor` (same-instant
   group launches fan across workers), asserting assignments, makespan,
   per-device busy cycles, and group timelines are identical — the
-  executor may only change wall clock, never results.
+  executor may only change wall clock, never results;
+* ``fault_drain`` — the same stream with MTBF/MTTR churn and
+  queue-cap admission: the fault-bookkeeping overhead of the event
+  loop, reported as the same ``events_per_sec`` figure so the
+  regression gate tracks it next to the healthy drains.
 
 The speedup tracks how often devices launch simultaneously (bursts, and
 the stream head where the whole fleet fills at once); ``cores`` is
@@ -59,6 +63,12 @@ def _fleet_fingerprint(outcome):
                    for d in outcome.devices],
         "instructions": outcome.total_instructions,
     }
+
+
+def _fleet_events(outcome) -> int:
+    """Simulation events processed across every served group."""
+    return sum(g.outcome.result.events
+               for d in outcome.devices for g in d.groups)
 
 
 def run_bench(devices: int, workers: int, quick: bool) -> dict:
@@ -109,6 +119,7 @@ def run_bench(devices: int, workers: int, quick: bool) -> dict:
         s = summarize_fleet(outcome, solo)
         comparison[key] = {
             "wall_s": round(wall, 3),
+            "events_per_sec": round(_fleet_events(outcome) / wall, 1),
             "antt": round(s.antt, 4),
             "stp": round(s.stp, 4),
             "makespan": s.makespan,
@@ -128,9 +139,32 @@ def run_bench(devices: int, workers: int, quick: bool) -> dict:
                       _fleet_fingerprint(parallel_out)),
         "devices": devices,
     }
+
+    # Fault-bookkeeping overhead: the same drain with MTBF churn plus
+    # queue-cap admission.  Events/s counts only retired groups, so
+    # the figure also absorbs the cycles lost to cancelled attempts.
+    from repro.cluster import QueueCapAdmission, mtbf_plan
+    horizon = max(1, serial_out.makespan)
+    plan = mtbf_plan(devices, mtbf=horizon / 2.0, mttr=horizon / 8.0,
+                     horizon=horizon, fail_prob=0.05, seed=7)
+    fault_wall, fault_out = _timed(lambda: run_fleet(
+        arrivals, placement_policy("least-loaded"),
+        lambda _i: OnlineFCFS(2), ctx, num_devices=devices,
+        executor=SerialExecutor(), faults=plan,
+        admission=QueueCapAdmission(queue_cap=4 * devices)))
+    fault_drain = {
+        "wall_s": round(fault_wall, 3),
+        "events_per_sec": round(_fleet_events(fault_out) / fault_wall, 1),
+        "served": len(fault_out.records),
+        "rejected": len(fault_out.rejected),
+        "fault_events": len(fault_out.fault_events),
+        "lost_cycles": sum(d.lost_cycles for d in fault_out.devices),
+        "overhead_vs_healthy": round(fault_wall / serial_s, 3),
+    }
     return {
         "placement_comparison": comparison,
         "parallel_drain": parallel_drain,
+        "fault_drain": fault_drain,
         "apps": apps,
         "scale": scale,
     }

@@ -1,12 +1,12 @@
 """Analysis helpers: evaluation metrics and plain-text chart rendering."""
 
-from .fleet import (FleetSummary, load_imbalance, queue_depth_timeline,
-                    summarize_fleet)
+from .fleet import (FleetSummary, availability_timeline, load_imbalance,
+                    queue_depth_timeline, summarize_faults, summarize_fleet)
 from .metrics import (average_normalized_turnaround, fairness, geometric_mean,
                       harmonic_mean, normalize, slowdown, speedup, throughput,
                       utilization, weighted_speedup)
-from .streams import (StreamSummary, per_app_slowdown, percentile,
-                      summarize_stream)
+from .streams import (StreamSummary, deadline_attainment, per_app_slowdown,
+                      percentile, summarize_stream)
 from .tables import render_bars, render_grouped_bars, render_table
 
 __all__ = [
@@ -14,7 +14,8 @@ __all__ = [
     "average_normalized_turnaround", "fairness", "harmonic_mean",
     "geometric_mean", "normalize",
     "percentile", "StreamSummary", "summarize_stream", "per_app_slowdown",
+    "deadline_attainment",
     "FleetSummary", "summarize_fleet", "load_imbalance",
-    "queue_depth_timeline",
+    "queue_depth_timeline", "summarize_faults", "availability_timeline",
     "render_table", "render_bars", "render_grouped_bars",
 ]

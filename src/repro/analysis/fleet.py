@@ -16,15 +16,19 @@ adds the fleet-level view:
   next to an underused big one even when the fleet-wide mean looks
   healthy;
 * **queue-depth timelines** — waiting-application count over time, per
-  device or fleet-wide, for burst-absorption plots.
+  device or fleet-wide, for burst-absorption plots;
+* **fault metrics** (:func:`summarize_faults`) — availability,
+  goodput vs admitted vs rejected accounting, retry histograms, and
+  per-device downtime for runs with fault injection or admission
+  control (:mod:`repro.cluster.faults`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .streams import summarize_stream
+from .streams import deadline_attainment, summarize_stream
 
 
 def load_imbalance(busy_cycles: Sequence[int]) -> float:
@@ -137,6 +141,95 @@ def summarize_fleet(outcome, solo_cycles: Mapping[str, int],
         latency_p50=stream.latency_p50,
         latency_p99=stream.latency_p99,
     )
+
+
+def availability_timeline(fault_events, num_devices: int
+                          ) -> List[List[int]]:
+    """UP-device count over time: ``[[cycle, up_count], ...]``.
+
+    `fault_events` is the applied-events list of a
+    :class:`~repro.cluster.FleetOutcome` (sorted; down before up within
+    a cycle).  The timeline starts at ``[0, num_devices]`` (every fleet
+    boots fully UP) and records the count *after* all of a cycle's
+    events; same-cycle down+up pairs therefore coalesce into one step.
+    """
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices!r}")
+    timeline: List[List[int]] = [[0, num_devices]]
+    up = num_devices
+    for event in sorted(fault_events,
+                        key=lambda e: (e.cycle, e.device, e.kind == "up")):
+        up += 1 if event.kind == "up" else -1
+        if timeline[-1][0] == event.cycle:
+            timeline[-1][1] = up
+        else:
+            timeline.append([event.cycle, up])
+    return timeline
+
+
+def summarize_faults(outcome, deadline_cycles: int = 0) -> Dict[str, Any]:
+    """Fault/admission scorecard of one fleet outcome, as plain data.
+
+    Complements :func:`summarize_fleet` (which describes the *served*
+    stream) with what fault injection and admission control did to the
+    offered load: every key is JSON-ready, so the scenario runner can
+    merge this dict straight into ``RunResult.metrics``.
+
+    Accounting invariants: ``served + rejected == arrivals``;
+    ``admitted`` excludes only admission-stage rejections (reason =
+    policy name), so arrivals later dropped by graceful degradation
+    (reason ``no-device``) still count as admitted;
+    ``goodput_cycles`` is busy minus lost — cycles spent on groups that
+    actually retired.  ``deadline_attainment`` (served apps finishing
+    within `deadline_cycles`) is included only when a deadline is set.
+    """
+    arrivals = len(outcome.records) + len(outcome.rejected)
+    admission_rejects = [r for r in outcome.rejected
+                         if r.reason != "no-device"]
+    by_reason: Dict[str, int] = {}
+    for r in outcome.rejected:
+        by_reason[r.reason] = by_reason.get(r.reason, 0) + 1
+    retries: Dict[str, int] = {}
+    for name, rec in outcome.records.items():
+        retries[name] = rec.retries
+    for r in outcome.rejected:
+        retries[r.name] = r.retries
+    histogram: Dict[str, int] = {}
+    for count in retries.values():
+        histogram[str(count)] = histogram.get(str(count), 0) + 1
+    makespan = max(1, outcome.makespan)
+    num_devices = len(outcome.devices)
+    downtime = [d.down_cycles for d in outcome.devices]
+    busy = sum(d.busy_cycles for d in outcome.devices)
+    lost = sum(d.lost_cycles for d in outcome.devices)
+    summary: Dict[str, Any] = {
+        "arrivals": arrivals,
+        "admitted": arrivals - len(admission_rejects),
+        "served": len(outcome.records),
+        "rejected": len(outcome.rejected),
+        "rejected_by_reason": dict(sorted(by_reason.items())),
+        "rejected_apps": [
+            {"name": r.name, "arrival_cycle": r.arrival_cycle,
+             "cycle": r.cycle, "reason": r.reason, "retries": r.retries}
+            for r in sorted(outcome.rejected,
+                            key=lambda r: (r.cycle, r.name))],
+        "goodput_cycles": busy - lost,
+        "lost_cycles": lost,
+        "retries_total": sum(retries.values()),
+        "retry_histogram": dict(sorted(histogram.items())),
+        "failed_groups": sum(len(d.failed_groups)
+                             for d in outcome.devices),
+        "fault_events": len(outcome.fault_events),
+        "per_device_downtime": downtime,
+        "availability": 1.0 - sum(downtime) / (num_devices * makespan),
+        "availability_timeline": availability_timeline(
+            outcome.fault_events, num_devices),
+    }
+    if deadline_cycles > 0:
+        summary["deadline_attainment"] = (
+            deadline_attainment(outcome.records, deadline_cycles)
+            if outcome.records else 0.0)
+    return summary
 
 
 def queue_depth_timeline(outcome, device: Optional[int] = None

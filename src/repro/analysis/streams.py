@@ -22,7 +22,7 @@ the profiler):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 from .metrics import average_normalized_turnaround, weighted_speedup
 
@@ -71,6 +71,25 @@ def per_app_slowdown(outcome, solo_cycles: Mapping[str, int]
     for name, rec in outcome.records.items():
         out[name] = rec.turnaround_cycles / max(1, solo_cycles[name])
     return out
+
+
+def deadline_attainment(records: Mapping[str, Any],
+                        deadline_cycles: int) -> float:
+    """Fraction of served applications finishing within the deadline.
+
+    An application attains its deadline when its turnaround (arrival →
+    finish) is at most `deadline_cycles`.  Only *served* records count —
+    rejected arrivals never attain anything, so SLO reporting divides
+    by arrivals separately when it wants the stricter figure.
+    """
+    if deadline_cycles <= 0:
+        raise ValueError(f"deadline_cycles must be > 0, got "
+                         f"{deadline_cycles!r}")
+    if not records:
+        raise ValueError("deadline attainment of an empty record set")
+    met = sum(1 for rec in records.values()
+              if rec.turnaround_cycles <= deadline_cycles)
+    return met / len(records)
 
 
 def summarize_stream(outcome, solo_cycles: Mapping[str, int]

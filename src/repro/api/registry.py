@@ -38,6 +38,7 @@ _BUILTIN_MODULES = (
     "repro.core.policies",      # kind "policies"
     "repro.runtime.online",     # kind "online-policies"
     "repro.cluster.placement",  # kind "placements"
+    "repro.cluster.faults",     # kinds "faults", "admission"
     "repro.workloads.rodinia",  # kind "benchmarks"
     "repro.workloads.streams",  # kind "streams"
     "repro.api.devices",        # kind "gpu-configs"
@@ -46,7 +47,8 @@ _BUILTIN_MODULES = (
 #: The component families the built-in registry serves (documentation
 #: order; the registry itself accepts any kind string).
 BUILTIN_KINDS = ("benchmarks", "policies", "online-policies",
-                 "placements", "streams", "gpu-configs")
+                 "placements", "streams", "gpu-configs", "faults",
+                 "admission")
 
 
 class RegistryError(ValueError):

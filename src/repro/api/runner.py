@@ -83,7 +83,7 @@ class RunResult:
 
 
 def _provenance(scenario: Scenario) -> Dict[str, Any]:
-    return {
+    data = {
         "engine_version": ENGINE_VERSION,
         "schema_version": SCHEMA_VERSION,
         "repro_version": __version__,
@@ -94,6 +94,13 @@ def _provenance(scenario: Scenario) -> Dict[str, Any]:
         #: heterogeneous result needs to be replayed or audited.
         "device_configs": list(scenario.devices.config_names()),
     }
+    # Optional keys: fault-free results stay byte-identical to builds
+    # that predate fault injection.
+    if scenario.faults is not None:
+        data["faults"] = scenario.faults.kind
+    if scenario.admission is not None:
+        data["admission"] = scenario.admission.kind
+    return data
 
 
 def _embedded_scenario(scenario: Scenario) -> Dict[str, Any]:
@@ -181,7 +188,8 @@ def _group_dicts(scheduled, device: Optional[int] = None
 
 
 def _record_dicts(records, solo: Mapping[str, int],
-                  with_device: bool = False) -> List[Dict[str, Any]]:
+                  with_device: bool = False,
+                  with_retries: bool = False) -> List[Dict[str, Any]]:
     out = []
     for name in sorted(records):
         rec = records[name]
@@ -193,6 +201,8 @@ def _record_dicts(records, solo: Mapping[str, int],
                  "solo_cycles": solo[rec.name]}
         if with_device:
             entry["device"] = rec.device
+        if with_retries:
+            entry["retries"] = rec.retries
         out.append(entry)
     return out
 
@@ -343,28 +353,60 @@ def _per_device_solo(device_contexts, outcome, executor,
 
 def _run_fleet_scenario(scenario, placement, ctx, executor,
                         max_cycles) -> RunResult:
-    from repro.analysis import summarize_fleet
+    from repro.analysis import summarize_faults, summarize_fleet
     from repro.cluster import run_fleet
     arrivals = build_arrivals(scenario)
     device_contexts = _device_contexts(scenario, ctx, executor)
     if device_contexts is None:
         solo = _solo_cycles(ctx, executor, arrivals)
+    faults = admission = None
+    if scenario.faults is not None:
+        faults = REGISTRY.create("faults", scenario.faults.kind,
+                                 scenario.devices.count,
+                                 **scenario.faults.params())
+    if scenario.admission is not None:
+        admission = REGISTRY.create("admission", scenario.admission.kind,
+                                    **scenario.admission.params())
+    # Spec-level, not object-level: whether the author asked for fault
+    # semantics decides the result shape (extra metrics/app/device keys).
+    fault_mode = (scenario.faults is not None
+                  or scenario.admission is not None)
     outcome = run_fleet(
         arrivals, placement,
         lambda _i: _build_policy(scenario), ctx,
         num_devices=scenario.devices.count, executor=executor,
-        max_cycles=max_cycles, device_contexts=device_contexts)
+        max_cycles=max_cycles, device_contexts=device_contexts,
+        faults=faults, admission=admission)
     if device_contexts is not None:
         solo = _per_device_solo(device_contexts, outcome, executor,
                                 arrivals)
     config_names = scenario.devices.config_names()
-    summary = summarize_fleet(outcome, solo,
-                              device_configs=config_names)
+    if outcome.records:
+        summary = summarize_fleet(outcome, solo,
+                                  device_configs=config_names)
+        metrics = _summary_dict(summary)
+    else:
+        # Fully-degraded fleet: every arrival was rejected, there is no
+        # served stream to summarize — report the skeleton scorecard
+        # and let the fault metrics below carry the story.
+        metrics = {
+            "placement": outcome.placement,
+            "policy": outcome.policy,
+            "devices": len(outcome.devices),
+            "apps": 0,
+            "makespan": outcome.makespan,
+        }
+    if fault_mode:
+        deadline = (scenario.admission.deadline_cycles
+                    if scenario.admission is not None
+                    and scenario.admission.kind == "deadline" else 0)
+        metrics.update(summarize_faults(outcome,
+                                        deadline_cycles=deadline))
     groups: List[Dict[str, Any]] = []
     devices = []
     for dev in outcome.devices:
         groups.extend(_group_dicts(dev.groups, device=dev.device_id))
-        devices.append({
+        entry = {
             "device_id": dev.device_id,
             "policy": dev.policy,
             "config": config_names[dev.device_id],
@@ -372,10 +414,16 @@ def _run_fleet_scenario(scenario, placement, ctx, executor,
             "apps_served": dev.apps_served,
             "busy_cycles": dev.busy_cycles,
             "utilization": dev.busy_cycles / max(1, outcome.makespan),
-        })
+        }
+        if fault_mode:
+            entry["lost_cycles"] = dev.lost_cycles
+            entry["down_cycles"] = dev.down_cycles
+            entry["failed_groups"] = len(dev.failed_groups)
+        devices.append(entry)
     return RunResult(kind="fleet", scenario=_embedded_scenario(scenario),
-                     metrics=_summary_dict(summary),
+                     metrics=metrics,
                      apps=_record_dicts(outcome.records, solo,
-                                        with_device=True),
+                                        with_device=True,
+                                        with_retries=fault_mode),
                      groups=groups, devices=devices,
                      provenance=_provenance(scenario))

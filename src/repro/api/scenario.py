@@ -313,11 +313,154 @@ class ExecutionSpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic fault injection for a fleet scenario.
+
+    ``kind`` names a ``faults`` registry generator:
+
+    * ``none`` — no faults; canonicalized away (the spec compares and
+      serializes identically to leaving ``faults`` out entirely);
+    * ``scheduled`` — explicit ``events`` list of
+      ``[cycle, device, "down"|"up"]`` triples;
+    * ``mtbf`` — seeded exponential churn: per-device outages drawn
+      from ``mtbf``/``mttr`` means over ``horizon`` cycles;
+    * ``transient`` — no outages, only group-level transient failures.
+
+    ``fail_prob`` additionally arms transient group failures (a failed
+    attempt burns its full duration, then its members requeue) under
+    every kind; ``max_retries`` bounds attempts per application.  All
+    randomness derives from ``seed``, so one spec reproduces
+    bit-identical fault streams.
+    """
+
+    kind: str = "none"
+    #: ``(cycle, device, "down"|"up")`` triples for ``kind="scheduled"``.
+    events: Tuple[Tuple[int, int, str], ...] = ()
+    #: mean cycles between failures per device (``kind="mtbf"``).
+    mtbf: float = 500_000.0
+    #: mean repair time in cycles (``kind="mtbf"``).
+    mttr: float = 100_000.0
+    #: cycle horizon for generated churn (``kind="mtbf"``).
+    horizon: int = 2_000_000
+    #: probability a launched group fails transiently.
+    fail_prob: float = 0.0
+    #: attempts per application before a transient failure is final.
+    max_retries: int = 2
+    #: seed for churn and transient-failure randomness.
+    seed: int = 0
+
+    def __post_init__(self):
+        _check_registry("faults", self.kind)
+        object.__setattr__(self, "events",
+                           tuple(tuple(e) for e in self.events))
+        if self.kind == "scheduled":
+            _require(bool(self.events),
+                     "faults kind 'scheduled' needs at least one "
+                     "[cycle, device, 'down'|'up'] event")
+        else:
+            _require(not self.events,
+                     f"fault events are only valid with kind='scheduled', "
+                     f"not {self.kind!r}")
+        if self.kind == "transient":
+            _require(0.0 < self.fail_prob <= 1.0,
+                     f"faults kind 'transient' needs fail_prob in (0, 1], "
+                     f"got {self.fail_prob!r}")
+        _require(0.0 <= self.fail_prob <= 1.0,
+                 f"fail_prob must be in [0, 1], got {self.fail_prob!r}")
+        _require(self.mtbf > 0, f"mtbf must be > 0, got {self.mtbf!r}")
+        _require(self.mttr > 0, f"mttr must be > 0, got {self.mttr!r}")
+        _require(isinstance(self.horizon, int) and self.horizon >= 1,
+                 f"horizon must be a positive integer, got "
+                 f"{self.horizon!r}")
+        _require(isinstance(self.max_retries, int) and self.max_retries >= 0,
+                 f"max_retries must be a non-negative integer, got "
+                 f"{self.max_retries!r}")
+        _require(isinstance(self.seed, int) and self.seed >= 0,
+                 f"seed must be a non-negative integer, got {self.seed!r}")
+
+    def params(self) -> Dict[str, Any]:
+        """Keyword arguments for the ``faults`` registry factory."""
+        data = dataclasses.asdict(self)
+        del data["kind"]
+        return data
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["events"] = [list(e) for e in self.events]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return _decode(cls, data, "faults")
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """Admission control for a fleet scenario.
+
+    ``kind`` names an ``admission`` registry policy: ``none``
+    (canonicalized away, like :class:`FaultSpec`), ``queue-cap``
+    (reject or defer arrivals while fleet-wide waiting depth is at
+    ``queue_cap``), or ``deadline`` (reject arrivals whose optimistic
+    completion bound already misses ``deadline_cycles``).
+    """
+
+    kind: str = "none"
+    #: fleet-wide waiting-apps cap for ``kind="queue-cap"``.
+    queue_cap: int = 8
+    #: what happens at the cap: ``reject`` or ``defer``.
+    mode: str = "reject"
+    #: cycles between re-offers of a deferred arrival.
+    defer_gap: int = 5_000
+    #: re-offers before a deferred arrival is finally rejected.
+    max_defers: int = 3
+    #: turnaround budget in cycles for ``kind="deadline"``.
+    deadline_cycles: int = 50_000
+
+    def __post_init__(self):
+        _check_registry("admission", self.kind)
+        _require(isinstance(self.queue_cap, int) and self.queue_cap >= 1,
+                 f"queue_cap must be a positive integer, got "
+                 f"{self.queue_cap!r}")
+        _require(self.mode in ("reject", "defer"),
+                 f"admission mode must be 'reject' or 'defer', got "
+                 f"{self.mode!r}")
+        _require(isinstance(self.defer_gap, int) and self.defer_gap >= 1,
+                 f"defer_gap must be a positive integer, got "
+                 f"{self.defer_gap!r}")
+        _require(isinstance(self.max_defers, int) and self.max_defers >= 0,
+                 f"max_defers must be a non-negative integer, got "
+                 f"{self.max_defers!r}")
+        _require(isinstance(self.deadline_cycles, int)
+                 and self.deadline_cycles >= 1,
+                 f"deadline_cycles must be a positive integer, got "
+                 f"{self.deadline_cycles!r}")
+
+    def params(self) -> Dict[str, Any]:
+        """Keyword arguments for the ``admission`` registry factory."""
+        data = dataclasses.asdict(self)
+        del data["kind"]
+        return data
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdmissionSpec":
+        return _decode(cls, data, "admission")
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One declarative run: kind + workload + policy (+ placement).
 
     ``kind`` selects the engine — ``queue`` (batch drain), ``stream``
     (one device, online arrivals), ``fleet`` (N devices + placement).
+    Fleet scenarios optionally carry ``faults`` (deterministic fault
+    injection) and ``admission`` (admission control); a ``kind="none"``
+    spec in either slot canonicalizes to ``None``, so a fault-free
+    scenario serializes byte-identically whether the spec was given or
+    not.
     """
 
     kind: str
@@ -326,6 +469,8 @@ class Scenario:
     placement: Optional[PlacementSpec] = None
     devices: DeviceSpec = field(default_factory=DeviceSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    faults: Optional[FaultSpec] = None
+    admission: Optional[AdmissionSpec] = None
     #: free-form label, carried into results and sweep file names.
     name: str = ""
 
@@ -341,9 +486,19 @@ class Scenario:
             _require(self.workload.source != "trace",
                      "queue scenarios have no arrival timeline; replay "
                      "traces with kind='stream'")
+        if self.faults is not None and self.faults.kind == "none":
+            # Canonical form: a no-op FaultSpec IS the absent-spec path.
+            object.__setattr__(self, "faults", None)
+        if self.admission is not None and self.admission.kind == "none":
+            object.__setattr__(self, "admission", None)
         if self.kind == "fleet":
             if self.placement is None:
                 object.__setattr__(self, "placement", PlacementSpec())
+            if self.faults is not None:
+                # Building the plan validates device ranges and the
+                # all-DOWN-at-cycle-0 degenerate case at load time.
+                REGISTRY.create("faults", self.faults.kind,
+                                self.devices.count, **self.faults.params())
         else:
             _require(self.placement is None,
                      f"placement is only valid for fleet scenarios, not "
@@ -351,6 +506,12 @@ class Scenario:
             _require(self.devices.count == 1,
                      f"{self.kind} scenarios run one device; use "
                      f"kind='fleet' for {self.devices.count}")
+            _require(self.faults is None,
+                     f"fault injection is only valid for fleet scenarios, "
+                     f"not kind={self.kind!r}")
+            _require(self.admission is None,
+                     f"admission control is only valid for fleet "
+                     f"scenarios, not kind={self.kind!r}")
         _require(isinstance(self.name, str),
                  f"name must be a string, got {self.name!r}")
 
@@ -372,6 +533,10 @@ class Scenario:
         }
         if self.placement is not None:
             data["placement"] = self.placement.to_dict()
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
+        if self.admission is not None:
+            data["admission"] = self.admission.to_dict()
         if self.name:
             data["name"] = self.name
         return data
@@ -389,7 +554,7 @@ class Scenario:
                 f"unsupported scenario schema_version {version!r}; this "
                 f"build reads version {SCHEMA_VERSION}")
         known = {"kind", "workload", "policy", "placement", "devices",
-                 "execution", "name"}
+                 "execution", "faults", "admission", "name"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(f"scenario has unknown key(s): "
@@ -398,6 +563,8 @@ class Scenario:
         if "kind" not in data:
             raise ValueError("scenario is missing the required 'kind' key")
         placement = data.get("placement")
+        faults = data.get("faults")
+        admission = data.get("admission")
         return cls(
             kind=data["kind"],
             workload=WorkloadSpec.from_dict(data.get("workload", {})),
@@ -406,6 +573,10 @@ class Scenario:
                        if placement is not None else None),
             devices=DeviceSpec.from_dict(data.get("devices", {})),
             execution=ExecutionSpec.from_dict(data.get("execution", {})),
+            faults=(FaultSpec.from_dict(faults)
+                    if faults is not None else None),
+            admission=(AdmissionSpec.from_dict(admission)
+                       if admission is not None else None),
             name=data.get("name", ""),
         )
 

@@ -25,7 +25,9 @@ Subcommands
 ``run-fleet``
     Drain one shared arrival stream across a fleet of simulated devices
     under one or more placement policies; print fleet ANTT/STP, load
-    imbalance, and per-device utilization.
+    imbalance, and per-device utilization.  ``--faults`` /
+    ``--admission`` add deterministic fault injection and admission
+    control (availability, goodput, and rejection accounting).
 ``scalability``
     Sweep SM counts for selected benchmarks (Fig. 3.5/3.6).
 ``list``
@@ -48,9 +50,10 @@ from typing import List, Optional, Sequence
 
 from repro.analysis import (normalize, render_bars, render_table,
                             summarize_fleet, summarize_stream)
-from repro.api import (REGISTRY, DeviceSpec, ExecutionSpec, PlacementSpec,
-                       PolicySpec, RunResult, Scenario, WorkloadSpec,
-                       load_sweep, point_filename, run_scenario)
+from repro.api import (REGISTRY, AdmissionSpec, DeviceSpec, ExecutionSpec,
+                       FaultSpec, PlacementSpec, PolicySpec, RunResult,
+                       Scenario, WorkloadSpec, load_sweep, point_filename,
+                       run_scenario)
 from repro.core import (CLASS_ORDER, ClassificationThresholds, classify,
                         make_context, shared_profiler)
 from repro.gpusim import Application, gtx480, simulate
@@ -105,6 +108,18 @@ def _seed(text: str) -> int:
             f"expected a non-negative integer seed, got {text!r}") from None
     if value < 0:
         raise argparse.ArgumentTypeError(f"seed must be >= 0, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: a non-negative integer count."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -277,6 +292,49 @@ def _fleet_devices(args) -> DeviceSpec:
                       per_device=tuple(configs))
 
 
+def _parse_fault_event(text: str) -> List:
+    """Decode one ``CYCLE:DEVICE:down|up`` flag into an event triple."""
+    parts = text.split(":")
+    if len(parts) != 3 or parts[2] not in ("down", "up"):
+        raise SystemExit(
+            f"--fault-events expects CYCLE:DEVICE:down|up, got {text!r}")
+    try:
+        cycle, device = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise SystemExit(
+            f"--fault-events expects integer cycle and device in "
+            f"{text!r}") from None
+    return [cycle, device, parts[2]]
+
+
+def _fault_spec(args) -> Optional[FaultSpec]:
+    """The run-fleet fault flags as a :class:`FaultSpec` (or None)."""
+    if args.faults == "none":
+        if args.fault_events:
+            raise SystemExit("--fault-events needs --faults scheduled")
+        return None
+    if args.faults == "scheduled" and not args.fault_events:
+        raise SystemExit("--faults scheduled needs at least one "
+                         "--fault-events CYCLE:DEVICE:down|up")
+    events = tuple(tuple(_parse_fault_event(text))
+                   for text in args.fault_events or [])
+    return FaultSpec(kind=args.faults, events=events, mtbf=args.mtbf,
+                     mttr=args.mttr, horizon=args.fault_horizon,
+                     fail_prob=args.fail_prob,
+                     max_retries=args.max_retries, seed=args.fault_seed)
+
+
+def _admission_spec(args) -> Optional[AdmissionSpec]:
+    """The run-fleet admission flags as an :class:`AdmissionSpec`."""
+    if args.admission == "none":
+        return None
+    return AdmissionSpec(kind=args.admission, queue_cap=args.queue_cap,
+                         mode=args.admission_mode,
+                         defer_gap=args.defer_gap,
+                         max_defers=args.max_defers,
+                         deadline_cycles=args.deadline)
+
+
 def _fleet_scenario(args, placement_key: str) -> Scenario:
     return Scenario(
         kind="fleet",
@@ -285,7 +343,9 @@ def _fleet_scenario(args, placement_key: str) -> Scenario:
         placement=PlacementSpec(name=placement_key),
         devices=_fleet_devices(args),
         execution=ExecutionSpec(workers=args.workers,
-                                samples_per_pair=args.samples))
+                                samples_per_pair=args.samples),
+        faults=_fault_spec(args),
+        admission=_admission_spec(args))
 
 
 # -- the declarative entry points --------------------------------------------
@@ -416,41 +476,66 @@ def cmd_run_fleet(args) -> int:
     apps = 0
     with make_executor(args.workers) as executor:
         for key in _unique(args.placement):
-            result = _run_or_exit(_fleet_scenario(args, key), executor)
+            try:
+                scenario = _fleet_scenario(args, key)
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+            result = _run_or_exit(scenario, executor)
             m = result.metrics
             apps = m["apps"]
             summaries.append(m)
-            rows.append([m["placement"], m["antt"], m["stp"],
-                         m["fleet_throughput"], 100.0 * m["utilization"],
-                         m["load_imbalance"], m["wait_p50"], m["wait_p99"],
-                         m["latency_p99"]])
+            if "antt" in m:
+                rows.append([m["placement"], m["antt"], m["stp"],
+                             m["fleet_throughput"],
+                             100.0 * m["utilization"],
+                             m["load_imbalance"], m["wait_p50"],
+                             m["wait_p99"], m["latency_p99"]])
+            else:
+                # Fully-degraded run: nothing was served, so there is
+                # no stream scorecard row to print.
+                print(f"\n{m['placement']}: no applications served "
+                      f"({m.get('rejected', 0)} rejected)")
             if args.verbose:
                 print(f"\n{m['placement']}: makespan {m['makespan']:,} "
                       f"cycles")
                 hetero = bool(result.scenario["devices"].get("per_device"))
                 for dev in result.devices:
                     suffix = f" [{dev['config']}]" if hetero else ""
+                    faulty = ""
+                    if dev.get("down_cycles") or dev.get("lost_cycles"):
+                        faulty = (f", {dev['down_cycles']:,} down / "
+                                  f"{dev['lost_cycles']:,} lost cycles")
                     print(f"  device {dev['device_id']}: "
                           f"{dev['apps_served']:>3} apps in "
                           f"{dev['groups']:>3} groups, "
                           f"{dev['busy_cycles']:>12,} busy cycles"
-                          f"{suffix}")
+                          f"{suffix}{faulty}")
 
     kind = f"trace:{args.trace}" if args.trace else args.arrival
     print()
-    print(render_table(
-        ["placement", "ANTT", "STP", "IPC", "util %", "imbalance",
-         "wait p50", "wait p99", "lat p99"],
-        rows,
-        title=f"Fleet of {args.devices} devices x {args.policy}: "
-              f"{apps} apps, {kind} arrivals, NC={args.nc} "
-              f"(ANTT/imbalance lower, STP higher is better)"))
+    if rows:
+        print(render_table(
+            ["placement", "ANTT", "STP", "IPC", "util %", "imbalance",
+             "wait p50", "wait p99", "lat p99"],
+            rows,
+            title=f"Fleet of {args.devices} devices x {args.policy}: "
+                  f"{apps} apps, {kind} arrivals, NC={args.nc} "
+                  f"(ANTT/imbalance lower, STP higher is better)"))
     for m in summaries:
-        utils = " ".join(f"{100.0 * u:.0f}%"
-                         for u in m["per_device_utilization"])
-        app_counts = " ".join(str(a) for a in m["per_device_apps"])
-        print(f"{m['placement']:>14}: util/device = {utils}   "
-              f"apps/device = {app_counts}")
+        if "per_device_utilization" in m:
+            utils = " ".join(f"{100.0 * u:.0f}%"
+                             for u in m["per_device_utilization"])
+            app_counts = " ".join(str(a) for a in m["per_device_apps"])
+            print(f"{m['placement']:>14}: util/device = {utils}   "
+                  f"apps/device = {app_counts}")
+        if "availability" in m:
+            reasons = ", ".join(f"{reason}: {count}" for reason, count
+                                in m["rejected_by_reason"].items()) or "-"
+            print(f"{m['placement']:>14}: availability = "
+                  f"{100.0 * m['availability']:.1f}%   served "
+                  f"{m['served']}/{m['arrivals']}   rejected "
+                  f"{m['rejected']} ({reasons})   retries "
+                  f"{m['retries_total']}")
     return 0
 
 
@@ -601,6 +686,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for same-instant group "
                         "simulations and profiling")
+    p.add_argument("--faults", default="none",
+                   choices=REGISTRY.names("faults"),
+                   help="fault injection: scheduled events, mtbf churn, "
+                        "or transient group failures (default none)")
+    p.add_argument("--fault-events", nargs="+", default=None,
+                   metavar="CYCLE:DEVICE:down|up",
+                   help="explicit outage events for --faults scheduled")
+    p.add_argument("--mtbf", type=_positive_float, default=500000.0,
+                   help="mean cycles between failures per device "
+                        "(--faults mtbf)")
+    p.add_argument("--mttr", type=_positive_float, default=100000.0,
+                   help="mean repair time in cycles (--faults mtbf)")
+    p.add_argument("--fault-horizon", type=_positive_int,
+                   default=2000000,
+                   help="cycle horizon for generated mtbf churn")
+    p.add_argument("--fail-prob", type=_fraction, default=0.0,
+                   help="transient group-failure probability")
+    p.add_argument("--max-retries", type=_nonneg_int, default=2,
+                   help="attempts per app before a transient failure "
+                        "is final")
+    p.add_argument("--fault-seed", type=_seed, default=0,
+                   help="seed for churn and transient failures")
+    p.add_argument("--admission", default="none",
+                   choices=REGISTRY.names("admission"),
+                   help="admission control policy (default none)")
+    p.add_argument("--queue-cap", type=_positive_int, default=8,
+                   help="fleet-wide waiting-apps cap "
+                        "(--admission queue-cap)")
+    p.add_argument("--admission-mode", default="reject",
+                   choices=("reject", "defer"),
+                   help="what happens at the cap (default reject)")
+    p.add_argument("--defer-gap", type=_positive_int, default=5000,
+                   help="cycles between re-offers of a deferred arrival")
+    p.add_argument("--max-defers", type=_nonneg_int, default=3,
+                   help="re-offers before a deferred arrival is "
+                        "rejected")
+    p.add_argument("--deadline", type=_positive_int, default=50000,
+                   help="turnaround budget in cycles "
+                        "(--admission deadline)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print the per-device breakdown per placement")
 

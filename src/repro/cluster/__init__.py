@@ -16,12 +16,23 @@ simulates a **fleet** of them draining one shared arrival stream:
   simulations through an executor; ``device_contexts`` makes the fleet
   heterogeneous (per-device :class:`~repro.gpusim.GPUConfig`\\ s);
   results are deterministic and independent of the worker count.
+* **faults** (:mod:`.faults`) — deterministic fault injection
+  (:class:`FaultPlan`: scheduled outages, MTBF/MTTR churn, transient
+  group failures with bounded retry) and admission control
+  (:class:`AdmissionPolicy`: queue-depth caps, deadline screening);
+  ``run_fleet(faults=..., admission=...)`` merges both onto the same
+  virtual clock with requeue onto surviving devices and graceful
+  degradation when the whole fleet is DOWN.
 
 Fleet-level metrics live in :mod:`repro.analysis.fleet`; the CLI front
 end is ``python -m repro run-fleet``.
 """
 
 from .device import Device
+from .faults import (AdmissionPolicy, DeadlineAdmission, FailedGroup,
+                     FaultEvent, FaultPlan, QueueCapAdmission,
+                     RejectedApp, mtbf_plan, scheduled_plan,
+                     transient_plan)
 from .fleet import DeviceOutcome, FleetAppRecord, FleetOutcome, run_fleet
 from .placement import (InterferenceAwarePlacement, LeastLoadedPlacement,
                         PlacementPolicy, RoundRobinPlacement,
@@ -32,4 +43,7 @@ __all__ = [
     "DeviceOutcome", "FleetAppRecord", "FleetOutcome", "run_fleet",
     "PlacementPolicy", "RoundRobinPlacement", "LeastLoadedPlacement",
     "InterferenceAwarePlacement", "placement_policy",
+    "FaultEvent", "FaultPlan", "FailedGroup", "RejectedApp",
+    "scheduled_plan", "mtbf_plan", "transient_plan",
+    "AdmissionPolicy", "QueueCapAdmission", "DeadlineAdmission",
 ]

@@ -30,6 +30,8 @@ from repro.core.scheduler import GroupOutcome
 from repro.runtime.engine import ScheduledGroup
 from repro.runtime.online import OnlinePolicy
 
+from .faults import FailedGroup
+
 Entry = Tuple[str, KernelSpec]
 
 
@@ -45,7 +47,9 @@ class Device:
     """
 
     __slots__ = ("device_id", "policy", "ctx", "resident", "groups",
-                 "busy_cycles", "completion_cycle", "_running")
+                 "busy_cycles", "completion_cycle", "_running", "up",
+                 "lost_cycles", "down_cycles", "failed_groups",
+                 "_down_since", "_inflight_failed")
 
     def __init__(self, device_id: int, policy: OnlinePolicy,
                  ctx: Optional[PolicyContext] = None):
@@ -63,6 +67,18 @@ class Device:
         #: Absolute cycle the in-flight group completes; None = idle.
         self.completion_cycle: Optional[int] = None
         self._running: List[str] = []
+        #: False while the device is failed (fault injection); a DOWN
+        #: device holds no work and is invisible to placement.
+        self.up = True
+        #: Cycles burned on attempts that never retired (failed groups).
+        self.lost_cycles = 0
+        #: Total cycles spent DOWN (closed out at end of run).
+        self.down_cycles = 0
+        self.failed_groups: List[FailedGroup] = []
+        self._down_since: Optional[int] = None
+        #: The in-flight group is a doomed transient attempt: it burns
+        #: its full duration, then requeues instead of retiring.
+        self._inflight_failed = False
 
     @property
     def config(self) -> Optional[GPUConfig]:
@@ -77,6 +93,16 @@ class Device:
     def pending(self) -> bool:
         """True while the policy still holds undispatched applications."""
         return self.policy.pending
+
+    @property
+    def inflight_failed(self) -> bool:
+        """True when the running group is a doomed transient attempt."""
+        return self._inflight_failed
+
+    @property
+    def waiting_count(self) -> int:
+        """Applications placed here but not yet launched."""
+        return len(self.resident) - len(self._running)
 
     def load(self) -> int:
         """Applications in the system here (waiting + running)."""
@@ -101,21 +127,36 @@ class Device:
                 f"device {self.device_id} asked for a group while busy")
         return self.policy.next_group(now, ctx)
 
-    def launch(self, outcome: GroupOutcome, now: int) -> None:
-        """Occupy the device with a simulated group starting at `now`."""
+    def launch(self, outcome: GroupOutcome, now: int,
+               failed: bool = False) -> None:
+        """Occupy the device with a simulated group starting at `now`.
+
+        `failed` marks a transient fault attempt: the group occupies
+        the device for its full duration exactly like a healthy launch,
+        but must be retired through :meth:`complete_failed` (members
+        requeue) instead of :meth:`complete`.
+        """
         if self.busy:
             raise RuntimeError(
                 f"device {self.device_id} launched a group while busy")
+        if not self.up:
+            raise RuntimeError(
+                f"device {self.device_id} launched a group while DOWN")
         self.groups.append(ScheduledGroup(start_cycle=now, outcome=outcome))
         self.busy_cycles += outcome.cycles
         self.completion_cycle = now + outcome.cycles
         self._running = list(outcome.members)
+        self._inflight_failed = failed
 
     def complete(self, ctx: PolicyContext) -> GroupOutcome:
         """Retire the in-flight group at its completion cycle."""
         if not self.busy:
             raise RuntimeError(
                 f"device {self.device_id} has no group to complete")
+        if self._inflight_failed:
+            raise RuntimeError(
+                f"device {self.device_id} must retire a failed attempt "
+                f"through complete_failed()")
         finished_at = self.completion_cycle
         outcome = self.groups[-1].outcome
         self.completion_cycle = None
@@ -124,3 +165,95 @@ class Device:
         self.resident = [e for e in self.resident if e[0] not in done]
         self.policy.on_group_finish(outcome, finished_at, ctx)
         return outcome
+
+    def complete_failed(self) -> List[Entry]:
+        """Retire a transiently-failed attempt; return its members.
+
+        The attempt burned its full planned duration (``busy_cycles``
+        already counts it; it is additionally booked as lost), its
+        group leaves the served timeline for :attr:`failed_groups`, and
+        its members leave this device for re-placement.  The policy is
+        *not* notified via ``on_group_finish`` — from its point of view
+        the members simply departed.
+        """
+        if not self.busy:
+            raise RuntimeError(
+                f"device {self.device_id} has no group to complete")
+        if not self._inflight_failed:
+            raise RuntimeError(
+                f"device {self.device_id} tried to fail a healthy "
+                f"group")
+        scheduled = self.groups.pop()
+        outcome = scheduled.outcome
+        self.lost_cycles += outcome.cycles
+        self.failed_groups.append(FailedGroup(
+            start_cycle=scheduled.start_cycle,
+            members=tuple(outcome.members),
+            planned_cycles=outcome.cycles,
+            executed_cycles=outcome.cycles,
+            reason="transient"))
+        self.completion_cycle = None
+        self._inflight_failed = False
+        done = set(self._running)
+        self._running = []
+        spec_of = dict(self.resident)
+        self.resident = [e for e in self.resident if e[0] not in done]
+        return [(name, spec_of[name]) for name in outcome.members]
+
+    def fail(self, now: int) -> List[Entry]:
+        """Take the device DOWN at `now`; return every displaced entry.
+
+        The in-flight group (if any) is cancelled — the device keeps
+        only the cycles it actually executed, booked as lost — and the
+        policy's waiting queue drains.  Displaced entries come back
+        running-members-first (they have been in the system longest),
+        then the drained waiting queue in policy order.
+        """
+        if not self.up:
+            raise RuntimeError(f"device {self.device_id} failed while "
+                               f"already DOWN")
+        self.up = False
+        self._down_since = now
+        displaced: List[Entry] = []
+        if self.busy:
+            scheduled = self.groups.pop()
+            outcome = scheduled.outcome
+            executed = now - scheduled.start_cycle
+            self.busy_cycles -= self.completion_cycle - now
+            self.lost_cycles += executed
+            self.failed_groups.append(FailedGroup(
+                start_cycle=scheduled.start_cycle,
+                members=tuple(outcome.members),
+                planned_cycles=outcome.cycles,
+                executed_cycles=executed,
+                reason="device-down"))
+            self.completion_cycle = None
+            self._inflight_failed = False
+            spec_of = dict(self.resident)
+            displaced.extend((name, spec_of[name])
+                             for name in self._running)
+            self._running = []
+        displaced.extend(self.policy.drain())
+        self.resident = []
+        return displaced
+
+    def recover(self, now: int, policy: OnlinePolicy) -> None:
+        """Bring the device back UP at `now` with a fresh policy.
+
+        A fresh policy instance (not the drained one) keeps recovery
+        deterministic for stateful policies: the rebooted device starts
+        from the same blank state a newly built device would.
+        """
+        if self.up:
+            raise RuntimeError(f"device {self.device_id} recovered "
+                               f"while already UP")
+        self.up = True
+        self.down_cycles += now - self._down_since
+        self._down_since = None
+        self.policy = policy
+
+    def close_downtime(self, at: int) -> None:
+        """Book the trailing outage of a still-DOWN device at end of run."""
+        if not self.up and self._down_since is not None:
+            self.down_cycles += max(0, at - self._down_since)
+            self._down_since = at

@@ -30,8 +30,9 @@ stream metrics of :mod:`repro.analysis.streams` apply unchanged and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.gpusim import GPUConfig
 
@@ -41,7 +42,9 @@ from repro.runtime.executors import (DEFAULT_MAX_CYCLES, Executor,
                                      SerialExecutor)
 from repro.runtime.online import OnlinePolicy
 
-from .device import Device
+from .device import Device, Entry
+from .faults import (VERDICTS, AdmissionPolicy, FailedGroup, FaultEvent,
+                     FaultPlan, RejectedApp)
 from .placement import PlacementPolicy
 
 #: Builds one fresh policy per device (called with the device id).
@@ -54,9 +57,12 @@ class FleetAppRecord(AppRecord):
 
     ``group_index`` indexes into the *serving device's* ``groups`` list
     (not a fleet-global timeline — devices run concurrently).
+    ``retries`` counts failed execution attempts (transient failures
+    and device-down cancellations) before the successful one.
     """
 
     device: int = 0
+    retries: int = 0
 
 
 @dataclass
@@ -66,7 +72,9 @@ class DeviceOutcome:
     ``config_name`` is the :attr:`GPUConfig.name` of the device that
     produced this timeline — the key of the per-device-class fleet
     metrics; empty when the caller never attached per-device contexts
-    (then every device ran the fleet-wide config).
+    (then every device ran the fleet-wide config).  ``lost_cycles`` /
+    ``down_cycles`` / ``failed_groups`` stay zero/empty on fault-free
+    runs.
     """
 
     device_id: int
@@ -74,6 +82,9 @@ class DeviceOutcome:
     groups: List[ScheduledGroup]
     busy_cycles: int
     config_name: str = ""
+    lost_cycles: int = 0
+    down_cycles: int = 0
+    failed_groups: List[FailedGroup] = field(default_factory=list)
 
     @property
     def apps_served(self) -> int:
@@ -94,9 +105,16 @@ class FleetOutcome:
     config: GPUConfig
     devices: List[DeviceOutcome]
     records: Dict[str, FleetAppRecord]
-    #: app name → device id, exactly as the placement policy decided.
+    #: app name → device id, exactly as the placement policy decided
+    #: (the *last* placement for work re-placed after a failure).
     assignments: Dict[str, int]
     makespan: int
+    #: arrivals never served (admission rejections + total degradation);
+    #: ``len(records) + len(rejected)`` always equals the arrival count.
+    rejected: List[RejectedApp] = field(default_factory=list)
+    #: fault events actually applied, in application order (events
+    #: scheduled past the drain point never fire and are not listed).
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
     @property
     def busy_cycles(self) -> int:
@@ -124,7 +142,9 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
               policy_factory: PolicyFactory, ctx: PolicyContext,
               num_devices: int = 2, executor: Optional[Executor] = None,
               max_cycles: int = DEFAULT_MAX_CYCLES,
-              device_contexts: Optional[Sequence[PolicyContext]] = None
+              device_contexts: Optional[Sequence[PolicyContext]] = None,
+              faults: Optional[FaultPlan] = None,
+              admission: Optional[AdmissionPolicy] = None
               ) -> FleetOutcome:
     """Drain `arrivals` across `num_devices` devices; return the timeline.
 
@@ -141,6 +161,27 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
     through :attr:`Device.ctx`, and every group simulates on its
     device's configuration.  ``None`` (the default) runs every device
     on `ctx` — the homogeneous case, bit-identical to earlier behavior.
+
+    `faults` merges a :class:`~repro.cluster.faults.FaultPlan` onto the
+    virtual clock.  Within one instant events apply in a fixed order:
+    group completions first, then fault events (so a group finishing
+    exactly when its device dies still retires), then re-placement of
+    displaced work, then deferred and fresh arrivals, then launches.  A
+    DOWN device cancels its in-flight group and drains its queue; the
+    displaced applications are re-placed across surviving (UP) devices
+    and re-simulate on their new host's own configuration.  A recovered
+    device rejoins placement with a fresh policy instance.  When *no*
+    device is UP and no recovery is scheduled, the fleet drains
+    gracefully: stranded work is recorded in ``rejected`` with reason
+    ``no-device`` instead of raising.
+
+    `admission` screens every arrival before placement: rejected
+    arrivals are recorded (reason = the policy name), deferred arrivals
+    re-offer ``defer_gap`` cycles later up to ``max_defers`` times.
+
+    All of it is deterministic and bit-identical for any worker count:
+    every decision (placement, fault application, admission, transient
+    failure draws) happens on this loop's clock, never in a worker.
     """
     if num_devices < 1:
         raise ValueError("a fleet needs at least one device")
@@ -153,6 +194,10 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
         raise ValueError("arrival names must be unique within a stream")
     if executor is None:
         executor = SerialExecutor()
+    events: Tuple[FaultEvent, ...] = ()
+    if faults is not None:
+        faults.validate_for(num_devices)
+        events = faults.events
 
     devices = [Device(i, policy_factory(i),
                       ctx=device_contexts[i] if device_contexts else None)
@@ -163,37 +208,128 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
 
     now = 0
     i = 0
+    eidx = 0
     n = len(ordered)
+    defer_seq = 0
     arrival_cycle: Dict[str, int] = {}
     assignments: Dict[str, int] = {}
     records: Dict[str, FleetAppRecord] = {}
+    #: names launched and not displaced since — completed or running.
+    #: The double-scheduling guard; legitimately relaunched (requeued)
+    #: work leaves the set, a buggy policy's duplicate does not.
+    active: Set[str] = set()
+    retry_counts: Dict[str, int] = {}
+    #: displaced work awaiting re-placement (no UP device right now).
+    requeue: List[Entry] = []
+    #: (due_cycle, seq, defers, name) kept sorted; admission re-offers.
+    deferred: List[Tuple[int, int, int, str]] = []
+    specs: Dict[str, object] = {a.name: a.spec for a in ordered}
+    rejected: List[RejectedApp] = []
+    applied: List[FaultEvent] = []
+
+    def place(entry: Entry) -> None:
+        """Route one admitted entry through placement, or buffer it."""
+        up = [d for d in devices if d.up]
+        if not up:
+            requeue.append(entry)
+            return
+        device = placement.choose(entry, now, up, ctx)
+        if not (0 <= device.device_id < len(devices)
+                and devices[device.device_id] is device):
+            raise RuntimeError(
+                f"placement {placement.name!r} returned a device "
+                f"outside the fleet")
+        if not device.up:
+            raise RuntimeError(
+                f"placement {placement.name!r} routed {entry[0]!r} to "
+                f"DOWN device {device.device_id}")
+        assignments[entry[0]] = device.device_id
+        device.assign(entry, now, ctx_of(device))
+
+    def displace(entries: List[Entry]) -> None:
+        """Book a device failure's displaced work for re-placement."""
+        for name, _spec in entries:
+            if name in active:
+                # The entry was running when its device died: its
+                # launch is void, so its record (if the launch was
+                # healthy) disappears and the attempt counts as a retry.
+                retry_counts[name] = retry_counts.get(name, 0) + 1
+                records.pop(name, None)
+                active.discard(name)
+        requeue.extend(entries)
+
+    def deliver(a: Arrival, defers: int) -> None:
+        """Admission-screen one (possibly re-offered) arrival."""
+        nonlocal defer_seq
+        if admission is not None:
+            verdict = admission.decide((a.name, a.spec), now, devices,
+                                       ctx)
+            if verdict not in VERDICTS:
+                raise RuntimeError(
+                    f"admission {admission.name!r} returned "
+                    f"{verdict!r}; expected one of {list(VERDICTS)}")
+            if verdict == "defer" and defers >= admission.max_defers:
+                verdict = "reject"
+            if verdict == "reject":
+                rejected.append(RejectedApp(
+                    name=a.name, arrival_cycle=a.cycle, cycle=now,
+                    reason=admission.name))
+                return
+            if verdict == "defer":
+                bisect.insort(deferred, (now + admission.defer_gap,
+                                         defer_seq, defers + 1, a.name))
+                defer_seq += 1
+                return
+        place((a.name, a.spec))
 
     while True:
-        # 1) retire every group finishing at `now` (device-id order).
+        # 1) retire every group finishing at `now` (device-id order);
+        #    a transiently-failed attempt requeues instead of retiring.
         for device in devices:
             if device.busy and device.completion_cycle <= now:
-                device.complete(ctx_of(device))
+                if device.inflight_failed:
+                    entries = device.complete_failed()
+                    for name, _spec in entries:
+                        retry_counts[name] = retry_counts.get(name,
+                                                              0) + 1
+                        active.discard(name)
+                    requeue.extend(entries)
+                else:
+                    device.complete(ctx_of(device))
 
-        # 2) deliver arrivals due at `now`; placement sees the fleet
-        #    state left by the completions above.
+        # 1b) apply fault events due at `now` (after completions: a
+        #     group finishing exactly at the outage still retires).
+        while eidx < len(events) and events[eidx].cycle <= now:
+            ev = events[eidx]
+            eidx += 1
+            applied.append(ev)
+            if ev.kind == "down":
+                displace(devices[ev.device].fail(now))
+            else:
+                devices[ev.device].recover(now,
+                                           policy_factory(ev.device))
+
+        # 2) re-place displaced work first (it has been in the system
+        #    longest), then deferred re-offers, then fresh arrivals.
+        if requeue and any(d.up for d in devices):
+            entries, requeue = requeue, []
+            for entry in entries:
+                place(entry)
+        while deferred and deferred[0][0] <= now:
+            _due, _seq, defers, name = deferred.pop(0)
+            deliver(Arrival(arrival_cycle[name], name, specs[name]),
+                    defers)
         while i < n and ordered[i].cycle <= now:
             a = ordered[i]
             i += 1
             arrival_cycle[a.name] = a.cycle
-            device = placement.choose((a.name, a.spec), now, devices, ctx)
-            if not (0 <= device.device_id < len(devices)
-                    and devices[device.device_id] is device):
-                raise RuntimeError(
-                    f"placement {placement.name!r} returned a device "
-                    f"outside the fleet")
-            assignments[a.name] = device.device_id
-            device.assign((a.name, a.spec), now, ctx_of(device))
+            deliver(a, 0)
 
-        # 3) launch on every idle device; simulate this instant's groups
-        #    as one batch (the parallel fan-out).
+        # 3) launch on every idle UP device; simulate this instant's
+        #    groups as one batch (the parallel fan-out).
         launches = []
         for device in devices:
-            if device.busy:
+            if device.busy or not device.up:
                 continue
             group = device.next_group(now, ctx_of(device))
             if group is None:
@@ -204,7 +340,7 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                         f"device {device.device_id} policy "
                         f"{device.policy.name!r} scheduled {name!r} "
                         f"before its arrival")
-                if name in records:
+                if name in active:
                     raise RuntimeError(
                         f"device {device.device_id} policy "
                         f"{device.policy.name!r} scheduled {name!r} twice")
@@ -227,30 +363,58 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                     [(g, ctx_of(d).config, ctx_of(d).smra_params)
                      for d, g in launches], max_cycles)
             for (device, _group), outcome in zip(launches, outcomes):
-                device.launch(outcome, now)
-                for name in outcome.members:
+                members = list(outcome.members)
+                failed = faults is not None and faults.group_fails(
+                    members, [retry_counts.get(m, 0) for m in members])
+                device.launch(outcome, now, failed=failed)
+                active.update(members)
+                if failed:
+                    continue  # no records: the attempt will requeue
+                for name in members:
                     records[name] = FleetAppRecord(
                         name=name,
                         arrival_cycle=arrival_cycle[name],
                         start_cycle=now,
                         finish_cycle=now + outcome.finish_cycle_of(name),
                         group_index=len(device.groups) - 1,
-                        device=device.device_id)
+                        device=device.device_id,
+                        retries=retry_counts.get(name, 0))
             continue  # same instant: retire zero-length groups, if any
 
-        # 4) advance the clock to the next completion/arrival, or stop.
+        # 4) advance the clock to the next completion / arrival / fault
+        #    event / deferred re-offer, or stop.
+        if not (i < n or requeue or deferred
+                or any(d.busy for d in devices)
+                or any(d.pending for d in devices)):
+            break
         due = [d.completion_cycle for d in devices if d.busy]
         if i < n:
             due.append(ordered[i].cycle)
+        if deferred:
+            due.append(deferred[0][0])
+        if eidx < len(events):
+            due.append(events[eidx].cycle)
         if not due:
+            if requeue:
+                # Total degradation: no device is UP and no recovery
+                # is ahead — drain gracefully, recording the stranded
+                # applications instead of raising.
+                for name, _spec in requeue:
+                    rejected.append(RejectedApp(
+                        name=name, arrival_cycle=arrival_cycle[name],
+                        cycle=now, reason="no-device",
+                        retries=retry_counts.get(name, 0)))
+                requeue = []
+                continue
             stalled = [d.device_id for d in devices if d.pending]
-            if stalled:
-                raise RuntimeError(
-                    f"devices {stalled} hold waiting applications but "
-                    f"their policies returned no group and no arrivals "
-                    f"remain")
-            break
+            raise RuntimeError(
+                f"devices {stalled} hold waiting applications but "
+                f"their policies returned no group and no arrivals "
+                f"remain")
         now = min(due)
+
+    for device in devices:
+        device.close_downtime(now)
 
     policy_name = devices[0].policy.name if devices else ""
     return FleetOutcome(
@@ -260,8 +424,13 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
         devices=[DeviceOutcome(device_id=d.device_id, policy=d.policy.name,
                                groups=d.groups, busy_cycles=d.busy_cycles,
                                config_name=(d.config.name if d.config
-                                            is not None else ""))
+                                            is not None else ""),
+                               lost_cycles=d.lost_cycles,
+                               down_cycles=d.down_cycles,
+                               failed_groups=d.failed_groups)
                  for d in devices],
         records=records,
         assignments=assignments,
-        makespan=now)
+        makespan=now,
+        rejected=rejected,
+        fault_events=applied)

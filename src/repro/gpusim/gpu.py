@@ -35,6 +35,9 @@ class DeviceResult:
     cycles: int
     app_stats: Dict[int, AppStats]
     app_names: Dict[int, str] = field(default_factory=dict)
+    #: Heap events the run processed — the denominator-free volume
+    #: figure perf harnesses turn into events/second.
+    events: int = 0
 
     @property
     def device_throughput(self) -> float:
@@ -333,7 +336,8 @@ class GPU:
             config=self.config,
             cycles=self.cycle,
             app_stats=dict(self.stats.apps),
-            app_names={i: a.name for i, a in self.apps.items()})
+            app_names={i: a.name for i, a in self.apps.items()},
+            events=self.events_processed)
 
 
 def simulate(config: GPUConfig, apps: Sequence[Application],

@@ -71,6 +71,19 @@ class OnlinePolicy:
                    ctx: PolicyContext) -> Optional[PlannedGroup]:
         raise NotImplementedError
 
+    def drain(self) -> List[Entry]:
+        """Remove and return every undispatched application.
+
+        The fleet loop calls this when the policy's device fails: the
+        drained entries are re-placed onto surviving devices.  Policies
+        holding undispatched work outside ``waiting`` must override
+        this (see :class:`BatchPolicyAdapter`) — anything not returned
+        here is silently lost with its device.
+        """
+        entries = list(self.waiting)
+        self.waiting.clear()
+        return entries
+
 
 class OnlineFCFS(OnlinePolicy):
     """Work-conserving FCFS: launch the oldest ≤ NC waiting apps."""
@@ -127,6 +140,15 @@ class BatchPolicyAdapter(OnlinePolicy):
         if self._planned:
             return self._planned.popleft()
         return None
+
+    def drain(self) -> List[Entry]:
+        """Planned-but-unlaunched members drain too, in plan order."""
+        entries = [entry for group in self._planned
+                   for entry in group.members]
+        self._planned.clear()
+        entries.extend(self.waiting)
+        self.waiting.clear()
+        return entries
 
 
 class ClassAwareBackfill(OnlinePolicy):

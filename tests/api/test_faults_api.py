@@ -1,0 +1,173 @@
+"""FaultSpec/AdmissionSpec and the fault path of ``run_scenario``.
+
+The contract under test: a fault-free scenario (no spec, or the
+canonicalized ``kind="none"``) serializes byte-identically to the
+pre-fault engine, and a faulted scenario keeps the accounting books
+balanced and stays bit-identical for any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (AdmissionSpec, DeviceSpec, FaultSpec,
+                       PlacementSpec, PolicySpec, Scenario,
+                       WorkloadSpec, run_scenario)
+from repro.runtime import ParallelExecutor
+
+
+def fleet_scenario(faults=None, admission=None, seed=5):
+    return Scenario(
+        kind="fleet",
+        workload=WorkloadSpec(source="stream", apps=6,
+                              synthetic_fraction=0.0, scale=0.1,
+                              seed=seed, arrival="poisson",
+                              mean_gap=500.0),
+        policy=PolicySpec(name="fcfs", nc=2),
+        placement=PlacementSpec(name="least-loaded"),
+        devices=DeviceSpec(count=2, config="small-test"),
+        faults=faults, admission=admission)
+
+
+OUTAGE = FaultSpec(kind="scheduled",
+                   events=((2_000, 0, "down"), (8_000, 0, "up")))
+QUEUE_CAP = AdmissionSpec(kind="queue-cap", queue_cap=2)
+
+
+class TestSpecValidation:
+    def test_fault_spec_round_trip(self):
+        spec = FaultSpec(kind="scheduled",
+                         events=[[100, 0, "down"], [200, 0, "up"]],
+                         fail_prob=0.25, seed=3)
+        assert spec.events == ((100, 0, "down"), (200, 0, "up"))
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+    def test_admission_spec_round_trip(self):
+        spec = AdmissionSpec(kind="queue-cap", queue_cap=4, mode="defer",
+                             defer_gap=100, max_defers=1)
+        assert AdmissionSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError, match="mtbf"):
+            FaultSpec(kind="mtfb")
+
+    def test_scheduled_needs_events(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FaultSpec(kind="scheduled")
+
+    def test_events_only_valid_for_scheduled(self):
+        with pytest.raises(ValueError, match="only valid"):
+            FaultSpec(kind="mtbf", events=[[100, 0, "down"]])
+
+    def test_transient_needs_positive_fail_prob(self):
+        with pytest.raises(ValueError, match="fail_prob"):
+            FaultSpec(kind="transient", fail_prob=0.0)
+
+    def test_faults_rejected_on_non_fleet_scenario(self):
+        with pytest.raises(ValueError, match="fleet"):
+            Scenario(
+                kind="stream",
+                workload=WorkloadSpec(source="stream", apps=4,
+                                      synthetic_fraction=0.0, scale=0.1,
+                                      seed=3, arrival="poisson",
+                                      mean_gap=800.0),
+                policy=PolicySpec(name="fcfs", nc=2),
+                devices=DeviceSpec(config="small-test"),
+                faults=OUTAGE)
+
+    def test_all_down_at_zero_rejected_at_load_time(self):
+        bad = FaultSpec(kind="scheduled",
+                        events=((0, 0, "down"), (0, 1, "down")))
+        with pytest.raises(ValueError, match="DOWN at cycle 0"):
+            fleet_scenario(faults=bad)
+
+    def test_out_of_range_device_rejected_at_load_time(self):
+        bad = FaultSpec(kind="scheduled", events=((100, 7, "down"),))
+        with pytest.raises(ValueError, match="did you mean device 1"):
+            fleet_scenario(faults=bad)
+
+
+class TestNoneCanonicalization:
+    def test_kind_none_canonicalizes_to_absent(self):
+        plain = fleet_scenario()
+        armed = fleet_scenario(faults=FaultSpec(kind="none"),
+                               admission=AdmissionSpec(kind="none"))
+        assert armed.faults is None and armed.admission is None
+        assert armed == plain
+        assert armed.to_json() == plain.to_json()
+        assert armed.spec_hash() == plain.spec_hash()
+        assert "faults" not in json.loads(plain.to_json())
+
+    def test_round_trip_keeps_fault_specs(self):
+        scenario = fleet_scenario(faults=OUTAGE, admission=QUEUE_CAP)
+        again = Scenario.from_json(scenario.to_json())
+        assert again == scenario
+        assert again.faults == OUTAGE
+        assert again.admission == QUEUE_CAP
+
+
+class TestFaultRuns:
+    def test_none_specs_do_not_change_the_result(self):
+        plain = run_scenario(fleet_scenario()).to_json()
+        armed = run_scenario(fleet_scenario(
+            faults=FaultSpec(kind="none"),
+            admission=AdmissionSpec(kind="none"))).to_json()
+        assert armed == plain
+        data = json.loads(plain)
+        assert "availability" not in data["metrics"]
+        assert "retries" not in data["apps"][0]
+        assert "lost_cycles" not in data["devices"][0]
+
+    def test_outage_run_accounting_and_shape(self):
+        result = run_scenario(fleet_scenario(faults=OUTAGE,
+                                             admission=QUEUE_CAP))
+        m = result.metrics
+        assert m["served"] + m["rejected"] == m["arrivals"] == 6
+        assert m["served"] == len(result.apps)
+        assert m["fault_events"] == 2
+        assert m["availability_timeline"] == [[0, 2], [2_000, 1],
+                                              [8_000, 2]]
+        assert 0.0 < m["availability"] < 1.0
+        assert m["goodput_cycles"] == sum(
+            d["busy_cycles"] - d["lost_cycles"] for d in result.devices)
+        assert m["retries_total"] >= 1
+        assert any(a["retries"] > 0 for a in result.apps)
+        assert result.provenance["faults"] == "scheduled"
+        assert result.provenance["admission"] == "queue-cap"
+        assert sum(d["failed_groups"] for d in result.devices) \
+            == m["failed_groups"]
+
+    def test_deadline_admission_reports_attainment(self):
+        result = run_scenario(fleet_scenario(
+            admission=AdmissionSpec(kind="deadline",
+                                    deadline_cycles=60_000)))
+        assert 0.0 <= result.metrics["deadline_attainment"] <= 1.0
+        assert result.provenance["admission"] == "deadline"
+
+    def test_total_degradation_drains_gracefully(self):
+        dead = FaultSpec(kind="scheduled",
+                         events=((10, 0, "down"), (10, 1, "down")))
+        result = run_scenario(fleet_scenario(faults=dead))
+        m = result.metrics
+        assert not result.apps
+        assert m["served"] == 0 and m["rejected"] == m["arrivals"] == 6
+        assert m["rejected_by_reason"] == {"no-device": 6}
+        assert m["goodput_cycles"] == 0
+        assert m["availability_timeline"][-1] == [10, 0]
+
+    def test_workers_1_vs_4_byte_identical(self):
+        scenario = fleet_scenario(
+            faults=FaultSpec(kind="mtbf", mtbf=20_000.0, mttr=5_000.0,
+                             horizon=40_000, seed=6),
+            admission=QUEUE_CAP)
+        serial = run_scenario(scenario).to_json()
+        with ParallelExecutor(4) as executor:
+            parallel = run_scenario(scenario,
+                                    executor=executor).to_json()
+        assert serial == parallel
+
+    def test_faulted_run_is_reproducible(self):
+        scenario = fleet_scenario(faults=OUTAGE, admission=QUEUE_CAP)
+        assert run_scenario(scenario).to_json() == \
+            run_scenario(Scenario.from_json(scenario.to_json())).to_json()

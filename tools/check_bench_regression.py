@@ -1,31 +1,37 @@
 #!/usr/bin/env python
-"""CI gate: the perf smoke must not regress events/s by more than 25%.
+"""CI gate: the perf smokes must not regress events/s beyond tolerance.
 
 ``benchmarks/perf/run_bench.py`` rewrites ``BENCH_gpusim.json`` at the
-repo root with per-workload ``events_per_sec`` figures.  This script
-compares that fresh measurement against the **committed** baseline (the
-same file as stored in git) and fails when throughput regressed beyond
-the tolerance — the machine-enforced version of PR 1's "hot path stays
+repo root with per-workload ``events_per_sec`` figures, and
+``run_fleet_bench.py`` does the same for ``BENCH_fleet.json`` (per
+placement drain, plus the fault drain).  This script compares one
+fresh measurement against the **committed** baseline (the same file as
+stored in git) and fails when throughput regressed beyond the
+tolerance — the machine-enforced version of PR 1's "hot path stays
 fast" contract, mirroring ``check_engine_version_guard.py``.
 
-The comparison is the geometric-mean ratio of ``events_per_sec`` over
-the workloads present in both files: CI runners differ from the machine
-that committed the baseline, so a single workload's jitter should not
-fail the build, but a uniform slide (a regression in the event engine
-itself) moves the whole mean.  The default tolerance of 25% absorbs
-runner-to-runner variance; pass ``--tolerance`` to tighten it on
-calibrated hardware.
+The comparison is the geometric-mean ratio of every ``events_per_sec``
+figure present (at the same position) in both files: CI runners differ
+from the machine that committed the baseline, so a single entry's
+jitter should not fail the build, but a uniform slide (a regression in
+the event engine or the fleet loop itself) moves the whole mean.  The
+default tolerance of 25% absorbs runner-to-runner variance; pass
+``--tolerance`` to tighten it on calibrated hardware (the fleet gate
+runs at 0.25 too — its floor of 0.75x is the issue-mandated bound).
 
 Usage::
 
-    python tools/check_bench_regression.py [--current PATH]
-        [--baseline REF_OR_PATH] [--tolerance FRACTION]
+    python tools/check_bench_regression.py [--file NAME]
+        [--current PATH] [--baseline REF_OR_PATH]
+        [--tolerance FRACTION]
 
-``--baseline`` is either a file path or a git ref (default ``HEAD``,
-read as ``git show REF:BENCH_gpusim.json``).  Exit status: 0 = within
-tolerance, 1 = regression, 2 = could not compare (missing baseline or
-current file, no shared workloads) — CI tolerates 2, mirroring the
-engine-version guard.
+``--file`` names the bench document (default ``BENCH_gpusim.json``;
+pass ``BENCH_fleet.json`` for the fleet gate) — it is both the default
+``--current`` path and the blob read from git.  ``--baseline`` is
+either a file path or a git ref (default ``HEAD``, read as ``git show
+REF:<file>``).  Exit status: 0 = within tolerance, 1 = regression,
+2 = could not compare (missing baseline or current file, no shared
+entries) — CI tolerates 2, mirroring the engine-version guard.
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-BENCH_FILE = "BENCH_gpusim.json"
+DEFAULT_BENCH_FILE = "BENCH_gpusim.json"
 
 
 def _load_current(path: pathlib.Path):
@@ -50,14 +56,15 @@ def _load_current(path: pathlib.Path):
         return None
 
 
-def _load_baseline(ref_or_path: str):
+def _load_baseline(ref_or_path: str,
+                   bench_file: str = DEFAULT_BENCH_FILE):
     path = pathlib.Path(ref_or_path)
     if path.is_file():
         return _load_current(path)
     try:
         shown = subprocess.run(
             ["git", "-C", str(REPO_ROOT), "show",
-             f"{ref_or_path}:{BENCH_FILE}"],
+             f"{ref_or_path}:{bench_file}"],
             check=True, capture_output=True, text=True).stdout
         return json.loads(shown)
     except (subprocess.CalledProcessError, OSError, ValueError) as err:
@@ -69,23 +76,39 @@ def _load_baseline(ref_or_path: str):
 
 
 def _events_per_sec(bench: dict) -> dict:
-    workloads = bench.get("workloads")
-    if not isinstance(workloads, dict):
-        return {}
-    return {name: data["events_per_sec"]
-            for name, data in sorted(workloads.items())
-            if isinstance(data, dict)
-            and isinstance(data.get("events_per_sec"), (int, float))
-            and data["events_per_sec"] > 0}
+    """Every positive ``events_per_sec`` in the document, keyed by path.
+
+    Walks the whole bench JSON rather than assuming one layout, so the
+    gpusim layout (``workloads.<name>``) and the fleet layout
+    (``scenarios.placement_comparison.<placement>`` /
+    ``scenarios.fault_drain``) share one gate.
+    """
+    found = {}
+
+    def walk(node, path):
+        if not isinstance(node, dict):
+            return
+        value = node.get("events_per_sec")
+        if isinstance(value, (int, float)) and value > 0:
+            found[path or "<root>"] = value
+        for key, child in sorted(node.items()):
+            walk(child, f"{path}.{key}" if path else key)
+
+    walk(bench, "")
+    return found
 
 
 def main(argv) -> int:
     parser = argparse.ArgumentParser(
-        description="fail CI when BENCH_gpusim.json events/s regressed "
+        description="fail CI when a bench file's events/s regressed "
                     "vs the committed baseline")
-    parser.add_argument("--current", default=str(REPO_ROOT / BENCH_FILE),
+    parser.add_argument("--file", default=DEFAULT_BENCH_FILE,
+                        help="repo-root bench file name (default "
+                             "BENCH_gpusim.json; use BENCH_fleet.json "
+                             "for the fleet gate)")
+    parser.add_argument("--current", default=None,
                         help="freshly measured bench file (default: "
-                             "repo-root BENCH_gpusim.json)")
+                             "repo-root --file)")
     parser.add_argument("--baseline", default="HEAD",
                         help="baseline file path or git ref "
                              "(default HEAD)")
@@ -96,11 +119,12 @@ def main(argv) -> int:
     if not 0 < args.tolerance < 1:
         parser.error(f"--tolerance must be in (0, 1), got "
                      f"{args.tolerance}")
+    current_path = args.current or str(REPO_ROOT / args.file)
 
-    current = _load_current(pathlib.Path(args.current))
+    current = _load_current(pathlib.Path(current_path))
     if current is None:
         return 2
-    baseline = _load_baseline(args.baseline)
+    baseline = _load_baseline(args.baseline, args.file)
     if baseline is None:
         return 2
 
@@ -108,30 +132,31 @@ def main(argv) -> int:
     old = _events_per_sec(baseline)
     shared = sorted(set(new) & set(old))
     if not shared:
-        print("bench-regression gate: no shared workloads between "
+        print("bench-regression gate: no shared entries between "
               "current and baseline; skipping", file=sys.stderr)
         return 2
 
     log_sum = 0.0
-    print(f"{'workload':28} {'baseline':>12} {'current':>12} "
+    width = max(28, max(len(name) for name in shared))
+    print(f"{'entry':{width}} {'baseline':>12} {'current':>12} "
           f"{'ratio':>7}")
     for name in shared:
         ratio = new[name] / old[name]
         log_sum += math.log(ratio)
-        print(f"{name:28} {old[name]:>12,.0f} {new[name]:>12,.0f} "
+        print(f"{name:{width}} {old[name]:>12,.0f} {new[name]:>12,.0f} "
               f"{ratio:>6.2f}x")
     geomean = math.exp(log_sum / len(shared))
     floor = 1.0 - args.tolerance
-    print(f"geomean events/s ratio over {len(shared)} workload(s): "
+    print(f"geomean events/s ratio over {len(shared)} entr(ies): "
           f"{geomean:.3f}x (floor {floor:.2f}x)")
 
     if geomean < floor:
         print(
             f"ERROR: events/s regressed to {geomean:.2f}x of the "
             f"committed baseline (allowed floor {floor:.2f}x).\n"
-            f"If the slowdown is intentional, re-run "
-            f"benchmarks/perf/run_bench.py and commit the refreshed "
-            f"{BENCH_FILE} alongside the change that explains it.",
+            f"If the slowdown is intentional, re-run the matching "
+            f"benchmarks/perf script and commit the refreshed "
+            f"{args.file} alongside the change that explains it.",
             file=sys.stderr)
         return 1
     print("bench-regression gate: OK")
