@@ -24,14 +24,14 @@ from .registry import BUILTIN_KINDS, REGISTRY, Registry, RegistryError
 from .runner import RunResult, build_arrivals, build_queue, run_scenario
 from .scenario import (KINDS, SCHEMA_VERSION, SOURCES, AdmissionSpec,
                        DeviceSpec, ExecutionSpec, FaultSpec, PlacementSpec,
-                       PolicySpec, Scenario, WorkloadSpec)
+                       PolicySpec, Scenario, SpeculationSpec, WorkloadSpec)
 from .sweep import expand_grid, load_sweep, point_filename
 
 __all__ = [
     "REGISTRY", "Registry", "RegistryError", "BUILTIN_KINDS",
     "Scenario", "WorkloadSpec", "PolicySpec", "PlacementSpec",
     "DeviceSpec", "ExecutionSpec", "FaultSpec", "AdmissionSpec",
-    "KINDS", "SOURCES", "SCHEMA_VERSION",
+    "SpeculationSpec", "KINDS", "SOURCES", "SCHEMA_VERSION",
     "RunResult", "run_scenario", "build_queue", "build_arrivals",
     "expand_grid", "load_sweep", "point_filename",
 ]

@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional
 _BUILTIN_MODULES = (
     "repro.core.policies",      # kind "policies"
     "repro.runtime.online",     # kind "online-policies"
+    "repro.runtime.speculation",  # kind "speculation"
     "repro.cluster.placement",  # kind "placements"
     "repro.cluster.faults",     # kinds "faults", "admission"
     "repro.workloads.rodinia",  # kind "benchmarks"
@@ -48,7 +49,7 @@ _BUILTIN_MODULES = (
 #: order; the registry itself accepts any kind string).
 BUILTIN_KINDS = ("benchmarks", "policies", "online-policies",
                  "placements", "streams", "gpu-configs", "faults",
-                 "admission")
+                 "admission", "speculation")
 
 
 class RegistryError(ValueError):

@@ -26,7 +26,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, ClassVar, Dict, List, Mapping, Optional
 
 from repro import __version__
 from repro.gpusim import ENGINE_VERSION, GPUConfig
@@ -59,6 +59,14 @@ class RunResult:
     devices: Optional[List[Dict[str, Any]]]
     #: engine version, schema version, seed, spec hash.
     provenance: Dict[str, Any]
+
+    #: Speculation counters (hits/misses/rollbacks…), attached by
+    #: :func:`run_scenario` when the scenario enables speculation.
+    #: Deliberately a ``ClassVar``, not a dataclass field: counters
+    #: describe how the run executed, not what it computed, so they
+    #: stay out of ``to_dict``/``to_json`` — a speculative result file
+    #: is byte-identical to the serial one.
+    speculation: ClassVar[Optional[Dict[str, Any]]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -104,10 +112,23 @@ def _provenance(scenario: Scenario) -> Dict[str, Any]:
 
 
 def _embedded_scenario(scenario: Scenario) -> Dict[str, Any]:
-    """The scenario dict stored in results (workers normalized to 1)."""
+    """The scenario dict stored in results (workers normalized to 1,
+    speculation dropped) — both are execution strategy, never part of
+    what the run computed."""
     data = scenario.to_dict()
     data["execution"]["workers"] = 1
+    data["execution"].pop("speculation", None)
     return data
+
+
+def _build_speculation(scenario: Scenario, executor):
+    """The scenario's :class:`SpeculativeSimulator`, or ``None``."""
+    from repro.runtime.speculation import make_speculation
+    spec = scenario.execution.speculation
+    if spec is None:
+        return None
+    strategy = REGISTRY.create("speculation", spec.kind, **spec.params())
+    return make_speculation(strategy, executor)
 
 
 def build_queue(scenario: Scenario):
@@ -245,11 +266,18 @@ def run_scenario(scenario: Scenario, executor=None) -> RunResult:
         if scenario.kind == "queue":
             return _run_queue_scenario(scenario, policy, ctx, executor,
                                        max_cycles)
+        speculation = _build_speculation(scenario, executor)
         if scenario.kind == "stream":
-            return _run_stream_scenario(scenario, policy, ctx, executor,
-                                        max_cycles)
-        return _run_fleet_scenario(scenario, placement, ctx, executor,
-                                   max_cycles)
+            result = _run_stream_scenario(scenario, policy, ctx, executor,
+                                          max_cycles, speculation)
+        else:
+            result = _run_fleet_scenario(scenario, placement, ctx,
+                                         executor, max_cycles, speculation)
+        if speculation is not None:
+            # Side-channel observability (CLI report/stdout): the
+            # counters never enter to_dict()/to_json().
+            result.speculation = speculation.counters.to_dict()
+        return result
     finally:
         if owned:
             executor.close()
@@ -293,12 +321,13 @@ def _run_queue_scenario(scenario, policy, ctx, executor,
 
 
 def _run_stream_scenario(scenario, policy, ctx, executor,
-                         max_cycles) -> RunResult:
+                         max_cycles, speculation=None) -> RunResult:
     from repro.analysis import summarize_stream
     from repro.runtime import run_stream
     arrivals = build_arrivals(scenario)
     solo = _solo_cycles(ctx, executor, arrivals)
-    outcome = run_stream(arrivals, policy, ctx, max_cycles=max_cycles)
+    outcome = run_stream(arrivals, policy, ctx, max_cycles=max_cycles,
+                         speculation=speculation)
     summary = summarize_stream(outcome, solo)
     return RunResult(kind="stream", scenario=_embedded_scenario(scenario),
                      metrics=_summary_dict(summary),
@@ -352,7 +381,7 @@ def _per_device_solo(device_contexts, outcome, executor,
 
 
 def _run_fleet_scenario(scenario, placement, ctx, executor,
-                        max_cycles) -> RunResult:
+                        max_cycles, speculation=None) -> RunResult:
     from repro.analysis import summarize_faults, summarize_fleet
     from repro.cluster import run_fleet
     arrivals = build_arrivals(scenario)
@@ -376,7 +405,7 @@ def _run_fleet_scenario(scenario, placement, ctx, executor,
         lambda _i: _build_policy(scenario), ctx,
         num_devices=scenario.devices.count, executor=executor,
         max_cycles=max_cycles, device_contexts=device_contexts,
-        faults=faults, admission=admission)
+        faults=faults, admission=admission, speculation=speculation)
     if device_contexts is not None:
         solo = _per_device_solo(device_contexts, outcome, executor,
                                 arrivals)

@@ -276,6 +276,58 @@ class DeviceSpec:
 
 
 @dataclass(frozen=True)
+class SpeculationSpec:
+    """Speculative-execution strategy for a stream or fleet scenario.
+
+    ``kind`` names a ``speculation`` registry strategy:
+
+    * ``none`` — no speculation; canonicalized away (the spec compares
+      and serializes identically to leaving ``speculation`` out);
+    * ``groups`` — predict + pre-simulate each device's likely next
+      groups while the clock is blocked on an in-flight one;
+    * ``devices`` — fleet devices run ahead of the global clock up to
+      the safe horizon, with rollback (Time-Warp style);
+    * ``full`` — both.
+
+    Speculation is an execution strategy, never part of the result's
+    identity: results are bit-identical with any kind (and any worker
+    count), so :meth:`Scenario.spec_hash` normalizes the block away.
+    ``commit_check`` re-simulates every speculative hit serially and
+    raises on any divergence — the paranoid mode of the determinism
+    tests.
+    """
+
+    kind: str = "none"
+    #: successor groups predicted per launch.
+    depth: int = 2
+    #: re-verify every speculative hit against a serial rerun.
+    commit_check: bool = False
+
+    def __post_init__(self):
+        _check_registry("speculation", self.kind)
+        _require(isinstance(self.depth, int)
+                 and not isinstance(self.depth, bool) and self.depth >= 1,
+                 f"speculation depth must be a positive integer, got "
+                 f"{self.depth!r}")
+        _require(isinstance(self.commit_check, bool),
+                 f"commit_check must be a boolean, got "
+                 f"{self.commit_check!r}")
+
+    def params(self) -> Dict[str, Any]:
+        """Keyword arguments for the ``speculation`` registry factory."""
+        data = dataclasses.asdict(self)
+        del data["kind"]
+        return data
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpeculationSpec":
+        return _decode(cls, data, "speculation")
+
+
+@dataclass(frozen=True)
 class ExecutionSpec:
     """Resources and budgets: never part of the result's identity.
 
@@ -283,12 +335,17 @@ class ExecutionSpec:
     engines guarantee bit-identical results for any worker count, so
     :meth:`Scenario.spec_hash` normalizes it away.  ``samples_per_pair``
     sizes the Fig. 3.4 interference measurement; ``max_cycles`` is the
-    per-simulation safety budget.
+    per-simulation safety budget.  ``speculation`` selects the
+    speculative-execution strategy (see :class:`SpeculationSpec`) — a
+    ``kind="none"`` spec canonicalizes to ``None``, so a
+    speculation-free scenario serializes byte-identically whether the
+    block was given or not.
     """
 
     workers: int = 1
     max_cycles: int = _DEFAULT_MAX_CYCLES
     samples_per_pair: int = 1
+    speculation: Optional[SpeculationSpec] = None
 
     def __post_init__(self):
         _require(isinstance(self.workers, int)
@@ -303,9 +360,23 @@ class ExecutionSpec:
                  and self.samples_per_pair >= 1,
                  f"samples_per_pair must be a positive integer, got "
                  f"{self.samples_per_pair!r}")
+        if isinstance(self.speculation, Mapping):
+            # from_dict hands the nested block through as a plain dict.
+            object.__setattr__(self, "speculation",
+                               SpeculationSpec.from_dict(self.speculation))
+        _require(self.speculation is None
+                 or isinstance(self.speculation, SpeculationSpec),
+                 f"speculation must be a speculation spec object, got "
+                 f"{self.speculation!r}")
+        if self.speculation is not None and self.speculation.kind == "none":
+            # Canonical form: a no-op spec IS the absent-spec path.
+            object.__setattr__(self, "speculation", None)
 
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if data["speculation"] is None:
+            del data["speculation"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionSpec":
@@ -486,6 +557,10 @@ class Scenario:
             _require(self.workload.source != "trace",
                      "queue scenarios have no arrival timeline; replay "
                      "traces with kind='stream'")
+            _require(self.execution.speculation is None,
+                     "speculation is only valid for stream and fleet "
+                     "scenarios; queue drains already run every group "
+                     "through the executor")
         if self.faults is not None and self.faults.kind == "none":
             # Canonical form: a no-op FaultSpec IS the absent-spec path.
             object.__setattr__(self, "faults", None)
@@ -597,12 +672,15 @@ class Scenario:
     def spec_hash(self) -> str:
         """sha256 identity of the *experiment* this scenario describes.
 
-        ``execution.workers`` is normalized to 1 before hashing: the
-        engines produce bit-identical results for any worker count, so
-        a serial run and a ``--workers 4`` run of the same scenario
-        share one hash (and their result JSONs compare byte-equal).
+        ``execution.workers`` is normalized to 1 before hashing, and
+        ``execution.speculation`` is dropped: the engines produce
+        bit-identical results for any worker count and any speculation
+        strategy, so a serial run and a ``--workers 4 --speculation
+        full`` run of the same scenario share one hash (and their
+        result JSONs compare byte-equal).
         """
         data = self.to_dict()
         data["execution"]["workers"] = 1
+        data["execution"].pop("speculation", None)
         canon = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()

@@ -43,6 +43,7 @@ routes it through the same :func:`~repro.api.run_scenario` path as
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import pathlib
 import sys
@@ -52,8 +53,8 @@ from repro.analysis import (normalize, render_bars, render_table,
                             summarize_fleet, summarize_stream)
 from repro.api import (REGISTRY, AdmissionSpec, DeviceSpec, ExecutionSpec,
                        FaultSpec, PlacementSpec, PolicySpec, RunResult,
-                       Scenario, WorkloadSpec, load_sweep, point_filename,
-                       run_scenario)
+                       Scenario, SpeculationSpec, WorkloadSpec, load_sweep,
+                       point_filename, run_scenario)
 from repro.core import (CLASS_ORDER, ClassificationThresholds, classify,
                         make_context, shared_profiler)
 from repro.gpusim import Application, gtx480, simulate
@@ -263,13 +264,22 @@ def _stream_workload(args) -> WorkloadSpec:
                         burst_gap=args.burst_gap)
 
 
+def _speculation_spec(args) -> Optional[SpeculationSpec]:
+    """The ``--speculation`` flag as a spec (``none`` → no spec)."""
+    kind = getattr(args, "speculation", None)
+    if not kind or kind == "none":
+        return None
+    return SpeculationSpec(kind=kind)
+
+
 def _stream_scenario(args, policy_key: str) -> Scenario:
     return Scenario(
         kind="stream",
         workload=_stream_workload(args),
         policy=PolicySpec(name=policy_key, nc=args.nc),
         execution=ExecutionSpec(workers=args.workers,
-                                samples_per_pair=args.samples))
+                                samples_per_pair=args.samples,
+                                speculation=_speculation_spec(args)))
 
 
 def _fleet_devices(args) -> DeviceSpec:
@@ -343,7 +353,8 @@ def _fleet_scenario(args, placement_key: str) -> Scenario:
         placement=PlacementSpec(name=placement_key),
         devices=_fleet_devices(args),
         execution=ExecutionSpec(workers=args.workers,
-                                samples_per_pair=args.samples),
+                                samples_per_pair=args.samples,
+                                speculation=_speculation_spec(args)),
         faults=_fault_spec(args),
         admission=_admission_spec(args))
 
@@ -366,12 +377,43 @@ def _print_result_summary(result: RunResult) -> None:
               f"spec {prov['spec_hash'][:10]})"))
 
 
+def _print_speculation(result: RunResult,
+                       report_path: Optional[str] = None) -> None:
+    """Report speculation counters next to (never inside) the result."""
+    counters = result.speculation
+    if counters is None:
+        return
+    print(f"speculation: {counters['hits']} hit(s) / "
+          f"{counters['misses']} miss(es) "
+          f"(hit rate {counters['hit_rate']:.2f}), "
+          f"{counters['submitted']} submitted, "
+          f"{counters['discarded']} discarded, "
+          f"{counters['windows']} window(s), "
+          f"{counters['rollbacks']} rollback(s), "
+          f"{counters['ahead_events']} ahead event(s)")
+    if report_path:
+        pathlib.Path(report_path).write_text(
+            json.dumps(counters, sort_keys=True, indent=2) + "\n")
+        print(f"wrote speculation counters to {report_path}")
+
+
 def cmd_run(args) -> int:
     try:
         scenario = Scenario.from_json(
             pathlib.Path(args.scenario).read_text())
     except ValueError as exc:
         raise SystemExit(f"{args.scenario}: {exc}") from None
+    if args.speculation is not None:
+        # Override without touching the file; "none" disables (the
+        # spec canonicalizes it to an absent block).
+        try:
+            scenario = dataclasses.replace(
+                scenario,
+                execution=dataclasses.replace(
+                    scenario.execution,
+                    speculation=SpeculationSpec(kind=args.speculation)))
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     executor = make_executor(args.workers) if args.workers else None
     try:
         result = _run_or_exit(scenario, executor=executor)
@@ -379,6 +421,7 @@ def cmd_run(args) -> int:
         if executor is not None:
             executor.close()
     _print_result_summary(result)
+    _print_speculation(result, args.speculation_report)
     if args.out:
         _write_result(result, args.out)
         print(f"\nwrote results to {args.out}")
@@ -392,11 +435,23 @@ def cmd_sweep(args) -> int:
         raise SystemExit(f"{args.sweep}: {exc}") from None
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    executor = make_executor(args.workers) if args.workers else None
+    # One executor per distinct worker count, shared across every point
+    # that uses it: a ParallelExecutor's process pool warms up once
+    # instead of once per point.  Points still run one at a time in
+    # grid order and merge results in submission order, so the written
+    # files are byte-identical to per-point executors.
+    executors = {}
+
+    def _executor_for(scenario: Scenario):
+        workers = args.workers or scenario.execution.workers
+        if workers not in executors:
+            executors[workers] = make_executor(workers)
+        return executors[workers]
+
     manifest = []
     try:
         for index, (overrides, scenario) in enumerate(points):
-            result = _run_or_exit(scenario, executor=executor)
+            result = _run_or_exit(scenario, _executor_for(scenario))
             filename = point_filename(scenario, index)
             _write_result(result, out_dir / filename)
             manifest.append({"index": index, "overrides": overrides,
@@ -406,8 +461,8 @@ def cmd_sweep(args) -> int:
             print(f"[{index + 1}/{len(points)}] {filename}"
                   + (f"  ({shown})" if shown else ""))
     finally:
-        if executor is not None:
-            executor.close()
+        for pool in executors.values():
+            pool.close()
     (out_dir / "sweep_manifest.json").write_text(
         json.dumps({"points": manifest}, sort_keys=True, indent=2) + "\n")
     print(f"\n{len(points)} point(s) written to {out_dir}")
@@ -445,6 +500,7 @@ def cmd_run_stream(args) -> int:
     with make_executor(args.workers) as executor:
         for key in args.policies:
             result = _run_or_exit(_stream_scenario(args, key), executor)
+            _print_speculation(result)
             m = result.metrics
             apps = m["apps"]
             rows.append([m["policy"], m["antt"], m["stp"],
@@ -481,6 +537,7 @@ def cmd_run_fleet(args) -> int:
             except ValueError as exc:
                 raise SystemExit(str(exc)) from None
             result = _run_or_exit(scenario, executor)
+            _print_speculation(result)
             m = result.metrics
             apps = m["apps"]
             summaries.append(m)
@@ -576,6 +633,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_positive_int, default=None,
                    help="override the scenario's worker count (results "
                         "are bit-identical for any value)")
+    p.add_argument("--speculation", default=None,
+                   choices=REGISTRY.names("speculation"),
+                   help="override the scenario's speculation strategy "
+                        "(results are bit-identical for any value; "
+                        "'none' disables)")
+    p.add_argument("--speculation-report", default=None, metavar="PATH",
+                   help="write the speculation counters (hits, misses, "
+                        "rollbacks, ...) to this JSON file")
 
     p = sub.add_parser("sweep", help="run a base scenario x parameter grid")
     p.add_argument("sweep", help="path to a sweep .json file "
@@ -662,6 +727,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=REGISTRY.names("online-policies"))
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for profiling/interference")
+    p.add_argument("--speculation", default="none",
+                   choices=REGISTRY.names("speculation"),
+                   help="pre-simulate predicted next groups on idle "
+                        "workers (results are bit-identical; default "
+                        "none)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print the scheduled timeline per policy")
 
@@ -686,6 +756,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for same-instant group "
                         "simulations and profiling")
+    p.add_argument("--speculation", default="none",
+                   choices=REGISTRY.names("speculation"),
+                   help="speculative execution: pre-simulated groups "
+                        "and/or out-of-order device run-ahead (results "
+                        "are bit-identical; default none)")
     p.add_argument("--faults", default="none",
                    choices=REGISTRY.names("faults"),
                    help="fault injection: scheduled events, mtbf churn, "

@@ -257,3 +257,36 @@ class Device:
         if not self.up and self._down_since is not None:
             self.down_cycles += max(0, at - self._down_since)
             self._down_since = at
+
+    def snapshot(self) -> tuple:
+        """Freeze every mutable field except the policy.
+
+        The fleet's run-ahead windows snapshot a device before letting
+        it run past the global clock; :meth:`restore` rewinds it when a
+        straggler invalidates the window.  The policy object is *not*
+        included — it mutates internally, so the caller snapshots it
+        separately (a deep copy) and reassigns :attr:`policy` on
+        rollback.
+        """
+        return (list(self.resident), list(self.groups), self.busy_cycles,
+                self.completion_cycle, list(self._running), self.up,
+                self.lost_cycles, self.down_cycles,
+                list(self.failed_groups), self._down_since,
+                self._inflight_failed)
+
+    def restore(self, state: tuple) -> None:
+        """Rewind to a :meth:`snapshot` (run-ahead rollback)."""
+        (resident, groups, busy_cycles, completion_cycle, running, up,
+         lost_cycles, down_cycles, failed_groups, down_since,
+         inflight_failed) = state
+        self.resident = list(resident)
+        self.groups = list(groups)
+        self.busy_cycles = busy_cycles
+        self.completion_cycle = completion_cycle
+        self._running = list(running)
+        self.up = up
+        self.lost_cycles = lost_cycles
+        self.down_cycles = down_cycles
+        self.failed_groups = list(failed_groups)
+        self._down_since = down_since
+        self._inflight_failed = inflight_failed

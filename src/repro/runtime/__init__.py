@@ -12,6 +12,10 @@ Three coordinated layers on top of :mod:`repro.core`:
 * **engine** (:mod:`.engine`) — :func:`run_stream` drives a policy over
   an arrival stream on a simulated clock; :func:`drain_queue` is the
   batch special case behind the classic ``run_queue`` API.
+* **speculation** (:mod:`.speculation`) — the speculative-execution
+  layer: :class:`SpeculativeSimulator` pre-simulates a policy's likely
+  next groups on idle workers and commits only bit-identical hits, so
+  results never depend on whether (or how) speculation ran.
 """
 
 from .engine import (AppRecord, Arrival, ScheduledGroup, StreamOutcome,
@@ -20,6 +24,8 @@ from .executors import (Executor, ParallelExecutor, SerialExecutor,
                         make_executor, workers_from_env)
 from .online import (BatchPolicyAdapter, ClassAwareBackfill, OnlineFCFS,
                      OnlinePolicy, online_policy)
+from .speculation import (SpeculationCounters, SpeculationStrategy,
+                          SpeculativeSimulator, make_speculation)
 
 __all__ = [
     "Arrival", "AppRecord", "ScheduledGroup", "StreamOutcome",
@@ -28,4 +34,6 @@ __all__ = [
     "workers_from_env",
     "OnlinePolicy", "OnlineFCFS", "BatchPolicyAdapter",
     "ClassAwareBackfill", "online_policy",
+    "SpeculationStrategy", "SpeculationCounters", "SpeculativeSimulator",
+    "make_speculation",
 ]

@@ -27,6 +27,7 @@ from repro.core.scheduler import GroupOutcome, QueueOutcome, run_group
 
 from .executors import DEFAULT_MAX_CYCLES, Executor, SerialExecutor
 from .online import OnlinePolicy
+from .speculation import SpeculativeSimulator
 
 
 @dataclass(frozen=True)
@@ -106,7 +107,9 @@ class StreamOutcome:
 
 def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
                ctx: PolicyContext,
-               max_cycles: int = DEFAULT_MAX_CYCLES) -> StreamOutcome:
+               max_cycles: int = DEFAULT_MAX_CYCLES,
+               speculation: Optional[SpeculativeSimulator] = None
+               ) -> StreamOutcome:
     """Drive `policy` over `arrivals`; return the scheduled timeline.
 
     The loop alternates two steps: deliver every arrival whose cycle
@@ -114,6 +117,15 @@ def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
     group with arrivals still in flight fast-forwards the clock to the
     next arrival; a ``None`` group with applications still waiting and
     nothing in flight is a policy bug and raises.
+
+    `speculation` (a :class:`~repro.runtime.speculation
+    .SpeculativeSimulator`) pipelines the single device: right after
+    the policy commits to a group, its likely successors are predicted
+    (by replaying a clone of the policy) and submitted to the executor,
+    so workers pre-simulate the next groups while this loop is blocked
+    on the current one.  A hit commits the stored result — bit-identical
+    by the purity of ``run_group`` — and a miss discards it unobserved,
+    so results never depend on speculation.
     """
     ordered = sorted(arrivals, key=lambda a: a.cycle)
     if len(set(a.name for a in ordered)) != len(ordered):
@@ -154,7 +166,16 @@ def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
                 raise RuntimeError(
                     f"policy {policy.name!r} scheduled {name!r} twice")
 
-        outcome = run_group(group, ctx.config, ctx.smra_params, max_cycles)
+        if speculation is None:
+            outcome = run_group(group, ctx.config, ctx.smra_params,
+                                max_cycles)
+        else:
+            # Predict successors first (their simulations start on idle
+            # workers), then resolve the committed group — a store hit
+            # from the previous iteration's prediction, else on demand.
+            speculation.predict("stream", policy, now, ctx, max_cycles)
+            outcome = speculation.fetch("stream", group, ctx.config,
+                                        ctx.smra_params, max_cycles)
         groups.append(ScheduledGroup(start_cycle=now, outcome=outcome))
         for name in outcome.members:
             records[name] = AppRecord(
@@ -167,6 +188,8 @@ def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
         now += outcome.cycles
         policy.on_group_finish(outcome, now, ctx)
 
+    if speculation is not None:
+        speculation.close()
     return StreamOutcome(policy=policy.name, config=ctx.config,
                          groups=groups, records=records, makespan=now,
                          busy_cycles=busy)

@@ -95,6 +95,34 @@ def _profile_job(args) -> ProfileMetrics:
     return Profiler(config, cache_dir=cache_dir).profile(name, spec)
 
 
+class _LazyGroupFuture:
+    """Future-alike that simulates on first ``result()`` call.
+
+    :meth:`SerialExecutor.submit_group` returns these so speculative
+    submissions cost nothing unless the prediction is actually consumed
+    — a discarded miss under the serial executor is free, keeping
+    single-worker speculation wall-clock neutral.
+    """
+
+    __slots__ = ("_job", "_outcome")
+
+    def __init__(self, job):
+        self._job = job
+        self._outcome = None
+
+    def result(self) -> GroupOutcome:
+        if self._job is not None:
+            self._outcome = _group_job(self._job)
+            self._job = None
+        return self._outcome
+
+    def cancel(self) -> bool:
+        if self._job is not None:
+            self._job = None
+            return True
+        return False
+
+
 class Executor:
     """Runs independent simulation jobs; results come back in job order."""
 
@@ -115,6 +143,19 @@ class Executor:
         configuration — the heterogeneous-fleet fan-out, where the
         same-instant launches of one fleet event land on devices with
         different :class:`GPUConfig`\\ s (and SMRA parameters)."""
+        raise NotImplementedError
+
+    def submit_group(self, group: PlannedGroup, config: GPUConfig,
+                     smra_params: SMRAParams = SMRAParams(),
+                     max_cycles: int = DEFAULT_MAX_CYCLES):
+        """Submit one group simulation asynchronously.
+
+        Returns a future-alike with ``result()`` / ``cancel()``.  The
+        speculation layer uses this to start *predicted* groups while
+        the virtual clock is still blocked on an in-flight one; the
+        serial executor returns a lazy future (computed only if the
+        prediction hits), the process pool a real ``Future``.
+        """
         raise NotImplementedError
 
     def run_pairs(self, config: GPUConfig,
@@ -153,6 +194,10 @@ class SerialExecutor(Executor):
     def run_device_groups(self, jobs, max_cycles=DEFAULT_MAX_CYCLES):
         return [run_group(group, config, smra_params, max_cycles)
                 for group, config, smra_params in jobs]
+
+    def submit_group(self, group, config, smra_params=SMRAParams(),
+                     max_cycles=DEFAULT_MAX_CYCLES):
+        return _LazyGroupFuture((group, config, smra_params, max_cycles))
 
     def run_pairs(self, config, pairs, max_cycles=DEFAULT_MAX_CYCLES):
         return [_pair_job((config, a, b, max_cycles)) for a, b in pairs]
@@ -203,6 +248,14 @@ class ParallelExecutor(Executor):
         return self._map(_group_job,
                          [(group, config, smra_params, max_cycles)
                           for group, config, smra_params in jobs])
+
+    def submit_group(self, group, config, smra_params=SMRAParams(),
+                     max_cycles=DEFAULT_MAX_CYCLES):
+        # A real Future: the speculative simulation starts on an idle
+        # worker immediately, overlapping the in-flight group the
+        # virtual clock is blocked on.
+        return self._ensure_pool().submit(
+            _group_job, (group, config, smra_params, max_cycles))
 
     def run_pairs(self, config, pairs, max_cycles=DEFAULT_MAX_CYCLES):
         return self._map(_pair_job,

@@ -27,6 +27,7 @@ matrix predicts to co-run best with it.
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
@@ -83,6 +84,19 @@ class OnlinePolicy:
         entries = list(self.waiting)
         self.waiting.clear()
         return entries
+
+    def clone_for_prediction(self) -> "OnlinePolicy":
+        """An independent copy used to *predict* future decisions.
+
+        The speculation layer replays ``next_group`` on the clone to
+        learn which groups this policy will most likely launch next;
+        the clone's decisions are never applied, so the copy must share
+        no mutable state with the live policy.  A deep copy is correct
+        for every shipped policy (their state is queues of entries plus
+        plain caches); policies holding unclonable resources should
+        override this — raising disables prediction for them.
+        """
+        return copy.deepcopy(self)
 
 
 class OnlineFCFS(OnlinePolicy):

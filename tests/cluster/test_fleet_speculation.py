@@ -1,0 +1,132 @@
+"""Fleet run-ahead tests: windows, rollback × requeue, determinism.
+
+Every test compares a speculative fleet run against the plain serial
+run with the full result fingerprint — speculation must be invisible
+in results while its counters prove the optimistic paths actually ran.
+"""
+
+import pytest
+
+from repro.api.registry import REGISTRY
+from repro.core import make_context
+from repro.cluster import (LeastLoadedPlacement, RoundRobinPlacement,
+                           run_fleet, transient_plan)
+from repro.runtime import (Arrival, OnlineFCFS, ParallelExecutor,
+                           SerialExecutor, make_speculation)
+
+from ..conftest import make_tiny_spec
+
+
+@pytest.fixture
+def ctx(small_cfg):
+    return make_context(small_cfg)
+
+
+def fcfs_factory(nc=2):
+    return lambda _i: OnlineFCFS(nc)
+
+
+def bursty_arrivals(n, burst, gap):
+    """`n` apps in bursts of `burst`, one burst every `gap` cycles —
+    enough backlog per device that run-ahead windows open."""
+    return [Arrival((i // burst) * gap, f"app{i}",
+                    make_tiny_spec(f"app{i}", seed=i)) for i in range(n)]
+
+
+def fingerprint(outcome):
+    return {
+        "assignments": dict(outcome.assignments),
+        "makespan": outcome.makespan,
+        "busy": [d.busy_cycles for d in outcome.devices],
+        "lost": [d.lost_cycles for d in outcome.devices],
+        "failed": [[(f.start_cycle, f.members, f.reason)
+                    for f in d.failed_groups] for d in outcome.devices],
+        "groups": [[(g.start_cycle, tuple(g.outcome.members),
+                     g.outcome.cycles) for g in d.groups]
+                   for d in outcome.devices],
+        "records": {n: (r.arrival_cycle, r.start_cycle, r.finish_cycle,
+                        r.device, r.retries)
+                    for n, r in outcome.records.items()},
+        "rejected": [(r.name, r.cycle, r.reason, r.retries)
+                     for r in outcome.rejected],
+    }
+
+
+def speculation(executor, kind="full", **params):
+    params.setdefault("commit_check", True)
+    return make_speculation(REGISTRY.create("speculation", kind, **params),
+                            executor)
+
+
+class TestRunAheadEquality:
+    def test_full_matches_plain_with_windows(self, ctx):
+        arrivals = bursty_arrivals(16, burst=8, gap=6000)
+        plain = run_fleet(arrivals, LeastLoadedPlacement(),
+                          fcfs_factory(), ctx, num_devices=3)
+        sim = speculation(SerialExecutor())
+        spec = run_fleet(arrivals, LeastLoadedPlacement(),
+                         fcfs_factory(), ctx, num_devices=3,
+                         speculation=sim)
+        assert fingerprint(spec) == fingerprint(plain)
+        assert sim.counters.windows > 0
+        assert sim.counters.ahead_events > 0
+        assert sim.counters.hits > 0
+
+    def test_devices_only_kind_never_touches_the_store(self, ctx):
+        arrivals = bursty_arrivals(12, burst=6, gap=6000)
+        plain = run_fleet(arrivals, RoundRobinPlacement(),
+                          fcfs_factory(), ctx, num_devices=2)
+        sim = speculation(SerialExecutor(), kind="devices")
+        spec = run_fleet(arrivals, RoundRobinPlacement(),
+                         fcfs_factory(), ctx, num_devices=2,
+                         speculation=sim)
+        assert fingerprint(spec) == fingerprint(plain)
+        assert sim.counters.windows > 0
+        assert sim.counters.submitted == 0
+        assert sim.counters.hits == 0
+
+    def test_groups_only_kind_never_opens_windows(self, ctx):
+        arrivals = bursty_arrivals(12, burst=6, gap=6000)
+        plain = run_fleet(arrivals, RoundRobinPlacement(),
+                          fcfs_factory(), ctx, num_devices=2)
+        sim = speculation(SerialExecutor(), kind="groups")
+        spec = run_fleet(arrivals, RoundRobinPlacement(),
+                         fcfs_factory(), ctx, num_devices=2,
+                         speculation=sim)
+        assert fingerprint(spec) == fingerprint(plain)
+        assert sim.counters.windows == 0
+        assert sim.counters.rollbacks == 0
+        assert sim.counters.hits > 0
+
+
+class TestRollbackRequeue:
+    def scenario(self, ctx, sim=None):
+        arrivals = bursty_arrivals(24, burst=12, gap=8000)
+        # seed 11 is chosen so a transient failure lands *inside* a
+        # run-ahead window while the other device has run past it —
+        # the rollback + replay path, not just barrier truncation.
+        faults = transient_plan(2, fail_prob=0.3, max_retries=4, seed=11)
+        return run_fleet(arrivals, LeastLoadedPlacement(),
+                         fcfs_factory(), ctx, num_devices=2,
+                         faults=faults, speculation=sim)
+
+    def test_rollback_replays_to_the_serial_schedule(self, ctx):
+        """Transient failures inside a run-ahead window force rollbacks;
+        the replayed timeline (including fault requeues and retry
+        accounting) must equal the plain serial run exactly."""
+        plain = self.scenario(ctx)
+        assert any(r.retries for r in plain.records.values())
+        sim = speculation(SerialExecutor())
+        spec = self.scenario(ctx, sim)
+        assert fingerprint(spec) == fingerprint(plain)
+        assert sim.counters.rollbacks >= 1
+        assert sim.counters.windows > 0
+
+    def test_counters_identical_for_any_worker_count(self, ctx):
+        serial_sim = speculation(SerialExecutor())
+        serial = self.scenario(ctx, serial_sim)
+        with ParallelExecutor(2) as pool:
+            pool_sim = speculation(pool)
+            parallel = self.scenario(ctx, pool_sim)
+        assert serial_sim.counters.to_dict() == pool_sim.counters.to_dict()
+        assert fingerprint(serial) == fingerprint(parallel)

@@ -29,9 +29,14 @@ Usage::
 pass ``BENCH_fleet.json`` for the fleet gate) — it is both the default
 ``--current`` path and the blob read from git.  ``--baseline`` is
 either a file path or a git ref (default ``HEAD``, read as ``git show
-REF:<file>``).  Exit status: 0 = within tolerance, 1 = regression,
-2 = could not compare (missing baseline or current file, no shared
-entries) — CI tolerates 2, mirroring the engine-version guard.
+REF:<file>``).  ``--require-entry PATH`` (repeatable) asserts that the
+*fresh* measurement contains an ``events_per_sec`` figure at the named
+dotted path — the guard against a bench scenario silently vanishing
+from the gate (a dropped entry is otherwise just "not shared" and the
+geomean quietly narrows).  Exit status: 0 = within tolerance, 1 =
+regression or missing required entry, 2 = could not compare (missing
+baseline or current file, no shared entries) — CI tolerates 2,
+mirroring the engine-version guard.
 """
 
 from __future__ import annotations
@@ -115,6 +120,13 @@ def main(argv) -> int:
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="maximum allowed fractional regression of "
                              "the geomean events/s (default 0.25)")
+    parser.add_argument("--require-entry", action="append", default=[],
+                        metavar="PATH",
+                        help="dotted entry path that must carry an "
+                             "events_per_sec figure in the fresh "
+                             "measurement (repeatable); a missing one "
+                             "fails the gate instead of silently "
+                             "narrowing the geomean")
     args = parser.parse_args(argv[1:])
     if not 0 < args.tolerance < 1:
         parser.error(f"--tolerance must be in (0, 1), got "
@@ -129,6 +141,13 @@ def main(argv) -> int:
         return 2
 
     new = _events_per_sec(current)
+    missing = [name for name in args.require_entry if name not in new]
+    if missing:
+        print(f"ERROR: required bench entr(ies) missing from "
+              f"{current_path}: {', '.join(missing)}.\n"
+              f"Present entries: {', '.join(sorted(new)) or '<none>'}",
+              file=sys.stderr)
+        return 1
     old = _events_per_sec(baseline)
     shared = sorted(set(new) & set(old))
     if not shared:
