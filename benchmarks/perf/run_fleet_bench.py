@@ -21,6 +21,14 @@ and writes ``BENCH_fleet.json`` at the repo root with two scenarios:
   the 4-device fleet drain, each with speculation ``full`` vs off:
   events/s, speedup, and the speculation hit rate, asserting the
   speculative results are identical to the plain path.
+* ``telemetry_overhead`` — the least-loaded drain with telemetry off
+  vs ``full`` (tracing + metrics + profiling): events/s both ways, the
+  per-phase wall-clock breakdown from the profiling hooks, and the
+  identical-results assertion (the script refuses to write the bench
+  file unless the traced drain's results match the plain ones).  The
+  ``events_per_sec`` figure is the telemetry-**off** drain, so the
+  regression gate pins the cost of carrying the instrumentation
+  disabled (the PR's <= 2% contract) against the committed baseline.
 
 The speedup tracks how often devices launch simultaneously (bursts, and
 the stream head where the whole fleet fills at once); ``cores`` is
@@ -173,6 +181,7 @@ def run_bench(devices: int, workers: int, quick: bool) -> dict:
         "fault_drain": fault_drain,
         "speculative_drain": _speculative_drain(
             arrivals, ctx, devices, workers, serial_s, serial_out),
+        "telemetry_overhead": _telemetry_overhead(arrivals, ctx, devices),
         "apps": apps,
         "scale": scale,
     }
@@ -264,6 +273,44 @@ def _speculative_drain(arrivals, ctx, devices, workers,
     }
 
 
+def _telemetry_overhead(arrivals, ctx, devices) -> dict:
+    """Telemetry off vs ``full`` over the same serial drain.
+
+    The off drain is re-timed here (not reused from the comparison) so
+    both sides run back-to-back under the same cache conditions — the
+    overhead fraction is wall-clock noise otherwise.
+    """
+    from repro.cluster import placement_policy, run_fleet
+    from repro.obs import make_telemetry
+    from repro.runtime import OnlineFCFS, SerialExecutor
+
+    def drain(telemetry=None):
+        return run_fleet(arrivals, placement_policy("least-loaded"),
+                         lambda _i: OnlineFCFS(2), ctx,
+                         num_devices=devices, executor=SerialExecutor(),
+                         telemetry=telemetry)
+
+    off_s, off_out = _timed(drain)
+    telemetry = make_telemetry("full")
+    on_s, on_out = _timed(lambda: drain(telemetry))
+    phases = {name: entry["total_s"]
+              for name, entry in telemetry.profiler.to_dict().items()}
+    return {
+        "off_s": round(off_s, 3),
+        "on_s": round(on_s, 3),
+        #: the gated figure (--require-entry scenarios.telemetry_overhead):
+        #: events/s with telemetry OFF — what carrying the disabled
+        #: instrumentation costs, pinned against the committed baseline.
+        "events_per_sec": round(_fleet_events(off_out) / off_s, 1),
+        "events_per_sec_traced": round(_fleet_events(on_out) / on_s, 1),
+        "overhead_frac": round(max(0.0, on_s / off_s - 1.0), 4),
+        "trace_events": len(telemetry.events),
+        "phase_wall_s": phases,
+        "identical": (_fleet_fingerprint(off_out)
+                      == _fleet_fingerprint(on_out)),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -290,6 +337,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"speculative_drain: the {side} result with speculation "
                 f"differs from the plain path — speculation must never "
                 f"change results")
+    if not scenarios["telemetry_overhead"]["identical"]:
+        raise RuntimeError(
+            "telemetry_overhead: the traced fleet results differ from "
+            "the plain drain — telemetry must observe, never steer")
 
     cores = os.cpu_count() or 1
     doc = {

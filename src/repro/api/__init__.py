@@ -24,14 +24,16 @@ from .registry import BUILTIN_KINDS, REGISTRY, Registry, RegistryError
 from .runner import RunResult, build_arrivals, build_queue, run_scenario
 from .scenario import (KINDS, SCHEMA_VERSION, SOURCES, AdmissionSpec,
                        DeviceSpec, ExecutionSpec, FaultSpec, PlacementSpec,
-                       PolicySpec, Scenario, SpeculationSpec, WorkloadSpec)
+                       PolicySpec, Scenario, SpeculationSpec, TelemetrySpec,
+                       WorkloadSpec)
 from .sweep import expand_grid, load_sweep, point_filename
 
 __all__ = [
     "REGISTRY", "Registry", "RegistryError", "BUILTIN_KINDS",
     "Scenario", "WorkloadSpec", "PolicySpec", "PlacementSpec",
     "DeviceSpec", "ExecutionSpec", "FaultSpec", "AdmissionSpec",
-    "SpeculationSpec", "KINDS", "SOURCES", "SCHEMA_VERSION",
+    "SpeculationSpec", "TelemetrySpec", "KINDS", "SOURCES",
+    "SCHEMA_VERSION",
     "RunResult", "run_scenario", "build_queue", "build_arrivals",
     "expand_grid", "load_sweep", "point_filename",
 ]

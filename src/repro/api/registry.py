@@ -43,13 +43,14 @@ _BUILTIN_MODULES = (
     "repro.workloads.rodinia",  # kind "benchmarks"
     "repro.workloads.streams",  # kind "streams"
     "repro.api.devices",        # kind "gpu-configs"
+    "repro.obs",                # kind "telemetry"
 )
 
 #: The component families the built-in registry serves (documentation
 #: order; the registry itself accepts any kind string).
 BUILTIN_KINDS = ("benchmarks", "policies", "online-policies",
                  "placements", "streams", "gpu-configs", "faults",
-                 "admission", "speculation")
+                 "admission", "speculation", "telemetry")
 
 
 class RegistryError(ValueError):

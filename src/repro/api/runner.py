@@ -68,6 +68,14 @@ class RunResult:
     #: is byte-identical to the serial one.
     speculation: ClassVar[Optional[Dict[str, Any]]] = None
 
+    #: Telemetry snapshot (trace event count, metrics registry dump,
+    #: profiler phases), attached by :func:`run_scenario` when the
+    #: scenario enables telemetry.  Same ``ClassVar`` side-channel as
+    #: ``speculation``: how the run was observed is not part of what it
+    #: computed, so a traced result file is byte-identical to a plain
+    #: one.
+    telemetry: ClassVar[Optional[Dict[str, Any]]] = None
+
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 
@@ -113,11 +121,12 @@ def _provenance(scenario: Scenario) -> Dict[str, Any]:
 
 def _embedded_scenario(scenario: Scenario) -> Dict[str, Any]:
     """The scenario dict stored in results (workers normalized to 1,
-    speculation dropped) — both are execution strategy, never part of
-    what the run computed."""
+    speculation and telemetry dropped) — all three are execution
+    strategy or observation, never part of what the run computed."""
     data = scenario.to_dict()
     data["execution"]["workers"] = 1
     data["execution"].pop("speculation", None)
+    data["execution"].pop("telemetry", None)
     return data
 
 
@@ -129,6 +138,21 @@ def _build_speculation(scenario: Scenario, executor):
         return None
     strategy = REGISTRY.create("speculation", spec.kind, **spec.params())
     return make_speculation(strategy, executor)
+
+
+def _build_telemetry(scenario: Scenario, telemetry=None):
+    """The run's :class:`~repro.obs.Telemetry`, or ``None``.
+
+    An explicit `telemetry` instance (the CLI builds one from
+    ``--trace``/``--profile``) wins over the scenario's declarative
+    ``execution.telemetry`` block.
+    """
+    if telemetry is not None:
+        return telemetry
+    spec = scenario.execution.telemetry
+    if spec is None:
+        return None
+    return REGISTRY.create("telemetry", spec.kind, **spec.params())
 
 
 def build_queue(scenario: Scenario):
@@ -228,7 +252,8 @@ def _record_dicts(records, solo: Mapping[str, int],
     return out
 
 
-def run_scenario(scenario: Scenario, executor=None) -> RunResult:
+def run_scenario(scenario: Scenario, executor=None,
+                 telemetry=None) -> RunResult:
     """Run `scenario` end-to-end; return its normalized :class:`RunResult`.
 
     `executor` optionally supplies a shared
@@ -237,6 +262,15 @@ def run_scenario(scenario: Scenario, executor=None) -> RunResult:
     ``scenario.execution.workers`` and closed on return.  The executor
     affects wall-clock only — results are bit-identical for any worker
     count.
+
+    `telemetry` optionally supplies a pre-built
+    :class:`~repro.obs.Telemetry` (the CLI builds one from ``--trace``
+    and ``--profile``), overriding the scenario's declarative
+    ``execution.telemetry`` block.  Telemetry observes the run and
+    never steers it: the returned result is byte-identical with it on
+    or off.  The snapshot lands on ``result.telemetry`` (a side
+    channel, like ``result.speculation``) and configured trace sinks
+    are written before returning.
     """
     from repro.core import SMRAParams, make_context
     from repro.runtime import make_executor
@@ -263,20 +297,27 @@ def run_scenario(scenario: Scenario, executor=None) -> RunResult:
                            smra_params=SMRAParams(), executor=executor)
         max_cycles = scenario.execution.max_cycles
 
+        tel = _build_telemetry(scenario, telemetry)
         if scenario.kind == "queue":
-            return _run_queue_scenario(scenario, policy, ctx, executor,
-                                       max_cycles)
-        speculation = _build_speculation(scenario, executor)
-        if scenario.kind == "stream":
-            result = _run_stream_scenario(scenario, policy, ctx, executor,
-                                          max_cycles, speculation)
+            result = _run_queue_scenario(scenario, policy, ctx, executor,
+                                         max_cycles, tel)
         else:
-            result = _run_fleet_scenario(scenario, placement, ctx,
-                                         executor, max_cycles, speculation)
-        if speculation is not None:
-            # Side-channel observability (CLI report/stdout): the
-            # counters never enter to_dict()/to_json().
-            result.speculation = speculation.counters.to_dict()
+            speculation = _build_speculation(scenario, executor)
+            if scenario.kind == "stream":
+                result = _run_stream_scenario(scenario, policy, ctx,
+                                              executor, max_cycles,
+                                              speculation, tel)
+            else:
+                result = _run_fleet_scenario(scenario, placement, ctx,
+                                             executor, max_cycles,
+                                             speculation, tel)
+            if speculation is not None:
+                # Side-channel observability (CLI report/stdout): the
+                # counters never enter to_dict()/to_json().
+                result.speculation = speculation.counters.to_dict()
+        if tel is not None:
+            result.telemetry = tel.snapshot()
+            tel.export()
         return result
     finally:
         if owned:
@@ -284,11 +325,11 @@ def run_scenario(scenario: Scenario, executor=None) -> RunResult:
 
 
 def _run_queue_scenario(scenario, policy, ctx, executor,
-                        max_cycles) -> RunResult:
+                        max_cycles, telemetry=None) -> RunResult:
     from repro.core import run_queue
     queue = build_queue(scenario)
     outcome = run_queue(queue, policy, ctx, max_cycles=max_cycles,
-                        executor=executor)
+                        executor=executor, telemetry=telemetry)
     # Queue drains run back-to-back: reconstruct the absolute timeline
     # so app/group cycles mean the same thing they do for streams
     # (every application "arrives" at cycle 0, the batch scenario).
@@ -321,13 +362,14 @@ def _run_queue_scenario(scenario, policy, ctx, executor,
 
 
 def _run_stream_scenario(scenario, policy, ctx, executor,
-                         max_cycles, speculation=None) -> RunResult:
+                         max_cycles, speculation=None,
+                         telemetry=None) -> RunResult:
     from repro.analysis import summarize_stream
     from repro.runtime import run_stream
     arrivals = build_arrivals(scenario)
     solo = _solo_cycles(ctx, executor, arrivals)
     outcome = run_stream(arrivals, policy, ctx, max_cycles=max_cycles,
-                         speculation=speculation)
+                         speculation=speculation, telemetry=telemetry)
     summary = summarize_stream(outcome, solo)
     return RunResult(kind="stream", scenario=_embedded_scenario(scenario),
                      metrics=_summary_dict(summary),
@@ -381,7 +423,8 @@ def _per_device_solo(device_contexts, outcome, executor,
 
 
 def _run_fleet_scenario(scenario, placement, ctx, executor,
-                        max_cycles, speculation=None) -> RunResult:
+                        max_cycles, speculation=None,
+                        telemetry=None) -> RunResult:
     from repro.analysis import summarize_faults, summarize_fleet
     from repro.cluster import run_fleet
     arrivals = build_arrivals(scenario)
@@ -405,7 +448,8 @@ def _run_fleet_scenario(scenario, placement, ctx, executor,
         lambda _i: _build_policy(scenario), ctx,
         num_devices=scenario.devices.count, executor=executor,
         max_cycles=max_cycles, device_contexts=device_contexts,
-        faults=faults, admission=admission, speculation=speculation)
+        faults=faults, admission=admission, speculation=speculation,
+        telemetry=telemetry)
     if device_contexts is not None:
         solo = _per_device_solo(device_contexts, outcome, executor,
                                 arrivals)

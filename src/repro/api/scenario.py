@@ -327,6 +327,76 @@ class SpeculationSpec:
         return _decode(cls, data, "speculation")
 
 
+#: Trace sink formats understood by :class:`TelemetrySpec` (mirrors
+#: ``repro.obs.TRACE_FORMATS`` without importing obs at decode time).
+_TRACE_SINKS = ("jsonl", "chrome")
+
+#: Telemetry kinds that record trace events (and hence accept sinks).
+_TRACING_KINDS = ("trace", "full")
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """Observability for any scenario kind (see :mod:`repro.obs`).
+
+    ``kind`` names a ``telemetry`` registry bundle:
+
+    * ``none`` — no telemetry; canonicalized away (the spec compares
+      and serializes identically to leaving ``telemetry`` out);
+    * ``trace`` — record virtual-clock :class:`~repro.obs.TraceEvent`\\ s;
+    * ``metrics`` — deterministic counters/gauges/histograms only;
+    * ``profile`` — wall-clock phase timers only;
+    * ``full`` — all three.
+
+    ``sinks`` lists trace export formats (``jsonl``, ``chrome``) and is
+    only valid with a tracing kind; ``path`` is where the trace is
+    written after the run (with two sinks, each writes
+    ``{path}.{format}``).  Telemetry observes a run without
+    participating in it — results are byte-identical with any kind —
+    so :meth:`Scenario.spec_hash` normalizes the block away exactly
+    like ``speculation``.
+    """
+
+    kind: str = "none"
+    #: trace export formats written after the run.
+    sinks: Tuple[str, ...] = ()
+    #: output path for the trace sinks.
+    path: str = ""
+
+    def __post_init__(self):
+        _check_registry("telemetry", self.kind)
+        # JSON decodes to lists; normalize to the hashable tuple.
+        object.__setattr__(self, "sinks", tuple(self.sinks))
+        for fmt in self.sinks:
+            _require(fmt in _TRACE_SINKS,
+                     f"unknown trace sink {fmt!r}; expected one of "
+                     f"{list(_TRACE_SINKS)}")
+        _require(len(set(self.sinks)) == len(self.sinks),
+                 f"duplicate trace sinks in {list(self.sinks)}")
+        _require(not self.sinks or self.kind in _TRACING_KINDS,
+                 f"trace sinks are only valid with kind in "
+                 f"{list(_TRACING_KINDS)}, not {self.kind!r}")
+        _require(not self.sinks or bool(self.path),
+                 "telemetry sinks need an output path")
+        _require(not self.path or bool(self.sinks),
+                 "a telemetry path needs at least one sink")
+        _require(isinstance(self.path, str),
+                 f"telemetry path must be a string, got {self.path!r}")
+
+    def params(self) -> Dict[str, Any]:
+        """Keyword arguments for the ``telemetry`` registry factory."""
+        return {"sinks": self.sinks, "path": self.path}
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["sinks"] = list(self.sinks)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetrySpec":
+        return _decode(cls, data, "telemetry")
+
+
 @dataclass(frozen=True)
 class ExecutionSpec:
     """Resources and budgets: never part of the result's identity.
@@ -339,13 +409,16 @@ class ExecutionSpec:
     speculative-execution strategy (see :class:`SpeculationSpec`) — a
     ``kind="none"`` spec canonicalizes to ``None``, so a
     speculation-free scenario serializes byte-identically whether the
-    block was given or not.
+    block was given or not.  ``telemetry`` selects the observability
+    bundle (see :class:`TelemetrySpec`) with the same canonicalization
+    — telemetry observes a run without changing its results.
     """
 
     workers: int = 1
     max_cycles: int = _DEFAULT_MAX_CYCLES
     samples_per_pair: int = 1
     speculation: Optional[SpeculationSpec] = None
+    telemetry: Optional[TelemetrySpec] = None
 
     def __post_init__(self):
         _require(isinstance(self.workers, int)
@@ -371,11 +444,24 @@ class ExecutionSpec:
         if self.speculation is not None and self.speculation.kind == "none":
             # Canonical form: a no-op spec IS the absent-spec path.
             object.__setattr__(self, "speculation", None)
+        if isinstance(self.telemetry, Mapping):
+            object.__setattr__(self, "telemetry",
+                               TelemetrySpec.from_dict(self.telemetry))
+        _require(self.telemetry is None
+                 or isinstance(self.telemetry, TelemetrySpec),
+                 f"telemetry must be a telemetry spec object, got "
+                 f"{self.telemetry!r}")
+        if self.telemetry is not None and self.telemetry.kind == "none":
+            object.__setattr__(self, "telemetry", None)
 
     def to_dict(self) -> Dict[str, Any]:
         data = dataclasses.asdict(self)
         if data["speculation"] is None:
             del data["speculation"]
+        if data["telemetry"] is None:
+            del data["telemetry"]
+        elif data["telemetry"]["sinks"] is not None:
+            data["telemetry"]["sinks"] = list(data["telemetry"]["sinks"])
         return data
 
     @classmethod
@@ -673,14 +759,16 @@ class Scenario:
         """sha256 identity of the *experiment* this scenario describes.
 
         ``execution.workers`` is normalized to 1 before hashing, and
-        ``execution.speculation`` is dropped: the engines produce
-        bit-identical results for any worker count and any speculation
-        strategy, so a serial run and a ``--workers 4 --speculation
-        full`` run of the same scenario share one hash (and their
-        result JSONs compare byte-equal).
+        ``execution.speculation`` and ``execution.telemetry`` are
+        dropped: the engines produce bit-identical results for any
+        worker count, any speculation strategy, and any telemetry
+        bundle, so a serial run and a ``--workers 4 --speculation full
+        --trace out.jsonl`` run of the same scenario share one hash
+        (and their result JSONs compare byte-equal).
         """
         data = self.to_dict()
         data["execution"]["workers"] = 1
         data["execution"].pop("speculation", None)
+        data["execution"].pop("telemetry", None)
         canon = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()

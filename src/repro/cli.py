@@ -134,12 +134,52 @@ def _select_benchmarks(names: Optional[Sequence[str]]) -> List[str]:
     return list(names)
 
 
-def _run_or_exit(scenario: Scenario, executor=None) -> RunResult:
+def _run_or_exit(scenario: Scenario, executor=None,
+                 telemetry=None) -> RunResult:
     """:func:`run_scenario` with CLI-grade errors (clean exit, no trace)."""
     try:
-        return run_scenario(scenario, executor=executor)
+        return run_scenario(scenario, executor=executor,
+                            telemetry=telemetry)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+
+
+def _telemetry_from_args(args, suffix: str = ""):
+    """The ``--trace``/``--profile`` flags as a Telemetry (or None).
+
+    `suffix` disambiguates sink paths when one invocation compares
+    several policies or placements (each run writes its own trace).
+    """
+    from repro.obs import make_telemetry
+    trace_path = getattr(args, "trace_out", None)
+    profile = getattr(args, "profile", False)
+    if not trace_path and not profile:
+        return None
+    if trace_path and profile:
+        kind = "full"
+    elif trace_path:
+        kind = "trace"
+    else:
+        kind = "profile"
+    sinks = (args.trace_format,) if trace_path else ()
+    path = f"{trace_path}{suffix}" if trace_path else ""
+    return make_telemetry(kind, sinks=sinks, path=path)
+
+
+def _print_telemetry(result: RunResult, telemetry=None) -> None:
+    """Report telemetry next to (never inside) the result."""
+    snap = result.telemetry
+    if snap is None:
+        return
+    if "events" in snap:
+        line = f"telemetry: {snap['events']} trace event(s)"
+        if telemetry is not None:
+            paths = ", ".join(sorted(telemetry.sink_paths().values()))
+            if paths:
+                line += f" -> {paths}"
+        print(line)
+    if telemetry is not None and telemetry.profiler is not None:
+        print(telemetry.profiler.format_table())
 
 
 def cmd_list(args) -> int:
@@ -414,14 +454,17 @@ def cmd_run(args) -> int:
                     speculation=SpeculationSpec(kind=args.speculation)))
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
+    telemetry = _telemetry_from_args(args)
     executor = make_executor(args.workers) if args.workers else None
     try:
-        result = _run_or_exit(scenario, executor=executor)
+        result = _run_or_exit(scenario, executor=executor,
+                              telemetry=telemetry)
     finally:
         if executor is not None:
             executor.close()
     _print_result_summary(result)
     _print_speculation(result, args.speculation_report)
+    _print_telemetry(result, telemetry)
     if args.out:
         _write_result(result, args.out)
         print(f"\nwrote results to {args.out}")
@@ -498,9 +541,14 @@ def cmd_run_stream(args) -> int:
     rows = []
     apps = 0
     with make_executor(args.workers) as executor:
-        for key in args.policies:
-            result = _run_or_exit(_stream_scenario(args, key), executor)
+        keys = args.policies
+        for key in keys:
+            telemetry = _telemetry_from_args(
+                args, suffix=f".{key}" if len(keys) > 1 else "")
+            result = _run_or_exit(_stream_scenario(args, key), executor,
+                                  telemetry)
             _print_speculation(result)
+            _print_telemetry(result, telemetry)
             m = result.metrics
             apps = m["apps"]
             rows.append([m["policy"], m["antt"], m["stp"],
@@ -531,13 +579,17 @@ def cmd_run_fleet(args) -> int:
     summaries = []
     apps = 0
     with make_executor(args.workers) as executor:
-        for key in _unique(args.placement):
+        keys = _unique(args.placement)
+        for key in keys:
             try:
                 scenario = _fleet_scenario(args, key)
             except ValueError as exc:
                 raise SystemExit(str(exc)) from None
-            result = _run_or_exit(scenario, executor)
+            telemetry = _telemetry_from_args(
+                args, suffix=f".{key}" if len(keys) > 1 else "")
+            result = _run_or_exit(scenario, executor, telemetry)
             _print_speculation(result)
+            _print_telemetry(result, telemetry)
             m = result.metrics
             apps = m["apps"]
             summaries.append(m)
@@ -612,6 +664,31 @@ def cmd_scalability(args) -> int:
     return 0
 
 
+def add_telemetry_arguments(p, trace_flag: str = "--trace-out") -> None:
+    """Telemetry options shared by run / run-stream / run-fleet.
+
+    The flag spelling differs per command (``repro run --trace``, but
+    ``--trace-out`` on the stream/fleet wrappers where ``--trace``
+    already means "replay this workload trace file"); the ``trace_out``
+    destination is shared.  Telemetry never changes results — traced
+    and plain runs serialize byte-identically.
+    """
+    p.add_argument(trace_flag, dest="trace_out", default=None,
+                   metavar="PATH",
+                   help="record the run's virtual-clock trace events "
+                        "and write them here (results are "
+                        "byte-identical with tracing on or off)")
+    p.add_argument("--trace-format", default="jsonl",
+                   choices=("jsonl", "chrome"),
+                   help="trace sink format: jsonl lines or a Chrome "
+                        "trace_event file for Perfetto (default jsonl)")
+    p.add_argument("--profile", action="store_true",
+                   help="time the run's wall-clock phases (simulate, "
+                        "solver, placement, ...) and print a summary "
+                        "table; wall-clock only, never the virtual "
+                        "clock")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -641,6 +718,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--speculation-report", default=None, metavar="PATH",
                    help="write the speculation counters (hits, misses, "
                         "rollbacks, ...) to this JSON file")
+    add_telemetry_arguments(p, trace_flag="--trace")
 
     p = sub.add_parser("sweep", help="run a base scenario x parameter grid")
     p.add_argument("sweep", help="path to a sweep .json file "
@@ -732,6 +810,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pre-simulate predicted next groups on idle "
                         "workers (results are bit-identical; default "
                         "none)")
+    add_telemetry_arguments(p)
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print the scheduled timeline per policy")
 
@@ -800,6 +879,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=_positive_int, default=50000,
                    help="turnaround budget in cycles "
                         "(--admission deadline)")
+    add_telemetry_arguments(p)
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print the per-device breakdown per placement")
 

@@ -49,7 +49,7 @@ class Device:
     __slots__ = ("device_id", "policy", "ctx", "resident", "groups",
                  "busy_cycles", "completion_cycle", "_running", "up",
                  "lost_cycles", "down_cycles", "failed_groups",
-                 "_down_since", "_inflight_failed")
+                 "_down_since", "_inflight_failed", "tracer")
 
     def __init__(self, device_id: int, policy: OnlinePolicy,
                  ctx: Optional[PolicyContext] = None):
@@ -58,6 +58,12 @@ class Device:
         self.device_id = device_id
         self.policy = policy
         self.ctx = ctx
+        #: Optional :class:`~repro.obs.Tracer`; the fleet loop attaches
+        #: it on the serial path and detaches it while a run-ahead
+        #: window executes optimistically (committed entries are
+        #: re-emitted by the window itself), so traces only ever
+        #: describe the committed timeline.
+        self.tracer = None
         #: Applications assigned here and not yet finished (waiting or
         #: running) — the "queue" of join-shortest-queue placement and
         #: the class mix interference-aware placement scores against.
@@ -142,6 +148,11 @@ class Device:
         if not self.up:
             raise RuntimeError(
                 f"device {self.device_id} launched a group while DOWN")
+        if self.tracer is not None:
+            self.tracer.emit("launch", now, device=self.device_id,
+                             members=list(outcome.members),
+                             cycles=outcome.cycles,
+                             group_index=len(self.groups), failed=failed)
         self.groups.append(ScheduledGroup(start_cycle=now, outcome=outcome))
         self.busy_cycles += outcome.cycles
         self.completion_cycle = now + outcome.cycles
@@ -159,6 +170,11 @@ class Device:
                 f"through complete_failed()")
         finished_at = self.completion_cycle
         outcome = self.groups[-1].outcome
+        if self.tracer is not None:
+            self.tracer.emit("group_finish", finished_at,
+                             device=self.device_id,
+                             members=list(outcome.members),
+                             group_index=len(self.groups) - 1)
         self.completion_cycle = None
         done = set(self._running)
         self._running = []
@@ -185,6 +201,11 @@ class Device:
                 f"group")
         scheduled = self.groups.pop()
         outcome = scheduled.outcome
+        if self.tracer is not None:
+            self.tracer.emit("group_failed", self.completion_cycle,
+                             device=self.device_id,
+                             members=list(outcome.members),
+                             reason="transient")
         self.lost_cycles += outcome.cycles
         self.failed_groups.append(FailedGroup(
             start_cycle=scheduled.start_cycle,
@@ -214,6 +235,9 @@ class Device:
                                f"already DOWN")
         self.up = False
         self._down_since = now
+        if self.tracer is not None:
+            self.tracer.emit("fault", now, device=self.device_id,
+                             inflight=list(self._running))
         displaced: List[Entry] = []
         if self.busy:
             scheduled = self.groups.pop()
@@ -251,6 +275,9 @@ class Device:
         self.down_cycles += now - self._down_since
         self._down_since = None
         self.policy = policy
+        if self.tracer is not None:
+            self.tracer.emit("recover", now, device=self.device_id)
+            self.policy.tracer = self.tracer
 
     def close_downtime(self, at: int) -> None:
         """Book the trailing outage of a still-DOWN device at end of run."""

@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.gpusim import GPUConfig
 
 from repro.core.policies import PolicyContext
+from repro.obs import MetricsRegistry, Telemetry
 from repro.runtime.engine import AppRecord, Arrival, ScheduledGroup
 from repro.runtime.executors import (DEFAULT_MAX_CYCLES, Executor,
                                      SerialExecutor)
@@ -64,15 +65,27 @@ class _AheadDevice:
     """
 
     __slots__ = ("device", "local_now", "log", "policy_snap", "dev_snap",
-                 "active")
+                 "active", "tracer_snap", "policy_tracer_snap")
 
     def __init__(self, device: Device, now: int):
         self.device = device
         self.local_now = now
         self.log: List[tuple] = []
+        # Detach tracers for the window's lifetime: optimistic events
+        # must never reach the trace (a rollback would leave phantom
+        # entries).  The window re-emits exactly the committed log at
+        # close and then restores both attachments.
+        self.tracer_snap = device.tracer
+        device.tracer = None
+        self.policy_tracer_snap = device.policy.tracer
+        device.policy.tracer = None
         self.policy_snap = copy.deepcopy(device.policy)
         self.dev_snap = device.snapshot()
         self.active = True
+
+    def restore_tracers(self) -> None:
+        self.device.tracer = self.tracer_snap
+        self.device.policy.tracer = self.policy_tracer_snap
 
 
 @dataclass
@@ -169,8 +182,8 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
               device_contexts: Optional[Sequence[PolicyContext]] = None,
               faults: Optional[FaultPlan] = None,
               admission: Optional[AdmissionPolicy] = None,
-              speculation: Optional[SpeculativeSimulator] = None
-              ) -> FleetOutcome:
+              speculation: Optional[SpeculativeSimulator] = None,
+              telemetry: Optional[Telemetry] = None) -> FleetOutcome:
     """Drain `arrivals` across `num_devices` devices; return the timeline.
 
     Each device runs its own policy instance from `policy_factory`;
@@ -228,6 +241,14 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
     loop's clock — at the same virtual instants and with the same state
     as serial execution — never in a worker and never inside a window
     that a barrier could invalidate.
+
+    `telemetry` (a :class:`~repro.obs.Telemetry`) observes the run —
+    virtual-clock trace events, deterministic counters, wall-clock
+    phase timers — without participating in it: every emission happens
+    on this loop's clock after the decision it describes, run-ahead
+    windows detach tracers while executing optimistically and re-emit
+    only committed entries, and the returned :class:`FleetOutcome` is
+    byte-identical with telemetry on or off.
     """
     if num_devices < 1:
         raise ValueError("a fleet needs at least one device")
@@ -248,6 +269,16 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
     devices = [Device(i, policy_factory(i),
                       ctx=device_contexts[i] if device_contexts else None)
                for i in range(num_devices)]
+
+    tracer = telemetry.tracer if telemetry is not None else None
+    metrics = telemetry.metrics if telemetry is not None else None
+    profiler = telemetry.profiler if telemetry is not None else None
+    if speculation is not None and telemetry is not None:
+        speculation.attach_telemetry(telemetry)
+    if tracer is not None:
+        for d in devices:
+            d.tracer = tracer
+            d.policy.tracer = tracer
 
     def ctx_of(device: Device) -> PolicyContext:
         return device.ctx if device.ctx is not None else ctx
@@ -279,7 +310,25 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
         if not up:
             requeue.append(entry)
             return
-        device = placement.choose(entry, now, up, ctx)
+        if profiler is not None:
+            with profiler.phase("placement"):
+                device = placement.choose(entry, now, up, ctx)
+        else:
+            device = placement.choose(entry, now, up, ctx)
+        if tracer is not None:
+            # Candidate scores = the load state placement ranks on
+            # (resident count, waiting depth, cycles until free) for
+            # every UP device, so a trace explains *why* this device
+            # won under the load-based policies.
+            tracer.emit("placement", now, app=entry[0],
+                        device=device.device_id,
+                        candidates=[{"device": d.device_id,
+                                     "load": d.load(),
+                                     "waiting": d.waiting_count,
+                                     "busy": d.remaining_busy(now)}
+                                    for d in up])
+        if metrics is not None:
+            metrics.counter("fleet.placements").inc()
         if not (0 <= device.device_id < len(devices)
                 and devices[device.device_id] is device):
             raise RuntimeError(
@@ -302,6 +351,11 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                 retry_counts[name] = retry_counts.get(name, 0) + 1
                 records.pop(name, None)
                 active.discard(name)
+        if tracer is not None:
+            for name, _spec in entries:
+                tracer.emit("requeue", now, app=name, reason="device-down")
+        if metrics is not None and entries:
+            metrics.counter("fleet.requeued").inc(len(entries))
         requeue.extend(entries)
 
     def deliver(a: Arrival, defers: int) -> None:
@@ -316,6 +370,11 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                     f"{verdict!r}; expected one of {list(VERDICTS)}")
             if verdict == "defer" and defers >= admission.max_defers:
                 verdict = "reject"
+            if tracer is not None:
+                tracer.emit("admission", now, app=a.name, verdict=verdict,
+                            policy=admission.name, defers=defers)
+            if metrics is not None:
+                metrics.counter(f"admission.{verdict}").inc()
             if verdict == "reject":
                 rejected.append(RejectedApp(
                     name=a.name, arrival_cycle=a.cycle, cycle=now,
@@ -384,6 +443,11 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
             return False
         counters = speculation.counters
         counters.windows += 1
+        if tracer is not None:
+            tracer.emit("window_open", now, horizon=horizon,
+                        devices=[st.device.device_id for st in window])
+        if metrics is not None:
+            metrics.counter("spec.windows").inc()
 
         # Round-based batching: each round advances every active device
         # to its next launch decision (retiring along the way), then
@@ -407,8 +471,8 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                             barrier(c)
                             break
                         st.local_now = c
-                        d.complete(ctx_of(d))
-                        st.log.append(("retire", c))
+                        retired = d.complete(ctx_of(d))
+                        st.log.append(("retire", c, retired))
                     else:
                         group = d.next_group(st.local_now, ctx_of(d))
                         if group is None:
@@ -425,7 +489,7 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
             outcomes = speculation.fetch_batch(
                 [(st.device.device_id, group, ctx_of(st.device).config,
                   ctx_of(st.device).smra_params)
-                 for st, group in jobs], max_cycles)
+                 for st, group in jobs], max_cycles, now=now)
             for (st, group), outcome in zip(jobs, outcomes):
                 d = st.device
                 members = list(outcome.members)
@@ -446,6 +510,7 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
 
         committed = 0
         latest = now
+        rolled_back: List[Tuple[int, int]] = []
         for st in window:
             d = st.device
             keep = len(st.log)
@@ -458,6 +523,7 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                 # valid prefix, and stash rolled-back simulations for
                 # their likely re-launch after the barrier.
                 counters.rollbacks += 1
+                rolled_back.append((d.device_id, len(st.log) - keep))
                 for entry in st.log[keep:]:
                     if entry[0] == "launch":
                         _kind, _t, group, outcome, _failed, _gidx = entry
@@ -529,6 +595,35 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                     retries=retry_counts.get(name, 0))
 
         counters.ahead_events += committed
+        if tracer is not None:
+            # Re-emit exactly the committed log, merged across devices
+            # in (instant, device-id) order — the order the serial loop
+            # would have produced.  Optimistic events that rolled back
+            # were never emitted (tracers were detached), so the trace
+            # describes the committed timeline only.
+            for _t, _did, st, entry in sorted(
+                    ((entry[1], st.device.device_id, st, entry)
+                     for st in window for entry in st.log),
+                    key=lambda item: (item[0], item[1])):
+                d = st.device
+                if entry[0] == "retire":
+                    tracer.emit("group_finish", entry[1],
+                                device=d.device_id,
+                                members=list(entry[2].members))
+                else:
+                    _kind, t, _group, outcome, failed, gidx = entry
+                    tracer.emit("launch", t, device=d.device_id,
+                                members=list(outcome.members),
+                                cycles=outcome.cycles, group_index=gidx,
+                                failed=failed)
+            for device_id, discarded in rolled_back:
+                tracer.emit("window_rollback", latest, device=device_id,
+                            barrier=cutoff, discarded=discarded)
+            tracer.emit("window_commit", latest, committed=committed)
+        if metrics is not None and rolled_back:
+            metrics.counter("spec.rollbacks").inc(len(rolled_back))
+        for st in window:
+            st.restore_tracers()
         if committed:
             now = latest
         return committed > 0
@@ -544,6 +639,11 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                         retry_counts[name] = retry_counts.get(name,
                                                               0) + 1
                         active.discard(name)
+                        if tracer is not None:
+                            tracer.emit("requeue", now, app=name,
+                                        reason="transient")
+                    if metrics is not None and entries:
+                        metrics.counter("fleet.requeued").inc(len(entries))
                     requeue.extend(entries)
                 else:
                     device.complete(ctx_of(device))
@@ -578,6 +678,11 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
             a = ordered[i]
             i += 1
             arrival_cycle[a.name] = a.cycle
+            if tracer is not None:
+                tracer.emit("arrival", now, app=a.name,
+                            arrival_cycle=a.cycle)
+            if metrics is not None:
+                metrics.counter("fleet.arrivals").inc()
             deliver(a, 0)
 
         # 3) launch on every idle UP device; simulate this instant's
@@ -586,7 +691,11 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
         for device in devices:
             if device.busy or not device.up:
                 continue
-            group = device.next_group(now, ctx_of(device))
+            if profiler is not None:
+                with profiler.phase("solver"):
+                    group = device.next_group(now, ctx_of(device))
+            else:
+                group = device.next_group(now, ctx_of(device))
             if group is None:
                 continue
             for name, _spec in group.members:
@@ -617,23 +726,38 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                 outcomes = speculation.fetch_batch(
                     [(d.device_id, g, ctx_of(d).config,
                       ctx_of(d).smra_params) for d, g in launches],
-                    max_cycles)
+                    max_cycles, now=now)
             elif device_contexts is None:
-                outcomes = executor.run_groups([g for _d, g in launches],
-                                               ctx.config, ctx.smra_params,
-                                               max_cycles)
+                if profiler is not None:
+                    with profiler.phase("simulate"):
+                        outcomes = executor.run_groups(
+                            [g for _d, g in launches], ctx.config,
+                            ctx.smra_params, max_cycles)
+                else:
+                    outcomes = executor.run_groups(
+                        [g for _d, g in launches], ctx.config,
+                        ctx.smra_params, max_cycles)
             else:
                 # Heterogeneous fleet: every group simulates on the
                 # launching device's own configuration; the batch still
                 # fans out through the executor as one job list.
-                outcomes = executor.run_device_groups(
-                    [(g, ctx_of(d).config, ctx_of(d).smra_params)
-                     for d, g in launches], max_cycles)
+                jobs = [(g, ctx_of(d).config, ctx_of(d).smra_params)
+                        for d, g in launches]
+                if profiler is not None:
+                    with profiler.phase("simulate"):
+                        outcomes = executor.run_device_groups(jobs,
+                                                              max_cycles)
+                else:
+                    outcomes = executor.run_device_groups(jobs, max_cycles)
             for (device, _group), outcome in zip(launches, outcomes):
                 members = list(outcome.members)
                 failed = faults is not None and faults.group_fails(
                     members, [retry_counts.get(m, 0) for m in members])
                 device.launch(outcome, now, failed=failed)
+                if metrics is not None:
+                    metrics.counter("fleet.launches").inc()
+                    metrics.histogram("fleet.group_cycles").observe(
+                        outcome.cycles)
                 active.update(members)
                 if failed:
                     continue  # no records: the attempt will requeue
@@ -670,6 +794,9 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                 # is ahead — drain gracefully, recording the stranded
                 # applications instead of raising.
                 for name, _spec in requeue:
+                    if tracer is not None:
+                        tracer.emit("reject", now, app=name,
+                                    reason="no-device")
                     rejected.append(RejectedApp(
                         name=name, arrival_cycle=arrival_cycle[name],
                         cycle=now, reason="no-device",
@@ -688,7 +815,33 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
     if speculation is not None:
         speculation.close()
 
+    if metrics is not None:
+        # Fold per-device derived counters into the run registry in
+        # device-id order — the same serial commit order every other
+        # merge in this loop uses, so the registry is identical at any
+        # worker count.
+        for d in devices:
+            per_device = MetricsRegistry()
+            per_device.counter("device.groups").inc(len(d.groups))
+            per_device.counter("device.busy_cycles").inc(d.busy_cycles)
+            per_device.counter("device.lost_cycles").inc(d.lost_cycles)
+            per_device.counter("device.down_cycles").inc(d.down_cycles)
+            metrics.merge(per_device)
+        metrics.gauge("fleet.makespan").set(now)
+        metrics.gauge("fleet.devices").set(len(devices))
+
     policy_name = devices[0].policy.name if devices else ""
+    if profiler is not None:
+        with profiler.phase("merge"):
+            return _fleet_outcome(placement, policy_name, ctx, devices,
+                                  records, assignments, now, rejected,
+                                  applied)
+    return _fleet_outcome(placement, policy_name, ctx, devices, records,
+                          assignments, now, rejected, applied)
+
+
+def _fleet_outcome(placement, policy_name, ctx, devices, records,
+                   assignments, now, rejected, applied) -> FleetOutcome:
     return FleetOutcome(
         placement=placement.name,
         policy=policy_name,

@@ -117,16 +117,18 @@ def run_group(group: PlannedGroup, config: GPUConfig,
 
 def run_queue(queue: Queue, policy: Policy, ctx: PolicyContext,
               max_cycles: int = DEFAULT_MAX_CYCLES,
-              executor=None) -> QueueOutcome:
+              executor=None, telemetry=None) -> QueueOutcome:
     """Plan and execute `queue` under `policy`.
 
     `executor` is an optional :class:`repro.runtime.executors.Executor`;
     the default serial executor reproduces the seed scheduler exactly.
+    `telemetry` is an optional :class:`repro.obs.Telemetry` — observe
+    only, never steer: the outcome is identical with it on or off.
     """
     # Local import: the runtime package builds on this module.
     from repro.runtime.engine import drain_queue
     return drain_queue(queue, policy, ctx, max_cycles=max_cycles,
-                       executor=executor)
+                       executor=executor, telemetry=telemetry)
 
 
 #: Memoized interference models — measuring the Fig. 3.4 matrix costs tens

@@ -1,0 +1,98 @@
+"""Wall-clock phase profiling — strictly outside the virtual clock.
+
+:class:`PhaseProfiler` times named phases of the host process
+(``simulate`` / ``predict`` / ``commit-check`` / ``placement`` /
+``solver`` / ``merge``) with ``time.perf_counter``.  Wall-clock numbers
+never feed back into any scheduling decision, never enter a
+:class:`~repro.obs.trace.TraceEvent`, and never reach the canonical
+``RunResult`` JSON — they exist only for the ``--profile`` summary
+table and the ``telemetry_overhead`` benchmark entry.
+
+Usage::
+
+    prof = PhaseProfiler()
+    with prof.phase("placement"):
+        device = placement.choose(entry, now, up, ctx)
+    print(prof.format_table())
+
+``phase()`` on a ``None`` profiler is the hot-path concern, so loops
+guard with ``if profiler is not None`` — the context manager itself is
+two ``perf_counter`` calls and a dict update.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Tuple
+
+#: Canonical phase names used by the engines (callers may add more).
+PHASES: Tuple[str, ...] = ("simulate", "predict", "commit-check",
+                           "placement", "solver", "merge")
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock time per named phase."""
+
+    def __init__(self) -> None:
+        #: name -> [calls, total_seconds, max_seconds]
+        self._phases: Dict[str, List[float]] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            slot = self._phases.get(name)
+            if slot is None:
+                self._phases[name] = [1, elapsed, elapsed]
+            else:
+                slot[0] += 1
+                slot[1] += elapsed
+                if elapsed > slot[2]:
+                    slot[2] = elapsed
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Phase → {calls, total_s, max_s, mean_s}, sorted by name."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._phases):
+            calls, total, peak = self._phases[name]
+            out[name] = {"calls": int(calls),
+                         "total_s": round(total, 6),
+                         "max_s": round(peak, 6),
+                         "mean_s": round(total / calls, 6) if calls else 0.0}
+        return out
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        for name, (calls, total, peak) in other._phases.items():
+            slot = self._phases.get(name)
+            if slot is None:
+                self._phases[name] = [calls, total, peak]
+            else:
+                slot[0] += calls
+                slot[1] += total
+                if peak > slot[2]:
+                    slot[2] = peak
+
+    def format_table(self) -> str:
+        """The ``--profile`` summary table (phases sorted by total time)."""
+        rows = sorted(self._phases.items(), key=lambda kv: (-kv[1][1], kv[0]))
+        if not rows:
+            return "profile: no phases recorded"
+        grand = sum(slot[1] for _, slot in rows) or 1.0
+        lines = [f"{'phase':<14} {'calls':>8} {'total s':>10} "
+                 f"{'mean ms':>10} {'max ms':>10} {'share':>7}"]
+        for name, (calls, total, peak) in rows:
+            mean_ms = 1e3 * total / calls if calls else 0.0
+            lines.append(f"{name:<14} {int(calls):>8} {total:>10.4f} "
+                         f"{mean_ms:>10.4f} {1e3 * peak:>10.4f} "
+                         f"{100.0 * total / grand:>6.1f}%")
+        return "\n".join(lines)
+
+    def __deepcopy__(self, memo: Dict[int, Any]) -> "PhaseProfiler":
+        return self

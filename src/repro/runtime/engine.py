@@ -24,6 +24,7 @@ from repro.gpusim import GPUConfig, KernelSpec
 
 from repro.core.policies import Policy, PolicyContext, Queue
 from repro.core.scheduler import GroupOutcome, QueueOutcome, run_group
+from repro.obs import Telemetry
 
 from .executors import DEFAULT_MAX_CYCLES, Executor, SerialExecutor
 from .online import OnlinePolicy
@@ -108,8 +109,8 @@ class StreamOutcome:
 def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
                ctx: PolicyContext,
                max_cycles: int = DEFAULT_MAX_CYCLES,
-               speculation: Optional[SpeculativeSimulator] = None
-               ) -> StreamOutcome:
+               speculation: Optional[SpeculativeSimulator] = None,
+               telemetry: Optional[Telemetry] = None) -> StreamOutcome:
     """Drive `policy` over `arrivals`; return the scheduled timeline.
 
     The loop alternates two steps: deliver every arrival whose cycle
@@ -126,10 +127,23 @@ def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
     on the current one.  A hit commits the stored result — bit-identical
     by the purity of ``run_group`` — and a miss discards it unobserved,
     so results never depend on speculation.
+
+    `telemetry` (a :class:`~repro.obs.Telemetry`) observes the run —
+    trace events on the virtual clock, deterministic counters, wall
+    clock phase timers — without participating in it: the scheduled
+    timeline is byte-identical with telemetry on or off.
     """
     ordered = sorted(arrivals, key=lambda a: a.cycle)
     if len(set(a.name for a in ordered)) != len(ordered):
         raise ValueError("arrival names must be unique within a stream")
+
+    tracer = telemetry.tracer if telemetry is not None else None
+    metrics = telemetry.metrics if telemetry is not None else None
+    profiler = telemetry.profiler if telemetry is not None else None
+    if tracer is not None:
+        policy.tracer = tracer
+    if speculation is not None and telemetry is not None:
+        speculation.attach_telemetry(telemetry)
 
     now = 0
     i = 0
@@ -143,10 +157,19 @@ def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
         while i < n and ordered[i].cycle <= now:
             a = ordered[i]
             arrival_cycle[a.name] = a.cycle
+            if tracer is not None:
+                tracer.emit("arrival", now, app=a.name,
+                            arrival_cycle=a.cycle)
+            if metrics is not None:
+                metrics.counter("stream.arrivals").inc()
             policy.on_arrival((a.name, a.spec), now, ctx)
             i += 1
 
-        group = policy.next_group(now, ctx)
+        if profiler is not None:
+            with profiler.phase("solver"):
+                group = policy.next_group(now, ctx)
+        else:
+            group = policy.next_group(now, ctx)
         if group is None:
             if i < n:
                 now = max(now, ordered[i].cycle)
@@ -167,15 +190,24 @@ def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
                     f"policy {policy.name!r} scheduled {name!r} twice")
 
         if speculation is None:
-            outcome = run_group(group, ctx.config, ctx.smra_params,
-                                max_cycles)
+            if profiler is not None:
+                with profiler.phase("simulate"):
+                    outcome = run_group(group, ctx.config, ctx.smra_params,
+                                        max_cycles)
+            else:
+                outcome = run_group(group, ctx.config, ctx.smra_params,
+                                    max_cycles)
         else:
             # Predict successors first (their simulations start on idle
             # workers), then resolve the committed group — a store hit
             # from the previous iteration's prediction, else on demand.
             speculation.predict("stream", policy, now, ctx, max_cycles)
             outcome = speculation.fetch("stream", group, ctx.config,
-                                        ctx.smra_params, max_cycles)
+                                        ctx.smra_params, max_cycles,
+                                        now=now)
+        if tracer is not None:
+            tracer.emit("launch", now, members=list(outcome.members),
+                        cycles=outcome.cycles, group_index=len(groups))
         groups.append(ScheduledGroup(start_cycle=now, outcome=outcome))
         for name in outcome.members:
             records[name] = AppRecord(
@@ -186,6 +218,12 @@ def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
                 group_index=len(groups) - 1)
         busy += outcome.cycles
         now += outcome.cycles
+        if tracer is not None:
+            tracer.emit("group_finish", now, members=list(outcome.members),
+                        group_index=len(groups) - 1)
+        if metrics is not None:
+            metrics.counter("stream.groups").inc()
+            metrics.histogram("stream.group_cycles").observe(outcome.cycles)
         policy.on_group_finish(outcome, now, ctx)
 
     if speculation is not None:
@@ -197,18 +235,49 @@ def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
 
 def drain_queue(queue: Queue, policy: Policy, ctx: PolicyContext,
                 max_cycles: int = DEFAULT_MAX_CYCLES,
-                executor: Optional[Executor] = None) -> QueueOutcome:
+                executor: Optional[Executor] = None,
+                telemetry: Optional[Telemetry] = None) -> QueueOutcome:
     """Batch drain: plan the full queue, execute groups via `executor`.
 
     With the default :class:`SerialExecutor` this is exactly the seed
     scheduler's loop (same calls in the same order); a parallel executor
     fans the independent groups across workers and merges results in
     plan order, which the engine's determinism makes bit-identical.
+
+    `telemetry` observes the drain: the queue model runs its groups
+    back to back on one device, so launch/finish events sit on the
+    cumulative virtual timeline the queue metrics already use.
     """
     if executor is None:
         executor = SerialExecutor()
-    planned = policy.plan(queue, ctx)
-    outcomes = executor.run_groups(planned, ctx.config, ctx.smra_params,
-                                   max_cycles)
+    tracer = telemetry.tracer if telemetry is not None else None
+    metrics = telemetry.metrics if telemetry is not None else None
+    profiler = telemetry.profiler if telemetry is not None else None
+
+    if profiler is not None:
+        with profiler.phase("solver"):
+            planned = policy.plan(queue, ctx)
+        with profiler.phase("simulate"):
+            outcomes = executor.run_groups(planned, ctx.config,
+                                           ctx.smra_params, max_cycles)
+    else:
+        planned = policy.plan(queue, ctx)
+        outcomes = executor.run_groups(planned, ctx.config,
+                                       ctx.smra_params, max_cycles)
+
+    if tracer is not None or metrics is not None:
+        now = 0
+        for index, outcome in enumerate(outcomes):
+            if tracer is not None:
+                tracer.emit("launch", now, members=list(outcome.members),
+                            cycles=outcome.cycles, group_index=index)
+                tracer.emit("group_finish", now + outcome.cycles,
+                            members=list(outcome.members),
+                            group_index=index)
+            if metrics is not None:
+                metrics.counter("queue.groups").inc()
+                metrics.histogram("queue.group_cycles").observe(
+                    outcome.cycles)
+            now += outcome.cycles
     return QueueOutcome(policy=policy.name, groups=outcomes,
                         config=ctx.config)

@@ -51,6 +51,10 @@ class OnlinePolicy:
     #: True when the policy's decisions use ctx.interference; callers
     #: (e.g. the CLI) measure the matrix only when a policy needs it.
     needs_interference = False
+    #: Optional :class:`~repro.obs.Tracer` attached by the engine when
+    #: telemetry is on.  Class-level default so pickled/legacy policy
+    #: instances keep working; never copied into prediction clones.
+    tracer = None
 
     def __init__(self):
         self.waiting: List[Entry] = []
@@ -96,7 +100,13 @@ class OnlinePolicy:
         plain caches); policies holding unclonable resources should
         override this — raising disables prediction for them.
         """
-        return copy.deepcopy(self)
+        clone = copy.deepcopy(self)
+        # Tracers deep-copy by identity (they must not fork the event
+        # list), so the clone would share the live tracer — and its
+        # replayed decisions would pollute the trace.  Predictions are
+        # invisible to telemetry by construction.
+        clone.tracer = None
+        return clone
 
 
 class OnlineFCFS(OnlinePolicy):
@@ -149,6 +159,9 @@ class BatchPolicyAdapter(OnlinePolicy):
                 raise RuntimeError(
                     f"policy {self.name!r} planned no groups for a "
                     f"backlog of {len(self.waiting)} applications")
+            if self.tracer is not None:
+                self.tracer.emit("plan", now, backlog=len(self.waiting),
+                                 groups=len(planned))
             self._planned.extend(planned)
             self.waiting.clear()
         if self._planned:

@@ -188,10 +188,19 @@ class SpeculativeSimulator:
     worker count.
     """
 
-    def __init__(self, executor: Executor, strategy: SpeculationStrategy):
+    def __init__(self, executor: Executor, strategy: SpeculationStrategy,
+                 telemetry=None):
         self.executor = executor
         self.strategy = strategy
         self.counters = SpeculationCounters()
+        #: Optional :class:`~repro.obs.Telemetry` — the engines attach
+        #: theirs so predict/hit/miss show up in traces and metrics.
+        self.telemetry = None
+        self._tracer = None
+        self._metrics = None
+        self._profiler = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
         #: tag → {purity key → (future, generation)}.
         self._store: Dict[Hashable, Dict[Tuple, Tuple[Any, int]]] = {}
         #: monotonically increasing prediction-round counter.
@@ -203,6 +212,18 @@ class SpeculativeSimulator:
         #: future launches and a miss on the current one says nothing
         #: about them.
         self._fresh: Dict[Hashable, int] = {}
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Observe this simulator with `telemetry` (idempotent)."""
+        self.telemetry = telemetry
+        self._tracer = telemetry.tracer
+        self._metrics = telemetry.metrics
+        self._profiler = telemetry.profiler
+
+    @staticmethod
+    def _device_of(tag: Hashable) -> Optional[int]:
+        """Fleet tags are device ids; the stream tag maps to no device."""
+        return tag if isinstance(tag, int) else None
 
     # -- prediction --------------------------------------------------------
 
@@ -222,10 +243,28 @@ class SpeculativeSimulator:
         gen = self._fresh[tag] = self._gen
         if len(store) >= self.strategy.depth:
             return
+        if self._profiler is not None:
+            with self._profiler.phase("predict"):
+                submitted = self._predict_round(store, gen, policy, now,
+                                                ctx, max_cycles)
+        else:
+            submitted = self._predict_round(store, gen, policy, now, ctx,
+                                            max_cycles)
+        if submitted:
+            if self._tracer is not None:
+                self._tracer.emit("predict", now,
+                                  device=self._device_of(tag),
+                                  submitted=submitted)
+            if self._metrics is not None:
+                self._metrics.counter("spec.submitted").inc(submitted)
+
+    def _predict_round(self, store, gen, policy, now, ctx,
+                       max_cycles) -> int:
         try:
             probe = policy.clone_for_prediction()
         except Exception:
-            return
+            return 0
+        submitted = 0
         while len(store) < self.strategy.depth:
             try:
                 group = probe.next_group(now, ctx)
@@ -238,12 +277,15 @@ class SpeculativeSimulator:
                 store[key] = (self.executor.submit_group(
                     group, ctx.config, ctx.smra_params, max_cycles), gen)
                 self.counters.submitted += 1
+                submitted += 1
+        return submitted
 
     # -- consumption -------------------------------------------------------
 
     def fetch(self, tag: Hashable, group: PlannedGroup, config: GPUConfig,
               smra_params: SMRAParams,
-              max_cycles: int = DEFAULT_MAX_CYCLES) -> GroupOutcome:
+              max_cycles: int = DEFAULT_MAX_CYCLES,
+              now: Optional[int] = None) -> GroupOutcome:
         """The outcome for `group`: a store hit, or simulate on demand.
 
         A miss invalidates `tag`'s *stale* prediction chain — every
@@ -253,17 +295,20 @@ class SpeculativeSimulator:
         one.
         """
         return self.fetch_batch(
-            [(tag, group, config, smra_params)], max_cycles)[0]
+            [(tag, group, config, smra_params)], max_cycles, now=now)[0]
 
     def fetch_batch(self, jobs: Sequence[Tuple[Hashable, PlannedGroup,
                                                GPUConfig, SMRAParams]],
-                    max_cycles: int = DEFAULT_MAX_CYCLES
-                    ) -> List[GroupOutcome]:
+                    max_cycles: int = DEFAULT_MAX_CYCLES,
+                    now: Optional[int] = None) -> List[GroupOutcome]:
         """Like :meth:`fetch` for one instant's batch of launches.
 
         Hits resolve from the store; misses fan out through the
         executor as one batch (in job order, the deterministic merge).
+        `now` is purely observational — the virtual cycle stamped onto
+        ``spec_hit``/``spec_miss`` trace events.
         """
+        cycle = 0 if now is None else now
         futures: List[Any] = [None] * len(jobs)
         miss_indices: List[int] = []
         miss_jobs = []
@@ -273,24 +318,49 @@ class SpeculativeSimulator:
             key = group_key(group, config, smra_params, max_cycles)
             store = self._store.get(tag, {})
             entry = store.pop(key, None)
+            members = [name for name, _spec in group.members]
             if entry is not None:
                 futures[idx] = entry[0]
                 self.counters.hits += 1
+                if self._tracer is not None:
+                    self._tracer.emit("spec_hit", cycle,
+                                      device=self._device_of(tag),
+                                      members=members)
+                if self._metrics is not None:
+                    self._metrics.counter("spec.hits").inc()
                 if self.strategy.commit_check:
                     checks.append((idx, jobs[idx]))
             else:
                 self._discard_stale(tag)
                 self.counters.misses += 1
+                if self._tracer is not None:
+                    self._tracer.emit("spec_miss", cycle,
+                                      device=self._device_of(tag),
+                                      members=members)
+                if self._metrics is not None:
+                    self._metrics.counter("spec.misses").inc()
                 miss_indices.append(idx)
                 miss_jobs.append((group, config, smra_params))
         if miss_jobs:
-            outcomes = self.executor.run_device_groups(miss_jobs, max_cycles)
+            if self._profiler is not None:
+                with self._profiler.phase("simulate"):
+                    outcomes = self.executor.run_device_groups(miss_jobs,
+                                                               max_cycles)
+            else:
+                outcomes = self.executor.run_device_groups(miss_jobs,
+                                                           max_cycles)
             for idx, outcome in zip(miss_indices, outcomes):
                 futures[idx] = _DoneFuture(outcome)
         results = [fut.result() for fut in futures]
-        for idx, (tag, group, config, smra_params) in checks:
-            self._commit_check(group, config, smra_params, max_cycles,
-                               results[idx])
+        if checks and self._profiler is not None:
+            with self._profiler.phase("commit-check"):
+                for idx, (tag, group, config, smra_params) in checks:
+                    self._commit_check(group, config, smra_params,
+                                       max_cycles, results[idx])
+        else:
+            for idx, (tag, group, config, smra_params) in checks:
+                self._commit_check(group, config, smra_params, max_cycles,
+                                   results[idx])
         return results
 
     def stash(self, tag: Hashable, group: PlannedGroup, config: GPUConfig,

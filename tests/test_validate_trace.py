@@ -1,0 +1,172 @@
+"""Contract of tools/validate_trace.py: the trace lint CI leans on.
+
+Drives :func:`validate_events` directly with hand-built event streams
+(every rule, both passing and failing sides) and exercises the file
+front door over both export formats.
+"""
+
+import importlib.util
+import pathlib
+
+from repro.obs import RecordingTracer, write_trace
+
+TOOL = (pathlib.Path(__file__).resolve().parents[1]
+        / "tools" / "validate_trace.py")
+
+spec = importlib.util.spec_from_file_location("validate_trace", TOOL)
+lint = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint)
+
+
+def events(*emissions):
+    tracer = RecordingTracer()
+    for kind, cycle, kwargs in emissions:
+        tracer.emit(kind, cycle, **kwargs)
+    return tracer.events
+
+
+def launch(cycle, device, members, **extra):
+    return ("launch", cycle, dict(device=device, members=members,
+                                  cycles=100, **extra))
+
+
+def finish(cycle, device, members):
+    return ("group_finish", cycle, dict(device=device, members=members))
+
+
+class TestValidEventStreams:
+    def test_minimal_serial_timeline(self):
+        stream = events(
+            ("arrival", 0, dict(app="NN")),
+            ("placement", 0, dict(app="NN", device=0)),
+            launch(0, 0, ["NN"]),
+            finish(100, 0, ["NN"]),
+        )
+        assert lint.validate_events(stream) == []
+
+    def test_fault_closes_inflight_group(self):
+        stream = events(
+            launch(0, 1, ["BFS2", "NN"]),
+            ("fault", 50, dict(device=1, inflight=["BFS2", "NN"])),
+            ("recover", 500, dict(device=1)),
+        )
+        assert lint.validate_events(stream) == []
+
+    def test_fault_on_idle_device_is_legal(self):
+        stream = events(
+            ("fault", 10, dict(device=0)),
+            ("recover", 20, dict(device=0)),
+        )
+        assert lint.validate_events(stream) == []
+
+    def test_speculation_kinds_exempt_from_monotonicity(self):
+        # predict/spec_hit record when work was *performed*; under
+        # run-ahead they legitimately interleave with later-committed
+        # timeline events at earlier cycles.
+        stream = events(
+            ("predict", 900, dict(device=0, submitted=2)),
+            launch(100, 0, ["NN"]),
+            ("spec_hit", 950, dict(device=0, members=["NN"])),
+            finish(200, 0, ["NN"]),
+        )
+        assert lint.validate_events(stream) == []
+
+    def test_window_open_rollback_commit(self):
+        stream = events(
+            ("window_open", 100, dict(horizon=500, devices=[0, 1])),
+            launch(120, 0, ["NN"]),
+            finish(220, 0, ["NN"]),
+            ("window_rollback", 220, dict(device=1, barrier=600,
+                                          discarded=2)),
+            ("window_commit", 220, dict(committed=2)),
+        )
+        assert lint.validate_events(stream) == []
+
+
+class TestInvalidEventStreams:
+    def test_backwards_device_timeline(self):
+        stream = events(
+            launch(500, 0, ["NN"]),
+            finish(400, 0, ["NN"]),
+        )
+        errors = lint.validate_events(stream)
+        assert any("went backwards" in e for e in errors)
+
+    def test_double_launch_without_retire(self):
+        stream = events(
+            launch(0, 0, ["NN"]),
+            launch(10, 0, ["BFS2"]),
+            finish(110, 0, ["BFS2"]),
+        )
+        errors = lint.validate_events(stream)
+        assert any("still in flight" in e for e in errors)
+
+    def test_finish_without_launch(self):
+        errors = lint.validate_events(events(finish(10, 0, ["NN"])))
+        assert any("no launch in flight" in e for e in errors)
+
+    def test_finish_members_mismatch(self):
+        stream = events(
+            launch(0, 0, ["NN", "BFS2"]),
+            finish(100, 0, ["NN"]),
+        )
+        errors = lint.validate_events(stream)
+        assert any("retired members" in e for e in errors)
+
+    def test_dangling_inflight_at_eof(self):
+        errors = lint.validate_events(events(launch(0, 2, ["NN"])))
+        assert any("end of trace" in e and "in flight" in e
+                   for e in errors)
+
+    def test_unbalanced_window_open(self):
+        errors = lint.validate_events(
+            events(("window_open", 0, dict(horizon=100))))
+        assert any("never committed" in e for e in errors)
+
+    def test_commit_without_open(self):
+        errors = lint.validate_events(
+            events(("window_commit", 0, dict(committed=0))))
+        assert any("without a matching window_open" in e for e in errors)
+
+    def test_rollback_outside_window(self):
+        errors = lint.validate_events(
+            events(("window_rollback", 0, dict(device=0, discarded=1))))
+        assert any("outside an open window" in e for e in errors)
+
+    def test_nested_windows_rejected(self):
+        stream = events(
+            ("window_open", 0, dict()),
+            ("window_open", 10, dict()),
+            ("window_commit", 20, dict()),
+        )
+        errors = lint.validate_events(stream)
+        assert any("never nest" in e for e in errors)
+
+
+class TestFileFrontDoor:
+    def _events(self):
+        return events(launch(0, 0, ["NN"]), finish(100, 0, ["NN"]))
+
+    def test_validates_both_formats(self, tmp_path, capsys):
+        paths = [write_trace(self._events(),
+                             str(tmp_path / f"t.{fmt}"), fmt)
+                 for fmt in ("jsonl", "chrome")]
+        assert lint.main(paths) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 2
+
+    def test_invalid_file_exits_one(self, tmp_path, capsys):
+        path = write_trace(events(finish(5, 0, ["NN"])),
+                           str(tmp_path / "bad.jsonl"), "jsonl")
+        assert lint.main([path]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_one(self, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        assert lint.main([str(missing)]) == 1
+
+    def test_empty_trace_rejected(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert lint.main([str(path)]) == 1
+        assert "no events" in capsys.readouterr().out
