@@ -2,6 +2,8 @@
 
 from .fleet import (FleetSummary, availability_timeline, load_imbalance,
                     queue_depth_timeline, summarize_faults, summarize_fleet)
+from .incremental import (DEFAULT_EXACT_LIMIT, BoundedTimeline,
+                          OnlineMoments, P2Quantile, StreamAccumulator)
 from .metrics import (average_normalized_turnaround, fairness, geometric_mean,
                       harmonic_mean, normalize, slowdown, speedup, throughput,
                       utilization, weighted_speedup)
@@ -15,6 +17,8 @@ __all__ = [
     "geometric_mean", "normalize",
     "percentile", "StreamSummary", "summarize_stream", "per_app_slowdown",
     "deadline_attainment",
+    "OnlineMoments", "P2Quantile", "BoundedTimeline", "StreamAccumulator",
+    "DEFAULT_EXACT_LIMIT",
     "FleetSummary", "summarize_fleet", "load_imbalance",
     "queue_depth_timeline", "summarize_faults", "availability_timeline",
     "render_table", "render_bars", "render_grouped_bars",

@@ -232,7 +232,8 @@ def summarize_faults(outcome, deadline_cycles: int = 0) -> Dict[str, Any]:
     return summary
 
 
-def queue_depth_timeline(outcome, device: Optional[int] = None
+def queue_depth_timeline(outcome, device: Optional[int] = None,
+                         max_points: Optional[int] = None
                          ) -> List[Tuple[int, int]]:
     """Waiting-application count over time: ``[(cycle, depth), ...]``.
 
@@ -240,6 +241,11 @@ def queue_depth_timeline(outcome, device: Optional[int] = None
     `device`, or anywhere when `device` is None) but whose group has not
     launched yet.  The returned steps are sorted by cycle; each entry is
     the depth *after* all of that cycle's arrivals and launches.
+
+    `max_points` optionally bounds the returned series through the
+    deterministic :class:`.incremental.BoundedTimeline` decimation —
+    the campaign-scale form, where a million-arrival trace must not
+    produce a million-step timeline.
     """
     deltas: Dict[int, int] = {}
     for record in outcome.records.values():
@@ -248,9 +254,18 @@ def queue_depth_timeline(outcome, device: Optional[int] = None
         deltas[record.arrival_cycle] = deltas.get(record.arrival_cycle,
                                                   0) + 1
         deltas[record.start_cycle] = deltas.get(record.start_cycle, 0) - 1
+    bounded = None
+    if max_points is not None:
+        from .incremental import BoundedTimeline
+        bounded = BoundedTimeline(max_points)
     timeline: List[Tuple[int, int]] = []
     depth = 0
     for cycle in sorted(deltas):
         depth += deltas[cycle]
-        timeline.append((cycle, depth))
+        if bounded is not None:
+            bounded.push(cycle, depth)
+        else:
+            timeline.append((cycle, depth))
+    if bounded is not None:
+        return [(int(c), int(v)) for c, v in bounded.points()]
     return timeline

@@ -28,6 +28,21 @@ from .scenario import (KINDS, SCHEMA_VERSION, SOURCES, AdmissionSpec,
                        WorkloadSpec)
 from .sweep import expand_grid, load_sweep, point_filename
 
+#: Campaign-layer specs re-exported through the Scenario API.  Lazy
+#: (module __getattr__): repro.campaign imports the submodules above,
+#: so an eager import here would be circular whichever side loads
+#: first.
+_CAMPAIGN_EXPORTS = ("CampaignSpec", "ShardSpec")
+
+
+def __getattr__(name):
+    if name in _CAMPAIGN_EXPORTS:
+        import repro.campaign
+        return getattr(repro.campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute "
+                         f"{name!r}")
+
+
 __all__ = [
     "REGISTRY", "Registry", "RegistryError", "BUILTIN_KINDS",
     "Scenario", "WorkloadSpec", "PolicySpec", "PlacementSpec",
@@ -36,4 +51,5 @@ __all__ = [
     "SCHEMA_VERSION",
     "RunResult", "run_scenario", "build_queue", "build_arrivals",
     "expand_grid", "load_sweep", "point_filename",
+    "CampaignSpec", "ShardSpec",
 ]

@@ -44,13 +44,15 @@ _BUILTIN_MODULES = (
     "repro.workloads.streams",  # kind "streams"
     "repro.api.devices",        # kind "gpu-configs"
     "repro.obs",                # kind "telemetry"
+    "repro.campaign.plan",      # kind "shard-strategies"
 )
 
 #: The component families the built-in registry serves (documentation
 #: order; the registry itself accepts any kind string).
 BUILTIN_KINDS = ("benchmarks", "policies", "online-policies",
                  "placements", "streams", "gpu-configs", "faults",
-                 "admission", "speculation", "telemetry")
+                 "admission", "speculation", "telemetry",
+                 "shard-strategies")
 
 
 class RegistryError(ValueError):

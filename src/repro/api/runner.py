@@ -182,7 +182,7 @@ def build_arrivals(scenario: Scenario):
     derives from ``workload.seed``, so an identical scenario JSON
     replays the identical stream.
     """
-    from repro.workloads import load_trace
+    from repro.workloads import load_trace, slice_arrivals
     w = scenario.workload
     if w.source == "trace":
         arrivals = load_trace(w.trace, scale=w.scale)
@@ -194,6 +194,11 @@ def build_arrivals(scenario: Scenario):
     if not arrivals:
         raise ValueError("the arrival stream is empty (trace with no "
                          "entries?)")
+    if w.slice is not None:
+        # Campaign trace sharding: the full stream is built (so every
+        # slice sees identical names/specs/cycles), then the scenario's
+        # contiguous window is cut out deterministically.
+        arrivals = slice_arrivals(arrivals, *w.slice)
     return arrivals
 
 

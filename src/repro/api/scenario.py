@@ -125,8 +125,28 @@ class WorkloadSpec:
     burst_size: int = 8
     #: mean quiet gap between bursts in cycles.
     burst_gap: float = 50000.0
+    #: campaign shard window ``(index, count)``: run only the
+    #: ``index``-th of ``count`` contiguous arrival slices (see
+    #: :func:`repro.workloads.slice_arrivals`).  ``None`` (the default)
+    #: runs the whole stream.  Unlike ``workers``, a slice changes what
+    #: the run computes, so it IS part of :meth:`Scenario.spec_hash`.
+    slice: Optional[Tuple[int, int]] = None
 
     def __post_init__(self):
+        if self.slice is not None:
+            # JSON decodes to lists; normalize to the hashable tuple.
+            object.__setattr__(self, "slice", tuple(self.slice))
+            _require(len(self.slice) == 2
+                     and all(isinstance(v, int)
+                             and not isinstance(v, bool)
+                             for v in self.slice),
+                     f"slice must be an [index, count] integer pair, got "
+                     f"{list(self.slice)!r}")
+            index, count = self.slice
+            _require(count >= 1,
+                     f"slice count must be >= 1, got {count!r}")
+            _require(0 <= index < count,
+                     f"slice index must be in [0, {count}), got {index!r}")
         _require(self.source in SOURCES,
                  f"unknown workload source {self.source!r}; expected one "
                  f"of {list(SOURCES)}")
@@ -160,7 +180,15 @@ class WorkloadSpec:
                  f"burst_gap must be > 0, got {self.burst_gap!r}")
 
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if data["slice"] is None:
+            # Absent-when-unset: an unsliced workload serializes exactly
+            # as it did before slices existed, so spec hashes, embedded
+            # scenarios, and golden files are untouched.
+            del data["slice"]
+        else:
+            data["slice"] = list(data["slice"])
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
@@ -647,6 +675,9 @@ class Scenario:
                      "speculation is only valid for stream and fleet "
                      "scenarios; queue drains already run every group "
                      "through the executor")
+            _require(self.workload.slice is None,
+                     "workload slices split an arrival timeline; queue "
+                     "scenarios have none (use kind='stream')")
         if self.faults is not None and self.faults.kind == "none":
             # Canonical form: a no-op FaultSpec IS the absent-spec path.
             object.__setattr__(self, "faults", None)

@@ -1,0 +1,45 @@
+"""The campaign layer: sharded, resumable sweeps with streaming merges.
+
+ROADMAP direction #3 — million-app campaigns — as a subsystem above
+the fleet/runtime stack (see ``docs/campaign.md``):
+
+* **spec** (:mod:`.spec`) — :class:`CampaignSpec`: base scenario ×
+  grid + shard strategy + resume policy, with the Scenario API's
+  validation / JSON round-trip / spec-hash discipline;
+* **plan** (:mod:`.plan`) — the deterministic shard planner
+  (``shard-strategies`` registry kind: ``by-point``,
+  ``by-trace-slice``) producing content-addressed
+  :class:`PlannedShard`\\ s;
+* **manifest** (:mod:`.manifest`) — the shard ↔ merge contract:
+  per-shard ``spec_hash`` / ``status`` / ``result_hash`` rows,
+  written atomically, readable from old ``repro sweep`` outputs too;
+* **driver** (:mod:`.driver`) — :func:`run_campaign`: multi-process
+  shard fan-out over the PR-2 executor pool, atomic per-shard
+  commits, checkpoint/resume that skips verified shards;
+* **result** (:mod:`.result`) — :func:`merge_campaign`: the
+  shard-ordered O(1)-memory fold into one :class:`CampaignResult`.
+
+The CLI front end is ``python -m repro campaign <campaign.json>
+--out-dir DIR [--resume] [--shard-workers N]``.
+"""
+
+from .driver import (COUNTERS_NAME, CampaignOutcome, run_campaign,
+                     shard_job)
+from .manifest import (MANIFEST_NAME, MANIFEST_SCHEMA_VERSION,
+                       RESULT_NAME, SWEEP_MANIFEST_NAME, atomic_write,
+                       committed_shards, load_manifest, manifest_dict,
+                       result_hash, write_manifest)
+from .plan import (CampaignPlan, PlannedShard, PlannedUnit,
+                   plan_campaign)
+from .result import CampaignResult, MergeError, merge_campaign
+from .spec import RESUME_POLICIES, CampaignSpec, ShardSpec
+
+__all__ = [
+    "CampaignSpec", "ShardSpec", "RESUME_POLICIES",
+    "CampaignPlan", "PlannedShard", "PlannedUnit", "plan_campaign",
+    "MANIFEST_NAME", "SWEEP_MANIFEST_NAME", "RESULT_NAME",
+    "MANIFEST_SCHEMA_VERSION", "manifest_dict", "write_manifest",
+    "load_manifest", "committed_shards", "result_hash", "atomic_write",
+    "CampaignResult", "MergeError", "merge_campaign",
+    "CampaignOutcome", "run_campaign", "shard_job", "COUNTERS_NAME",
+]

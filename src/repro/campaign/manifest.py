@@ -1,0 +1,214 @@
+"""The campaign manifest: the contract between shards and the merge.
+
+``campaign_manifest.json`` records, for every planned shard, its
+content address (``spec_hash``), its result file, its ``status``
+(``pending`` / ``done``), and the sha256 of the committed result file
+(``result_hash``).  The merge refuses to fold anything the manifest
+cannot vouch for, and resume skips exactly the shards whose committed
+bytes still match — which is what makes *kill → rerun → byte-identical
+output* a structural property instead of a hope.
+
+The same row schema extends ``repro sweep``'s per-point manifest
+(``sweep_manifest.json``), so an old sweep output directory is a valid
+resume source for a by-point campaign whose shards are single points:
+:func:`load_manifest` reads either layout.
+
+All writes are atomic (temp file + ``os.replace``) so a kill mid-write
+never leaves a torn manifest, and the manifest contains no volatile
+data (no timestamps, no host names) — a resumed campaign's final
+manifest is byte-identical to an uninterrupted one's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from .plan import CampaignPlan, PlannedShard
+
+#: Version of the campaign/sweep manifest row schema.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: File names inside a campaign / sweep output directory.
+MANIFEST_NAME = "campaign_manifest.json"
+SWEEP_MANIFEST_NAME = "sweep_manifest.json"
+RESULT_NAME = "campaign_result.json"
+
+STATUS_PENDING = "pending"
+STATUS_DONE = "done"
+
+
+def result_hash(text: Union[str, bytes]) -> str:
+    """sha256 content address of a committed result file."""
+    if isinstance(text, str):
+        text = text.encode("utf-8")
+    return hashlib.sha256(text).hexdigest()
+
+
+def atomic_write(path: Union[str, pathlib.Path], text: str) -> None:
+    """Write `text` to `path` with no torn intermediate state."""
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def manifest_dict(plan: CampaignPlan,
+                  statuses: Optional[Mapping[int, Dict[str, Any]]] = None
+                  ) -> Dict[str, Any]:
+    """The manifest encoding of `plan`.
+
+    `statuses` optionally maps shard index → ``{"status", "result_hash"}``
+    for shards already committed; everything else starts ``pending``.
+    """
+    statuses = statuses or {}
+    shards: List[Dict[str, Any]] = []
+    for shard in plan.shards:
+        row: Dict[str, Any] = {
+            "index": shard.index,
+            "file": shard.filename,
+            "spec_hash": shard.spec_hash,
+            "units": len(shard.units),
+            "overrides": [u.overrides for u in shard.units],
+            "status": STATUS_PENDING,
+            "result_hash": None,
+        }
+        row.update(statuses.get(shard.index, {}))
+        shards.append(row)
+    data: Dict[str, Any] = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "kind": "campaign",
+        "campaign_hash": plan.campaign_hash,
+        "shards": shards,
+    }
+    if plan.spec.name:
+        data["name"] = plan.spec.name
+    return data
+
+
+def manifest_json(data: Mapping[str, Any]) -> str:
+    """Canonical manifest encoding (byte-identical across equal plans)."""
+    return json.dumps(data, sort_keys=True, indent=2) + "\n"
+
+
+def write_manifest(out_dir: Union[str, pathlib.Path],
+                   data: Mapping[str, Any]) -> pathlib.Path:
+    path = pathlib.Path(out_dir) / MANIFEST_NAME
+    atomic_write(path, manifest_json(data))
+    return path
+
+
+def load_manifest(out_dir: Union[str, pathlib.Path]
+                  ) -> Optional[Dict[str, Any]]:
+    """The manifest in `out_dir`, normalized to campaign row form.
+
+    Reads ``campaign_manifest.json``, falling back to a ``repro
+    sweep`` manifest (``sweep_manifest.json``) whose ``points`` rows
+    are translated into shard rows — old sweep outputs predating the
+    status/result_hash fields resume too (their rows arrive with
+    ``status="done"`` and no result hash; the ``verify`` policy then
+    checks the file's embedded spec hash instead).  Returns ``None``
+    when the directory has no manifest at all.
+    """
+    out_dir = pathlib.Path(out_dir)
+    path = out_dir / MANIFEST_NAME
+    if path.exists():
+        data = json.loads(path.read_text())
+        _check_version(data, str(path))
+        return data
+    sweep_path = out_dir / SWEEP_MANIFEST_NAME
+    if not sweep_path.exists():
+        return None
+    data = json.loads(sweep_path.read_text())
+    _check_version(data, str(sweep_path))
+    shards = []
+    for point in data.get("points", []):
+        shards.append({
+            "index": point["index"],
+            "file": point["file"],
+            "spec_hash": point.get("spec_hash"),
+            "units": 1,
+            "overrides": [point.get("overrides", {})],
+            # Pre-manifest-v1 sweeps wrote every point before the
+            # manifest, so a listed point is a committed one.
+            "status": point.get("status", STATUS_DONE),
+            "result_hash": point.get("result_hash"),
+        })
+    return {
+        "schema_version": data.get("schema_version",
+                                   MANIFEST_SCHEMA_VERSION),
+        "kind": "sweep",
+        "campaign_hash": None,
+        "shards": shards,
+    }
+
+
+def _check_version(data: Mapping[str, Any], context: str) -> None:
+    version = data.get("schema_version", MANIFEST_SCHEMA_VERSION)
+    if version != MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"{context}: unsupported manifest schema_version "
+            f"{version!r}; this build reads version "
+            f"{MANIFEST_SCHEMA_VERSION}")
+
+
+def _verify_embedded_hash(path: pathlib.Path,
+                          shard: PlannedShard) -> bool:
+    """Fallback verification for rows without a result hash (old sweep
+    manifests): a single-unit shard file is a ``RunResult`` whose
+    provenance carries the scenario's spec hash."""
+    if len(shard.units) != 1:
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return (data.get("provenance", {}).get("spec_hash")
+            == shard.spec_hash)
+
+
+def committed_shards(out_dir: Union[str, pathlib.Path],
+                     plan: CampaignPlan,
+                     manifest: Optional[Mapping[str, Any]],
+                     policy: str) -> Dict[int, Dict[str, Any]]:
+    """Which planned shards are already committed in `out_dir`.
+
+    A shard counts as committed when a manifest row with its index is
+    ``done``, the row's ``spec_hash`` matches the *plan's* (content
+    addressing: a changed spec never reuses stale results), and its
+    file exists.  Under the ``verify`` policy the file's sha256 must
+    additionally match the row's ``result_hash`` (recomputed from the
+    file when the row predates result hashes, after checking the
+    embedded spec hash).  Returns shard index →
+    ``{"status", "result_hash"}`` ready for :func:`manifest_dict`.
+    """
+    if manifest is None:
+        return {}
+    out_dir = pathlib.Path(out_dir)
+    rows = {row.get("index"): row
+            for row in manifest.get("shards", [])}
+    committed: Dict[int, Dict[str, Any]] = {}
+    for shard in plan.shards:
+        row = rows.get(shard.index)
+        if row is None or row.get("status") != STATUS_DONE:
+            continue
+        if row.get("spec_hash") != shard.spec_hash:
+            continue
+        path = out_dir / row["file"]
+        if not path.exists():
+            continue
+        digest = result_hash(path.read_bytes())
+        if policy == "verify":
+            expected = row.get("result_hash")
+            if expected is not None:
+                if digest != expected:
+                    continue
+            elif not _verify_embedded_hash(path, shard):
+                continue
+        committed[shard.index] = {"status": STATUS_DONE,
+                                  "result_hash": digest,
+                                  "file": row["file"]}
+    return committed

@@ -1,0 +1,156 @@
+"""The shard planner: a :class:`CampaignSpec` → content-addressed shards.
+
+Planning is pure and deterministic: the same spec always produces the
+same :class:`CampaignPlan` — same unit scenarios, same shard chunking,
+same per-shard spec hashes and file names — which is what makes a
+manifest from one invocation verifiable by the next.
+
+Shard strategies are registry components (kind ``shard-strategies``),
+so downstream code can plug in its own splitter::
+
+    @REGISTRY.register("shard-strategies", "my-split")
+    def _make():
+        def split(spec):            # -> List[PlannedUnit]
+            ...
+        return split
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.api.registry import REGISTRY
+from repro.api.scenario import Scenario
+from repro.api.sweep import expand_grid
+
+from .spec import CampaignSpec
+
+
+@dataclass(frozen=True)
+class PlannedUnit:
+    """One runnable scenario of a campaign (a grid point, or one slice
+    of a grid point's arrival stream)."""
+
+    scenario: Scenario
+    #: dotted-path overrides that turn the campaign base into this
+    #: unit's scenario (grid overrides plus ``workload.slice`` for
+    #: sliced units) — the manifest's human-readable identity.
+    overrides: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class PlannedShard:
+    """One unit of checkpointing: a chunk of consecutive units."""
+
+    index: int
+    spec_hash: str
+    filename: str
+    units: Tuple[PlannedUnit, ...]
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The full deterministic execution plan of one campaign."""
+
+    spec: CampaignSpec
+    campaign_hash: str
+    shards: Tuple[PlannedShard, ...]
+
+    @property
+    def total_units(self) -> int:
+        return sum(len(s.units) for s in self.shards)
+
+
+def _shard_hash(units: Tuple[PlannedUnit, ...]) -> str:
+    """Content address of a shard.
+
+    A single-unit shard's hash IS its scenario's ``spec_hash()`` — the
+    same value ``repro sweep`` stamps into its manifest, which is what
+    lets a campaign resume from an old sweep output directory.
+    Multi-unit shards hash the joined unit hashes.
+    """
+    hashes = [u.scenario.spec_hash() for u in units]
+    if len(hashes) == 1:
+        return hashes[0]
+    joined = "\n".join(hashes)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+def _shard_filename(spec: CampaignSpec, index: int,
+                    spec_hash: str) -> str:
+    stem = spec.name or spec.base.name or "campaign"
+    safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in stem)
+    return f"{safe}_shard_{index:04d}_{spec_hash[:10]}.json"
+
+
+def _chunk(units: List[PlannedUnit], size: int
+           ) -> List[Tuple[PlannedUnit, ...]]:
+    return [tuple(units[i:i + size]) for i in range(0, len(units), size)]
+
+
+def _point_units(spec: CampaignSpec) -> List[PlannedUnit]:
+    """One unit per grid point, in sweep expansion order."""
+    return [PlannedUnit(scenario=scenario, overrides=dict(overrides))
+            for overrides, scenario
+            in expand_grid(spec.base.to_dict(), spec.grid)]
+
+
+def _slice_units(spec: CampaignSpec) -> List[PlannedUnit]:
+    """Each grid point split into contiguous arrival slices.
+
+    The full arrival stream is built once per point (cheap — no
+    simulation) to count arrivals; the slice count is
+    ``ceil(arrivals / slice_apps)`` and each slice becomes a unit whose
+    scenario carries ``workload.slice = (k, count)``.  A point whose
+    stream fits in one slice stays unsliced, so its unit hash equals
+    the plain point hash.
+    """
+    from repro.api.runner import build_arrivals
+    target = spec.shard.slice_apps
+    units: List[PlannedUnit] = []
+    for overrides, scenario in expand_grid(spec.base.to_dict(),
+                                           spec.grid):
+        arrivals = len(build_arrivals(scenario))
+        count = max(1, -(-arrivals // target))
+        if count == 1:
+            units.append(PlannedUnit(scenario=scenario,
+                                     overrides=dict(overrides)))
+            continue
+        for k in range(count):
+            workload = dataclasses.replace(scenario.workload,
+                                           slice=(k, count))
+            sliced = dataclasses.replace(scenario, workload=workload)
+            unit_overrides = dict(overrides)
+            unit_overrides["workload.slice"] = [k, count]
+            units.append(PlannedUnit(scenario=sliced,
+                                     overrides=unit_overrides))
+    return units
+
+
+def plan_campaign(spec: CampaignSpec) -> CampaignPlan:
+    """Expand, split, and chunk `spec` into its deterministic plan."""
+    splitter = REGISTRY.create("shard-strategies", spec.shard.strategy)
+    units = splitter(spec)
+    shards: List[PlannedShard] = []
+    for index, chunk in enumerate(_chunk(units,
+                                         spec.shard.max_shard_size)):
+        digest = _shard_hash(chunk)
+        shards.append(PlannedShard(
+            index=index, spec_hash=digest,
+            filename=_shard_filename(spec, index, digest),
+            units=chunk))
+    return CampaignPlan(spec=spec, campaign_hash=spec.spec_hash(),
+                        shards=tuple(shards))
+
+
+# -- registry wiring ---------------------------------------------------------
+# The factory contract is ``factory() -> splitter`` where
+# ``splitter(spec) -> List[PlannedUnit]`` in deterministic order.
+
+REGISTRY.register("shard-strategies", "by-point",
+                  lambda: _point_units)
+REGISTRY.register("shard-strategies", "by-trace-slice",
+                  lambda: _slice_units)

@@ -9,6 +9,11 @@ Subcommands
 ``sweep``
     Expand a base scenario × parameter grid into scenarios and run each
     point, writing one results JSON per point plus a manifest.
+``campaign``
+    Run a sharded, resumable campaign (base scenario × grid cut into
+    content-addressed shards) to a manifest-verified merged result;
+    ``--resume`` skips shards already committed in the output
+    directory (see ``docs/campaign.md``).
 ``profile``
     Solo-profile benchmarks and print their Table 3.2 metric rows.
 ``classify``
@@ -55,6 +60,8 @@ from repro.api import (REGISTRY, AdmissionSpec, DeviceSpec, ExecutionSpec,
                        FaultSpec, PlacementSpec, PolicySpec, RunResult,
                        Scenario, SpeculationSpec, WorkloadSpec, load_sweep,
                        point_filename, run_scenario)
+from repro.campaign import (MANIFEST_SCHEMA_VERSION, CampaignSpec,
+                            result_hash, run_campaign)
 from repro.core import (CLASS_ORDER, ClassificationThresholds, classify,
                         make_context, shared_profiler)
 from repro.gpusim import Application, gtx480, simulate
@@ -497,9 +504,14 @@ def cmd_sweep(args) -> int:
             result = _run_or_exit(scenario, _executor_for(scenario))
             filename = point_filename(scenario, index)
             _write_result(result, out_dir / filename)
+            # The campaign manifest row schema (status + result_hash on
+            # top of index/file/spec_hash): a finished sweep directory
+            # is a valid resume source for a by-point campaign.
             manifest.append({"index": index, "overrides": overrides,
                              "file": filename,
-                             "spec_hash": result.provenance["spec_hash"]})
+                             "spec_hash": result.provenance["spec_hash"],
+                             "status": "done",
+                             "result_hash": result_hash(result.to_json())})
             shown = ", ".join(f"{k}={v}" for k, v in overrides.items())
             print(f"[{index + 1}/{len(points)}] {filename}"
                   + (f"  ({shown})" if shown else ""))
@@ -507,8 +519,44 @@ def cmd_sweep(args) -> int:
         for pool in executors.values():
             pool.close()
     (out_dir / "sweep_manifest.json").write_text(
-        json.dumps({"points": manifest}, sort_keys=True, indent=2) + "\n")
+        json.dumps({"schema_version": MANIFEST_SCHEMA_VERSION,
+                    "kind": "sweep", "points": manifest},
+                   sort_keys=True, indent=2) + "\n")
     print(f"\n{len(points)} point(s) written to {out_dir}")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    try:
+        spec = CampaignSpec.from_json(
+            pathlib.Path(args.campaign).read_text())
+    except ValueError as exc:
+        raise SystemExit(f"{args.campaign}: {exc}") from None
+    try:
+        outcome = run_campaign(spec, args.out_dir, resume=args.resume,
+                               shard_workers=args.shard_workers,
+                               max_shards=args.max_shards,
+                               progress=print)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(f"\n{outcome.shards_run} shard(s) run, "
+          f"{outcome.shards_skipped} skipped, "
+          f"{outcome.shards_total} total in {args.out_dir}")
+    if not outcome.complete:
+        print(f"campaign incomplete "
+              f"({outcome.shards_total - outcome.shards_run - outcome.shards_skipped} "
+              f"shard(s) pending) — rerun with --resume to continue")
+        return 3
+    result = outcome.result
+    rows = [[key, value]
+            for key, value in sorted(result.metrics.items())
+            if not isinstance(value, (list, dict))]
+    label = result.name or spec.base.kind
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"campaign {label!r} ({result.metrics['shards']} shard(s), "
+              f"hash {result.provenance['campaign_hash'][:10]})"))
+    print(f"wrote merged result to {outcome.result_path}")
     return 0
 
 
@@ -730,6 +778,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_positive_int, default=None,
                    help="override every point's worker count")
 
+    p = sub.add_parser("campaign", help="run a sharded, resumable "
+                                        "campaign to a merged result")
+    p.add_argument("campaign", help="path to a campaign .json file "
+                                    "({'base': scenario, 'grid': {...}, "
+                                    "'shard': {...}})")
+    p.add_argument("--out-dir", default="campaign-results",
+                   help="directory for shard results, the manifest, and "
+                        "the merged result (default campaign-results)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip shards already committed in --out-dir "
+                        "(verified per the spec's resume policy)")
+    p.add_argument("--shard-workers", type=_positive_int, default=1,
+                   help="worker processes for the shard fan-out "
+                        "(results are byte-identical for any value)")
+    p.add_argument("--max-shards", type=_positive_int, default=None,
+                   help="commit at most N pending shards then stop "
+                        "without merging (exit 3; the deterministic "
+                        "interruption the CI resume test uses)")
+
     p = sub.add_parser("profile", help="solo-profile benchmarks")
     p.add_argument("benchmarks", nargs="*", help="benchmark names "
                    "(default: all)")
@@ -895,6 +962,7 @@ COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
     "sweep": cmd_sweep,
+    "campaign": cmd_campaign,
     "profile": cmd_profile,
     "classify": cmd_classify,
     "interference": cmd_interference,

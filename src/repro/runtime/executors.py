@@ -95,6 +95,34 @@ def _profile_job(args) -> ProfileMetrics:
     return Profiler(config, cache_dir=cache_dir).profile(name, spec)
 
 
+class _LazyJobFuture:
+    """Future-alike that runs an arbitrary job on first ``result()``.
+
+    :meth:`SerialExecutor.submit_job` returns these so generic
+    fan-out call sites (the campaign shard driver) can use one
+    submit/collect code path for serial and pooled execution.
+    """
+
+    __slots__ = ("_call", "_value")
+
+    def __init__(self, fn, args):
+        self._call = (fn, args)
+        self._value = None
+
+    def result(self):
+        if self._call is not None:
+            fn, args = self._call
+            self._value = fn(*args)
+            self._call = None
+        return self._value
+
+    def cancel(self) -> bool:
+        if self._call is not None:
+            self._call = None
+            return True
+        return False
+
+
 class _LazyGroupFuture:
     """Future-alike that simulates on first ``result()`` call.
 
@@ -158,6 +186,18 @@ class Executor:
         """
         raise NotImplementedError
 
+    def submit_job(self, fn, *args):
+        """Submit an arbitrary picklable ``fn(*args)`` job.
+
+        The generic sibling of :meth:`submit_group` for work that is
+        not a group simulation — the campaign layer fans whole shard
+        runs out through it.  The serial executor returns a lazy
+        future (the job runs when ``result()`` is first called), the
+        process pool a real ``Future``; either way ``result()``
+        returns ``fn(*args)``.
+        """
+        raise NotImplementedError
+
     def run_pairs(self, config: GPUConfig,
                   pairs: Sequence[Tuple[Entry, Entry]],
                   max_cycles: int = DEFAULT_MAX_CYCLES
@@ -198,6 +238,9 @@ class SerialExecutor(Executor):
     def submit_group(self, group, config, smra_params=SMRAParams(),
                      max_cycles=DEFAULT_MAX_CYCLES):
         return _LazyGroupFuture((group, config, smra_params, max_cycles))
+
+    def submit_job(self, fn, *args):
+        return _LazyJobFuture(fn, args)
 
     def run_pairs(self, config, pairs, max_cycles=DEFAULT_MAX_CYCLES):
         return [_pair_job((config, a, b, max_cycles)) for a, b in pairs]
@@ -256,6 +299,9 @@ class ParallelExecutor(Executor):
         # virtual clock is blocked on.
         return self._ensure_pool().submit(
             _group_job, (group, config, smra_params, max_cycles))
+
+    def submit_job(self, fn, *args):
+        return self._ensure_pool().submit(fn, *args)
 
     def run_pairs(self, config, pairs, max_cycles=DEFAULT_MAX_CYCLES):
         return self._map(_pair_job,

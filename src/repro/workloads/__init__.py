@@ -7,7 +7,8 @@ from .rodinia import (ALL_BENCHMARKS, BENCHMARK_ORDER, RODINIA_SPECS,
                       TABLE_3_2_CLASSES, base_benchmark_name, benchmark_spec,
                       make_application)
 from .streams import (batch_arrivals, bursty_arrivals, load_trace,
-                      poisson_arrivals, stream_queue, trace_arrivals)
+                      poisson_arrivals, slice_arrivals, stream_queue,
+                      trace_arrivals)
 from .synthetic import CLASSES, synthetic_spec
 
 __all__ = [
@@ -19,5 +20,5 @@ __all__ = [
     "PAPER_QUEUE_ORDER", "PAPER_QUEUE_ORDER_THREE",
     "synthetic_spec", "CLASSES",
     "stream_queue", "batch_arrivals", "poisson_arrivals", "bursty_arrivals",
-    "trace_arrivals", "load_trace",
+    "trace_arrivals", "load_trace", "slice_arrivals",
 ]

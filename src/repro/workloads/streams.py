@@ -165,6 +165,32 @@ def load_trace(path: Union[str, pathlib.Path],
     return trace_arrivals(text.splitlines(), scale=scale)
 
 
+def slice_arrivals(arrivals: Sequence[Arrival], index: int,
+                   count: int) -> List[Arrival]:
+    """The `index`-th of `count` contiguous slices of an arrival list.
+
+    The deterministic split behind campaign trace sharding
+    (``WorkloadSpec.slice``): arrivals keep their original order and
+    cycles, slice sizes differ by at most one (the first ``n % count``
+    slices take the extra arrival), and concatenating slices
+    ``0..count-1`` reproduces the input exactly.  Every slice is
+    non-empty — `count` may not exceed the number of arrivals.
+    """
+    if count < 1:
+        raise ValueError(f"slice count must be >= 1, got {count!r}")
+    if not 0 <= index < count:
+        raise ValueError(f"slice index must be in [0, {count}), got "
+                         f"{index!r}")
+    n = len(arrivals)
+    if count > n:
+        raise ValueError(f"cannot split {n} arrival(s) into {count} "
+                         f"non-empty slices")
+    base, extra = divmod(n, count)
+    start = index * base + min(index, extra)
+    size = base + (1 if index < extra else 0)
+    return list(arrivals[start:start + size])
+
+
 # -- registry wiring ---------------------------------------------------------
 # Arrival processes under the ``streams`` registry kind.  The factory
 # contract is ``factory(queue, **params) -> List[Arrival]`` where

@@ -88,6 +88,29 @@ class TestSummarizeStream:
         with pytest.raises(ValueError, match="missing solo"):
             summarize_stream(two_app_outcome(), {"a": 100})
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            summarize_stream(_FakeOutcome({}, 0), {})
+    def test_empty_is_all_zero_summary(self):
+        # Zero completions (e.g. admission control rejected every
+        # arrival) must not crash in percentile(): defined semantics
+        # are an all-zero scorecard with apps == 0 as the flag.
+        s = summarize_stream(_FakeOutcome({}, 0), {})
+        assert s.apps == 0
+        assert s.antt == 0.0
+        assert s.stp == 0.0
+        assert s.wait_p99 == 0.0
+        assert s.latency_p50 == 0.0
+        assert s.policy == "Fake"
+
+    def test_empty_streaming_matches_in_memory(self):
+        exact = summarize_stream(_FakeOutcome({}, 0), {})
+        stream = summarize_stream(_FakeOutcome({}, 0), {},
+                                  streaming=True)
+        assert stream == exact
+
+    def test_streaming_matches_exact_small_n(self):
+        solo = {"a": 100, "b": 100}
+        exact = summarize_stream(two_app_outcome(), solo)
+        stream = summarize_stream(two_app_outcome(), solo,
+                                  streaming=True)
+        # Below exact_limit the estimators buffer raw values, so the
+        # streaming path is bit-identical, not just approximate.
+        assert stream == exact

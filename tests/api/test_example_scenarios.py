@@ -5,7 +5,8 @@ test loads *all* of ``examples/scenarios/*.json`` through the strict
 ``Scenario.from_dict`` decoder so schema drift (a renamed field, a
 retired registry name, a stale ``schema_version``) fails tier-1
 immediately instead of surfacing only in the smoke job that happens to
-touch the broken file.
+touch the broken file.  Campaign documents (recognized by their
+``base`` key) route through ``CampaignSpec`` the same way.
 """
 
 import json
@@ -13,17 +14,21 @@ import pathlib
 
 import pytest
 
-from repro.api import Scenario
+from repro.api import CampaignSpec, Scenario
 
 SCENARIO_DIR = (pathlib.Path(__file__).resolve().parents[2]
                 / "examples" / "scenarios")
-SCENARIO_FILES = sorted(SCENARIO_DIR.glob("*.json"))
+ALL_FILES = sorted(SCENARIO_DIR.glob("*.json"))
+CAMPAIGN_FILES = [p for p in ALL_FILES
+                  if "base" in json.loads(p.read_text())]
+SCENARIO_FILES = [p for p in ALL_FILES if p not in CAMPAIGN_FILES]
 
 
 def test_scenario_examples_exist():
     # A glob that silently matches nothing would turn the parametrized
-    # test below into a vacuous pass.
+    # tests below into a vacuous pass.
     assert len(SCENARIO_FILES) >= 4
+    assert len(CAMPAIGN_FILES) >= 1
 
 
 @pytest.mark.parametrize("path", SCENARIO_FILES,
@@ -49,3 +54,18 @@ def test_example_scenario_spec_hash_is_stable(path):
     scenario = Scenario.from_json(path.read_text())
     assert scenario.spec_hash() == \
         Scenario.from_json(scenario.to_json()).spec_hash()
+
+
+@pytest.mark.parametrize("path", CAMPAIGN_FILES,
+                         ids=lambda p: p.name)
+def test_example_campaign_round_trips(path):
+    campaign = CampaignSpec.from_json(path.read_text())
+    assert CampaignSpec.from_dict(campaign.to_dict()) == campaign
+    assert CampaignSpec.from_json(campaign.to_json()) == campaign
+    assert CampaignSpec.from_json(campaign.to_json()).to_json() == \
+        campaign.to_json()
+    data = json.loads(path.read_text())
+    assert "schema_version" in data
+    assert campaign.name
+    assert campaign.spec_hash() == \
+        CampaignSpec.from_json(campaign.to_json()).spec_hash()

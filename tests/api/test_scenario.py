@@ -267,3 +267,49 @@ class TestSpecHash:
         scenario = queue_scenario()
         assert len(scenario.spec_hash()) == 64
         assert json.loads(scenario.to_json())  # sanity: valid JSON doc
+
+
+class TestWorkloadSlice:
+    """WorkloadSpec.slice — the campaign by-trace-slice handle."""
+
+    def test_round_trip(self):
+        scenario = stream_scenario(slice=(1, 3))
+        rebuilt = Scenario.from_json(scenario.to_json())
+        assert rebuilt.workload.slice == (1, 3)
+        assert rebuilt == scenario
+
+    def test_list_normalized_to_tuple(self):
+        scenario = stream_scenario(slice=[0, 2])
+        assert scenario.workload.slice == (0, 2)
+
+    def test_absent_when_none(self):
+        # Hash/golden stability: an unsliced workload serializes with
+        # no "slice" key at all, byte-identical to pre-campaign repos.
+        assert "slice" not in stream_scenario().to_dict()["workload"]
+
+    def test_slice_changes_spec_hash(self):
+        # Unlike workers, a slice changes the simulated arrivals, so
+        # it IS part of the scenario's identity.
+        assert stream_scenario(slice=(0, 2)).spec_hash() != \
+            stream_scenario().spec_hash()
+        assert stream_scenario(slice=(0, 2)).spec_hash() != \
+            stream_scenario(slice=(1, 2)).spec_hash()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="slice"):
+            stream_scenario(slice=(0,))
+        with pytest.raises(ValueError, match="slice"):
+            stream_scenario(slice=(2, 2))
+        with pytest.raises(ValueError, match="slice"):
+            stream_scenario(slice=(-1, 2))
+        with pytest.raises(ValueError, match="slice"):
+            stream_scenario(slice=(0, 0))
+        with pytest.raises(ValueError, match="slice"):
+            stream_scenario(slice=(True, 2))
+
+    def test_queue_scenarios_reject_slices(self):
+        workload = WorkloadSpec(source="distribution", distribution="M",
+                                length=8, seed=7, slice=(0, 2))
+        with pytest.raises(ValueError, match="slice"):
+            Scenario(kind="queue", workload=workload,
+                     policy=PolicySpec(name="ilp", nc=2))

@@ -1,0 +1,26 @@
+"""Shared campaign test fixtures: one tiny, fast base scenario."""
+
+import pytest
+
+from repro.api import PolicySpec, Scenario, WorkloadSpec
+from repro.campaign import CampaignSpec, ShardSpec
+
+
+def tiny_stream_scenario(**workload_overrides):
+    workload = dict(source="stream", apps=4, synthetic_fraction=0.0,
+                    scale=0.1, seed=11, arrival="poisson",
+                    mean_gap=4000.0)
+    workload.update(workload_overrides)
+    return Scenario(kind="stream", name="tiny",
+                    workload=WorkloadSpec(**workload),
+                    policy=PolicySpec(name="fcfs", nc=2))
+
+
+@pytest.fixture
+def tiny_campaign():
+    """Three one-point shards over seeds 1..3."""
+    return CampaignSpec(base=tiny_stream_scenario(),
+                        grid={"workload.seed": [1, 2, 3]},
+                        shard=ShardSpec(strategy="by-point",
+                                        max_shard_size=1),
+                        name="tiny-campaign")

@@ -1,0 +1,208 @@
+"""End-to-end campaign driver tests.
+
+The load-bearing one is the ISSUE acceptance criterion: a campaign
+killed after k of n shards and rerun with ``--resume`` produces a
+merged result **byte-identical** to an uninterrupted run — at
+``shard_workers`` 1 and 4 — with spec hashes and per-shard result
+hashes verified along the way.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign import (COUNTERS_NAME, CampaignSpec, MergeError,
+                            ShardSpec, merge_campaign, plan_campaign,
+                            run_campaign, shard_job)
+
+from .conftest import tiny_stream_scenario
+
+
+def _bytes(path):
+    return path.read_bytes()
+
+
+class TestRunCampaign:
+    def test_fresh_run_commits_everything(self, tiny_campaign, tmp_path):
+        outcome = run_campaign(tiny_campaign, tmp_path)
+        assert outcome.complete
+        assert (outcome.shards_total, outcome.shards_skipped,
+                outcome.shards_run) == (3, 0, 3)
+        manifest = json.loads(_bytes(outcome.manifest_path))
+        assert all(row["status"] == "done"
+                   for row in manifest["shards"])
+        result = json.loads(_bytes(outcome.result_path))
+        assert result["metrics"]["shards"] == 3
+        assert result["metrics"]["apps"] == 12  # 3 points x 4 apps
+        assert result["provenance"]["campaign_hash"] == \
+            tiny_campaign.spec_hash()
+
+    def test_kill_resume_byte_identity(self, tiny_campaign, tmp_path):
+        # Uninterrupted reference run.
+        full = tmp_path / "full"
+        run_campaign(tiny_campaign, full)
+
+        for workers in (1, 4):
+            out = tmp_path / f"interrupted-w{workers}"
+            # "Kill" after 1 of 3 shards: max_shards is the
+            # deterministic interruption switch.
+            first = run_campaign(tiny_campaign, out, max_shards=1)
+            assert not first.complete
+            assert first.result is None
+            assert first.shards_run == 1
+            # Resume with a different worker count than the reference.
+            second = run_campaign(tiny_campaign, out, resume=True,
+                                  shard_workers=workers)
+            assert second.complete
+            assert second.shards_skipped == 1
+            assert second.shards_run == 2
+            assert _bytes(out / "campaign_result.json") == \
+                _bytes(full / "campaign_result.json")
+            assert _bytes(out / "campaign_manifest.json") == \
+                _bytes(full / "campaign_manifest.json")
+
+    def test_resume_of_complete_campaign_skips_all(self, tiny_campaign,
+                                                   tmp_path):
+        run_campaign(tiny_campaign, tmp_path)
+        before = _bytes(tmp_path / "campaign_result.json")
+        again = run_campaign(tiny_campaign, tmp_path, resume=True)
+        assert again.complete
+        assert again.shards_skipped == 3
+        assert again.shards_run == 0
+        assert _bytes(tmp_path / "campaign_result.json") == before
+
+    def test_without_resume_flag_everything_reruns(self, tiny_campaign,
+                                                   tmp_path):
+        run_campaign(tiny_campaign, tmp_path)
+        again = run_campaign(tiny_campaign, tmp_path)
+        assert again.shards_skipped == 0
+        assert again.shards_run == 3
+
+    def test_verify_policy_reruns_corrupted_shard(self, tiny_campaign,
+                                                  tmp_path):
+        outcome = run_campaign(tiny_campaign, tmp_path)
+        good = _bytes(tmp_path / "campaign_result.json")
+        shard_file = json.loads(_bytes(outcome.manifest_path))[
+            "shards"][1]["file"]
+        (tmp_path / shard_file).write_text("torn write\n")
+        resumed = run_campaign(tiny_campaign, tmp_path, resume=True)
+        assert resumed.shards_skipped == 2
+        assert resumed.shards_run == 1
+        assert _bytes(tmp_path / "campaign_result.json") == good
+
+    def test_counters_are_a_side_channel(self, tiny_campaign, tmp_path):
+        outcome = run_campaign(tiny_campaign, tmp_path)
+        counters = json.loads(_bytes(tmp_path / COUNTERS_NAME))
+        metrics = counters["metrics"]
+        assert metrics["campaign.shards.planned"] == 3
+        assert metrics["campaign.shards.run"] == 3
+        assert metrics["campaign.units.planned"] == 3
+        assert metrics["campaign.apps.merged"] == 12
+        assert {"plan", "run", "merge"} <= set(counters["phases"])
+        # Counters never leak into the merged result (they differ
+        # between fresh and resumed runs; the result must not).
+        result = json.loads(_bytes(outcome.result_path))
+        assert "counters" not in result
+        text = result["provenance"]
+        assert "phases" not in text
+
+    def test_max_shards_validated(self, tiny_campaign, tmp_path):
+        with pytest.raises(ValueError, match="max_shards"):
+            run_campaign(tiny_campaign, tmp_path, max_shards=0)
+
+    def test_multi_unit_shards_merge_identically(self, tiny_campaign,
+                                                 tmp_path):
+        # Same campaign, chunked 2+1 instead of 1+1+1: merged metrics
+        # agree with the by-point run on everything except the shard
+        # bookkeeping (same units, same records, same fold order).
+        chunked = dataclasses.replace(tiny_campaign,
+                                      shard=ShardSpec(max_shard_size=2))
+        run_campaign(tiny_campaign, tmp_path / "single")
+        run_campaign(chunked, tmp_path / "chunked")
+        single = json.loads(_bytes(
+            tmp_path / "single" / "campaign_result.json"))
+        multi = json.loads(_bytes(
+            tmp_path / "chunked" / "campaign_result.json"))
+        assert multi["metrics"]["shards"] == 2
+        for key, value in single["metrics"].items():
+            if key == "shards":
+                continue
+            assert multi["metrics"][key] == pytest.approx(
+                value, rel=1e-12), key
+
+    def test_trace_slice_campaign_covers_all_arrivals(self, tmp_path):
+        spec = CampaignSpec(
+            base=tiny_stream_scenario(apps=10),
+            shard=ShardSpec(strategy="by-trace-slice", slice_apps=4),
+            name="sliced")
+        outcome = run_campaign(spec, tmp_path)
+        assert outcome.complete
+        result = json.loads(_bytes(outcome.result_path))
+        assert result["metrics"]["units"] == 3
+        assert result["metrics"]["apps"] == 10
+
+
+class TestShardJob:
+    def test_single_unit_matches_repro_run_bytes(self, tiny_campaign):
+        from repro.api import run_scenario
+        from repro.runtime import SerialExecutor
+        scenario = plan_campaign(tiny_campaign).shards[0].units[0] \
+            .scenario
+        text = shard_job([scenario.to_dict()])
+        direct = run_scenario(scenario, executor=SerialExecutor())
+        assert text == direct.to_json()
+
+    def test_multi_unit_wrapper(self, tiny_campaign):
+        plan = plan_campaign(tiny_campaign)
+        dicts = [s.units[0].scenario.to_dict() for s in plan.shards[:2]]
+        data = json.loads(shard_job(dicts))
+        assert data["kind"] == "campaign-shard"
+        assert len(data["results"]) == 2
+
+
+class TestMergeErrors:
+    def test_incomplete_campaign_refused(self, tiny_campaign, tmp_path):
+        from repro.campaign import manifest_dict
+        plan = plan_campaign(tiny_campaign)
+        with pytest.raises(MergeError, match="not committed"):
+            merge_campaign(plan, tmp_path, manifest_dict(plan))
+
+    def test_hash_mismatch_refused(self, tiny_campaign, tmp_path):
+        outcome = run_campaign(tiny_campaign, tmp_path)
+        manifest = json.loads(_bytes(outcome.manifest_path))
+        shard_file = manifest["shards"][0]["file"]
+        (tmp_path / shard_file).write_text("{}\n")
+        plan = plan_campaign(tiny_campaign)
+        with pytest.raises(MergeError, match="hash"):
+            merge_campaign(plan, tmp_path, manifest)
+
+    def test_missing_file_refused(self, tiny_campaign, tmp_path):
+        outcome = run_campaign(tiny_campaign, tmp_path)
+        manifest = json.loads(_bytes(outcome.manifest_path))
+        (tmp_path / manifest["shards"][2]["file"]).unlink()
+        plan = plan_campaign(tiny_campaign)
+        with pytest.raises(MergeError, match="missing"):
+            merge_campaign(plan, tmp_path, manifest)
+
+
+class TestSweepDirResume:
+    def test_campaign_resumes_from_sweep_output(self, tiny_campaign,
+                                                tmp_path, capsys):
+        # A repro sweep over the same base x grid leaves point files
+        # plus sweep_manifest.json; the campaign recognizes them as
+        # committed single-unit shards (shared content addressing) and
+        # goes straight to the merge.
+        from repro.cli import main
+        sweep = tmp_path / "sweep.json"
+        sweep.write_text(json.dumps({
+            "base": tiny_campaign.base.to_dict(),
+            "grid": tiny_campaign.grid}))
+        out = tmp_path / "out"
+        assert main(["sweep", str(sweep), "--out-dir", str(out)]) == 0
+        outcome = run_campaign(tiny_campaign, out, resume=True)
+        assert outcome.complete
+        assert outcome.shards_skipped == 3
+        assert outcome.shards_run == 0
+        result = json.loads(_bytes(outcome.result_path))
+        assert result["metrics"]["apps"] == 12

@@ -1,0 +1,96 @@
+"""Shard planner tests: determinism, chunking, content addressing."""
+
+import dataclasses
+
+from repro.campaign import CampaignSpec, ShardSpec, plan_campaign
+
+from .conftest import tiny_stream_scenario
+
+
+class TestByPoint:
+    def test_one_shard_per_point(self, tiny_campaign):
+        plan = plan_campaign(tiny_campaign)
+        assert len(plan.shards) == 3
+        assert plan.total_units == 3
+        assert [s.index for s in plan.shards] == [0, 1, 2]
+        seeds = [s.units[0].scenario.workload.seed for s in plan.shards]
+        assert seeds == [1, 2, 3]
+
+    def test_single_unit_shard_hash_is_scenario_hash(self, tiny_campaign):
+        # The content address sweep manifests already carry — what lets
+        # a campaign resume from an old sweep output directory.
+        plan = plan_campaign(tiny_campaign)
+        for shard in plan.shards:
+            assert shard.spec_hash == shard.units[0].scenario.spec_hash()
+
+    def test_chunking(self, tiny_campaign):
+        spec = dataclasses.replace(tiny_campaign,
+                                   shard=ShardSpec(max_shard_size=2))
+        plan = plan_campaign(spec)
+        assert [len(s.units) for s in plan.shards] == [2, 1]
+        assert plan.total_units == 3
+
+    def test_deterministic(self, tiny_campaign):
+        a, b = plan_campaign(tiny_campaign), plan_campaign(tiny_campaign)
+        assert [s.spec_hash for s in a.shards] == \
+            [s.spec_hash for s in b.shards]
+        assert [s.filename for s in a.shards] == \
+            [s.filename for s in b.shards]
+        assert a.campaign_hash == b.campaign_hash
+
+    def test_filenames_carry_index_and_hash(self, tiny_campaign):
+        plan = plan_campaign(tiny_campaign)
+        for shard in plan.shards:
+            assert shard.filename == (f"tiny-campaign_shard_"
+                                      f"{shard.index:04d}_"
+                                      f"{shard.spec_hash[:10]}.json")
+
+    def test_overrides_recorded(self, tiny_campaign):
+        plan = plan_campaign(tiny_campaign)
+        assert plan.shards[0].units[0].overrides == {"workload.seed": 1}
+
+    def test_empty_grid_single_shard(self):
+        plan = plan_campaign(CampaignSpec(base=tiny_stream_scenario()))
+        assert len(plan.shards) == 1
+        assert plan.shards[0].units[0].scenario == tiny_stream_scenario()
+
+
+class TestByTraceSlice:
+    def _spec(self, apps, slice_apps):
+        return CampaignSpec(
+            base=tiny_stream_scenario(apps=apps),
+            shard=ShardSpec(strategy="by-trace-slice",
+                            slice_apps=slice_apps))
+
+    def test_slices_cover_stream(self):
+        plan = plan_campaign(self._spec(apps=10, slice_apps=4))
+        # ceil(10 / 4) = 3 slices.
+        assert plan.total_units == 3
+        slices = [s.units[0].scenario.workload.slice
+                  for s in plan.shards]
+        assert slices == [(0, 3), (1, 3), (2, 3)]
+
+    def test_slice_overrides_recorded(self):
+        plan = plan_campaign(self._spec(apps=10, slice_apps=4))
+        assert plan.shards[0].units[0].overrides == {
+            "workload.slice": [0, 3]}
+
+    def test_small_stream_stays_unsliced(self):
+        plan = plan_campaign(self._spec(apps=4, slice_apps=10))
+        assert plan.total_units == 1
+        scenario = plan.shards[0].units[0].scenario
+        assert scenario.workload.slice is None
+        # An unsliced slice unit hashes like the plain point — old
+        # sweep outputs of the same point resume it.
+        assert plan.shards[0].spec_hash == scenario.spec_hash()
+
+    def test_sliced_units_run_distinct_arrivals(self):
+        from repro.api import build_arrivals
+        plan = plan_campaign(self._spec(apps=10, slice_apps=4))
+        names = []
+        for shard in plan.shards:
+            names.extend(a.name for a in
+                         build_arrivals(shard.units[0].scenario))
+        full = build_arrivals(tiny_stream_scenario(apps=10))
+        # Concatenated slices reproduce the full stream exactly.
+        assert names == [a.name for a in full]

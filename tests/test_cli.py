@@ -293,3 +293,89 @@ class TestCommands:
         out = capsys.readouterr().out
         # Verbose per-device lines are labeled with each device's config.
         assert "[small-test]" in out and "[small-test-half]" in out
+
+
+class TestCampaignCommand:
+    def _tiny_campaign(self):
+        return {
+            "schema_version": 1,
+            "name": "tiny-campaign",
+            "base": {
+                "schema_version": 1,
+                "kind": "stream",
+                "name": "tiny",
+                "workload": {"source": "stream", "apps": 3,
+                             "synthetic_fraction": 0.0, "scale": 0.1,
+                             "seed": 11, "arrival": "batch"},
+                "policy": {"name": "fcfs", "nc": 2},
+            },
+            "grid": {"workload.seed": [1, 2, 3]},
+            "shard": {"strategy": "by-point", "max_shard_size": 1},
+            "resume": "verify",
+        }
+
+    def test_campaign_runs_and_merges(self, capsys, tmp_path):
+        spec = tmp_path / "campaign.json"
+        spec.write_text(json.dumps(self._tiny_campaign()))
+        out_dir = tmp_path / "out"
+        assert main(["campaign", str(spec), "--out-dir",
+                     str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "3 shard(s) run, 0 skipped, 3 total" in out
+        result = json.loads(
+            (out_dir / "campaign_result.json").read_text())
+        assert result["kind"] == "campaign"
+        assert result["metrics"]["apps"] == 9
+        manifest = json.loads(
+            (out_dir / "campaign_manifest.json").read_text())
+        assert all(r["status"] == "done" for r in manifest["shards"])
+
+    def test_interrupted_campaign_exits_3_then_resumes(self, capsys,
+                                                       tmp_path):
+        spec = tmp_path / "campaign.json"
+        spec.write_text(json.dumps(self._tiny_campaign()))
+        out_dir = tmp_path / "out"
+        # --max-shards is the deterministic kill the CI smoke uses.
+        assert main(["campaign", str(spec), "--out-dir", str(out_dir),
+                     "--max-shards", "1"]) == 3
+        assert "rerun with --resume" in capsys.readouterr().out
+        assert not (out_dir / "campaign_result.json").exists()
+        assert main(["campaign", str(spec), "--out-dir", str(out_dir),
+                     "--resume", "--shard-workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 shard(s) run, 1 skipped, 3 total" in out
+        assert (out_dir / "campaign_result.json").exists()
+
+    def test_campaign_rejects_malformed_spec(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        data = self._tiny_campaign()
+        data["gird"] = {}
+        bad.write_text(json.dumps(data))
+        with pytest.raises(SystemExit, match="gird"):
+            main(["campaign", str(bad)])
+
+    def test_sweep_manifest_is_campaign_resumable(self, tmp_path):
+        # The upgraded sweep manifest carries the campaign row fields.
+        campaign = self._tiny_campaign()
+        sweep = tmp_path / "sweep.json"
+        sweep.write_text(json.dumps({"base": campaign["base"],
+                                     "grid": campaign["grid"]}))
+        out_dir = tmp_path / "points"
+        assert main(["sweep", str(sweep), "--out-dir",
+                     str(out_dir)]) == 0
+        manifest = json.loads(
+            (out_dir / "sweep_manifest.json").read_text())
+        assert manifest["schema_version"] == 1
+        assert manifest["kind"] == "sweep"
+        for row in manifest["points"]:
+            assert row["status"] == "done"
+            assert len(row["result_hash"]) == 64
+            assert len(row["spec_hash"]) == 64
+        # And a campaign over the same base x grid resumes from it.
+        spec = tmp_path / "campaign.json"
+        spec.write_text(json.dumps(campaign))
+        assert main(["campaign", str(spec), "--out-dir", str(out_dir),
+                     "--resume"]) == 0
+        result = json.loads(
+            (out_dir / "campaign_result.json").read_text())
+        assert result["metrics"]["apps"] == 9

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.workloads import (RODINIA_SPECS, batch_arrivals, bursty_arrivals,
-                             load_trace, poisson_arrivals, stream_queue,
-                             trace_arrivals)
+                             load_trace, poisson_arrivals, slice_arrivals,
+                             stream_queue, trace_arrivals)
 
 
 class TestStreamQueue:
@@ -163,3 +163,47 @@ class TestTraceArrivals:
         arrivals = load_trace(path)
         assert [(a.cycle, a.name) for a in arrivals] == [(0, "BLK"),
                                                          (10, "HS")]
+
+
+class TestSliceArrivals:
+    """slice_arrivals — the deterministic split behind campaign
+    by-trace-slice sharding (WorkloadSpec.slice)."""
+
+    def _arrivals(self, n):
+        return list(range(n))  # slicing is type-agnostic
+
+    def test_concatenation_reproduces_input(self):
+        arrivals = self._arrivals(13)
+        rebuilt = []
+        for k in range(4):
+            rebuilt.extend(slice_arrivals(arrivals, k, 4))
+        assert rebuilt == arrivals
+
+    def test_balanced_sizes(self):
+        arrivals = self._arrivals(11)
+        sizes = [len(slice_arrivals(arrivals, k, 3)) for k in range(3)]
+        # 11 = 4 + 4 + 3: first n % count slices take the extra one.
+        assert sizes == [4, 4, 3]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_slice_is_identity(self):
+        arrivals = self._arrivals(5)
+        assert slice_arrivals(arrivals, 0, 1) == arrivals
+
+    def test_every_slice_non_empty(self):
+        arrivals = self._arrivals(4)
+        for k in range(4):
+            assert len(slice_arrivals(arrivals, k, 4)) == 1
+
+    def test_count_exceeding_length_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            slice_arrivals(self._arrivals(3), 0, 4)
+
+    def test_bad_index_and_count_rejected(self):
+        arrivals = self._arrivals(6)
+        with pytest.raises(ValueError, match="count"):
+            slice_arrivals(arrivals, 0, 0)
+        with pytest.raises(ValueError, match="index"):
+            slice_arrivals(arrivals, 3, 3)
+        with pytest.raises(ValueError, match="index"):
+            slice_arrivals(arrivals, -1, 3)
