@@ -14,11 +14,24 @@ cycles, engine events processed, events/sec, and warp-instructions/sec.
 
 A/B mode
 --------
-``--ab`` extracts the seed engine (commit :data:`SEED_COMMIT`, the state
-this repo's perf trajectory is measured against) from git history into a
-temp dir and interleaves seed/current runs, recording per-workload
-speedups.  The golden determinism test (tests/gpusim) separately proves
-the current engine's results are bit-identical to that seed.
+``--ab`` (no value, or ``--ab seed``) extracts the seed engine (commit
+:data:`SEED_COMMIT`, the state this repo's perf trajectory is measured
+against) from git history into a temp dir and interleaves seed/current
+runs, recording per-workload speedups.  The golden determinism test
+(tests/gpusim) separately proves the current engine's results are
+bit-identical to that seed.
+
+``--ab <backendA>:<backendB>`` instead compares two registered engine
+backends (``repro list --kind engine-backends``) in-process.  Before
+any timing, each workload's full result (cycles, events, per-app
+stats) is fingerprinted on both backends; any divergence refuses to
+write the bench file at all — the same refusal discipline as the
+fleet/campaign benches.
+
+Per-backend entries: every registered backend other than the one
+driving the main ``workloads`` rows is additionally measured into a
+``backends.<name>.<workload>`` section, which
+``tools/check_bench_regression.py --require-entry`` pins in CI.
 """
 
 from __future__ import annotations
@@ -61,12 +74,28 @@ def _workloads(quick: bool) -> Dict[str, List[str]]:
 WORKLOADS = _workloads(quick=False)
 
 
+def _engine_class(backend: str) -> type:
+    """Resolve a backend name to its engine class.
+
+    The ``event`` fast path imports the engine directly: the seed A/B
+    child processes run this module against src trees that predate the
+    ``engine-backends`` registry, so the default path must not touch
+    ``repro.api``.
+    """
+    if backend == "event":
+        from repro.gpusim import GPU
+        return GPU
+    from repro.api.engines import engine_class
+    return engine_class(backend)
+
+
 def run_workload(names: List[str], repeats: int = 3,
-                 scale: float = 1.0) -> dict:
+                 scale: float = 1.0, backend: str = "event") -> dict:
     """Simulate one workload on a fresh device; return its metric row."""
-    from repro.gpusim import Application, GPU, gtx480
+    from repro.gpusim import Application, gtx480
     from repro.workloads import RODINIA_SPECS
 
+    engine = _engine_class(backend)
     cfg = gtx480()
     best = best_cpu = float("inf")
     cycles = events = instr = 0
@@ -74,7 +103,7 @@ def run_workload(names: List[str], repeats: int = 3,
         apps = [Application(n, RODINIA_SPECS[n].scaled(scale)
                             if scale != 1.0 else RODINIA_SPECS[n])
                 for n in names]
-        gpu = GPU(cfg)
+        gpu = engine(cfg)
         gpu.launch(apps)
         t0, c0 = time.perf_counter(), time.process_time()
         result = gpu.run()
@@ -99,9 +128,10 @@ def run_workload(names: List[str], repeats: int = 3,
     }
 
 
-def bench_workloads(quick: bool = False, repeats: int = 3) -> dict:
+def bench_workloads(quick: bool = False, repeats: int = 3,
+                    backend: str = "event") -> dict:
     """Run the full workload set in this process (current engine)."""
-    return {name: run_workload(names, repeats=repeats)
+    return {name: run_workload(names, repeats=repeats, backend=backend)
             for name, names in _workloads(quick).items()}
 
 
@@ -201,30 +231,133 @@ def ab_compare(quick: bool, repeats: int) -> Optional[dict]:
     return out
 
 
+# -- A/B between two engine backends ----------------------------------------
+
+def _workload_fingerprint(names: List[str], backend: str) -> str:
+    """One workload's full result as a canonical string: simulated
+    cycles, engine events, and every per-app stat field — the byte
+    identity two backends must share before their timings may be
+    compared (or written)."""
+    import dataclasses
+
+    from repro.gpusim import Application, gtx480
+    from repro.workloads import RODINIA_SPECS
+
+    gpu = _engine_class(backend)(gtx480())
+    gpu.launch([Application(n, RODINIA_SPECS[n]) for n in names])
+    result = gpu.run()
+    return json.dumps({
+        "cycles": result.cycles,
+        "events": getattr(gpu, "events_processed", 0),
+        "apps": {str(i): dataclasses.asdict(s)
+                 for i, s in sorted(result.app_stats.items())},
+    }, sort_keys=True)
+
+
+def ab_compare_backends(backend_a: str, backend_b: str, quick: bool,
+                        repeats: int) -> dict:
+    """Interleaved A-vs-B backend comparison, bit-identity gated.
+
+    Every workload's full result is fingerprinted on both backends
+    first; a single divergence raises SystemExit (so nothing gets
+    written — a bench entry for a backend that computes different
+    results would be meaningless).  Timings then alternate A/B
+    back-to-back, best CPU seconds over `repeats` rounds.
+    """
+    workloads = _workloads(quick)
+    for name, names in workloads.items():
+        if (_workload_fingerprint(names, backend_a)
+                != _workload_fingerprint(names, backend_b)):
+            raise SystemExit(
+                f"--ab {backend_a}:{backend_b}: results differ on "
+                f"workload {name!r} — backends must be bit-identical "
+                f"before their timings are comparable; refusing to "
+                f"write the bench file")
+    out = {}
+    for name, names in workloads.items():
+        best_a: Optional[dict] = None
+        best_b: Optional[dict] = None
+        for _ in range(max(1, repeats)):
+            row_a = run_workload(names, repeats=2, backend=backend_a)
+            row_b = run_workload(names, repeats=2, backend=backend_b)
+            if best_a is None or row_a["cpu_s"] < best_a["cpu_s"]:
+                best_a = row_a
+            if best_b is None or row_b["cpu_s"] < best_b["cpu_s"]:
+                best_b = row_b
+        out[name] = {
+            f"{backend_a}_cpu_s": best_a["cpu_s"],
+            f"{backend_b}_cpu_s": best_b["cpu_s"],
+            "speedup": round(best_a["cpu_s"]
+                             / max(best_b["cpu_s"], 1e-9), 3),
+            "identical": True,
+        }
+    return out
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke subset (3 workloads, 1 repeat)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per workload (best-of)")
-    parser.add_argument("--ab", action="store_true",
-                        help="also A/B against the seed engine from git "
-                             "history and record speedups")
+    parser.add_argument("--ab", nargs="?", const="seed", default=None,
+                        metavar="A:B",
+                        help="A/B comparison: no value (or 'seed') "
+                             "interleaves against the seed engine from "
+                             "git history; '<backendA>:<backendB>' "
+                             "compares two registered engine backends, "
+                             "refusing to write unless their results "
+                             "are bit-identical")
+    parser.add_argument("--backend", default="event",
+                        help="engine backend for the main workloads "
+                             "rows (default event)")
     parser.add_argument("--out", type=pathlib.Path, default=BENCH_PATH,
                         help=f"output path (default {BENCH_PATH})")
     args = parser.parse_args(argv)
     repeats = args.repeats or (1 if args.quick else 3)
 
-    rows = bench_workloads(quick=args.quick, repeats=repeats)
+    rows = bench_workloads(quick=args.quick, repeats=repeats,
+                           backend=args.backend)
     doc = {
         "schema_version": SCHEMA_VERSION,
         "bench": "gpusim",
         "config": "gtx480",
         "quick": args.quick,
         "python": sys.version.split()[0],
+        "backend": args.backend,
         "workloads": rows,
     }
-    if args.ab:
+
+    # Per-backend entries: every registered backend other than the main
+    # rows' gets its own section (pinned in CI via --require-entry).
+    from repro.api.registry import REGISTRY
+    others = [n for n in REGISTRY.names("engine-backends")
+              if n != args.backend]
+    backends = {}
+    for other in others:
+        other_rows = bench_workloads(quick=args.quick, repeats=repeats,
+                                     backend=other)
+        for wname, row in other_rows.items():
+            if row["cycles"] != rows[wname]["cycles"]:
+                raise SystemExit(
+                    f"backend {other!r} simulated {row['cycles']} "
+                    f"cycles on {wname!r} vs {rows[wname]['cycles']} "
+                    f"on {args.backend!r}; refusing to write the "
+                    f"bench file")
+        backends[other] = other_rows
+    doc["backends"] = backends
+
+    if args.ab is not None and args.ab != "seed" and ":" in args.ab:
+        backend_a, _, backend_b = args.ab.partition(":")
+        doc["ab_backends"] = {
+            "pair": f"{backend_a}:{backend_b}",
+            **ab_compare_backends(backend_a, backend_b,
+                                  quick=args.quick, repeats=repeats),
+        }
+    elif args.ab is not None:
+        if args.ab != "seed":
+            raise SystemExit(f"--ab expects no value, 'seed', or "
+                             f"'<backendA>:<backendB>', got {args.ab!r}")
         ab = ab_compare(quick=args.quick, repeats=repeats)
         if ab is None:
             doc["ab_vs_seed"] = "unavailable (no git history)"

@@ -43,6 +43,7 @@ _BUILTIN_MODULES = (
     "repro.workloads.rodinia",  # kind "benchmarks"
     "repro.workloads.streams",  # kind "streams"
     "repro.api.devices",        # kind "gpu-configs"
+    "repro.api.engines",        # kind "engine-backends"
     "repro.obs",                # kind "telemetry"
     "repro.campaign.plan",      # kind "shard-strategies"
 )
@@ -52,7 +53,7 @@ _BUILTIN_MODULES = (
 BUILTIN_KINDS = ("benchmarks", "policies", "online-policies",
                  "placements", "streams", "gpu-configs", "faults",
                  "admission", "speculation", "telemetry",
-                 "shard-strategies")
+                 "shard-strategies", "engine-backends")
 
 
 class RegistryError(ValueError):

@@ -116,17 +116,23 @@ def _provenance(scenario: Scenario) -> Dict[str, Any]:
         data["faults"] = scenario.faults.kind
     if scenario.admission is not None:
         data["admission"] = scenario.admission.kind
+    # The backend actually used — recorded only when non-default, so
+    # event-engine results stay byte-identical to pre-backend builds.
+    if scenario.execution.backend != "event":
+        data["backend"] = scenario.execution.backend
     return data
 
 
 def _embedded_scenario(scenario: Scenario) -> Dict[str, Any]:
     """The scenario dict stored in results (workers normalized to 1,
-    speculation and telemetry dropped) — all three are execution
-    strategy or observation, never part of what the run computed."""
+    speculation, telemetry and backend dropped) — all four are
+    execution strategy or observation, never part of what the run
+    computed.  The backend actually used is recorded in provenance."""
     data = scenario.to_dict()
     data["execution"]["workers"] = 1
     data["execution"].pop("speculation", None)
     data["execution"].pop("telemetry", None)
+    data["execution"].pop("backend", None)
     return data
 
 
@@ -137,7 +143,8 @@ def _build_speculation(scenario: Scenario, executor):
     if spec is None:
         return None
     strategy = REGISTRY.create("speculation", spec.kind, **spec.params())
-    return make_speculation(strategy, executor)
+    return make_speculation(strategy, executor,
+                            backend=scenario.execution.backend)
 
 
 def _build_telemetry(scenario: Scenario, telemetry=None):
@@ -299,7 +306,8 @@ def run_scenario(scenario: Scenario, executor=None,
                            need_interference=need_interference,
                            samples_per_pair=(scenario.execution
                                              .samples_per_pair),
-                           smra_params=SMRAParams(), executor=executor)
+                           smra_params=SMRAParams(), executor=executor,
+                           backend=scenario.execution.backend)
         max_cycles = scenario.execution.max_cycles
 
         tel = _build_telemetry(scenario, telemetry)
@@ -403,7 +411,8 @@ def _device_contexts(scenario, ctx, executor):
                 REGISTRY.create("gpu-configs", name),
                 suite=dict(RODINIA_SPECS), need_interference=need,
                 samples_per_pair=scenario.execution.samples_per_pair,
-                smra_params=SMRAParams(), executor=executor)
+                smra_params=SMRAParams(), executor=executor,
+                backend=scenario.execution.backend)
     return [contexts[name] for name in scenario.devices.config_names()]
 
 

@@ -440,6 +440,11 @@ class ExecutionSpec:
     block was given or not.  ``telemetry`` selects the observability
     bundle (see :class:`TelemetrySpec`) with the same canonicalization
     — telemetry observes a run without changing its results.
+    ``backend`` names the ``engine-backends`` registry entry that
+    simulates each device — every backend is bit-identical to the
+    reference ``"event"`` engine, so like ``workers`` it is
+    resources-not-identity: :meth:`Scenario.spec_hash` normalizes it
+    away and the default ``"event"`` serializes to no key.
     """
 
     workers: int = 1
@@ -447,6 +452,7 @@ class ExecutionSpec:
     samples_per_pair: int = 1
     speculation: Optional[SpeculationSpec] = None
     telemetry: Optional[TelemetrySpec] = None
+    backend: str = "event"
 
     def __post_init__(self):
         _require(isinstance(self.workers, int)
@@ -481,11 +487,19 @@ class ExecutionSpec:
                  f"{self.telemetry!r}")
         if self.telemetry is not None and self.telemetry.kind == "none":
             object.__setattr__(self, "telemetry", None)
+        _require(isinstance(self.backend, str) and self.backend,
+                 f"backend must be a non-empty string, got "
+                 f"{self.backend!r}")
+        _check_registry("engine-backends", self.backend)
 
     def to_dict(self) -> Dict[str, Any]:
         data = dataclasses.asdict(self)
         if data["speculation"] is None:
             del data["speculation"]
+        if data["backend"] == "event":
+            # Canonical form: the default backend IS the absent key, so
+            # pre-backend scenario files round-trip byte-identically.
+            del data["backend"]
         if data["telemetry"] is None:
             del data["telemetry"]
         elif data["telemetry"]["sinks"] is not None:
@@ -790,16 +804,18 @@ class Scenario:
         """sha256 identity of the *experiment* this scenario describes.
 
         ``execution.workers`` is normalized to 1 before hashing, and
-        ``execution.speculation`` and ``execution.telemetry`` are
-        dropped: the engines produce bit-identical results for any
-        worker count, any speculation strategy, and any telemetry
-        bundle, so a serial run and a ``--workers 4 --speculation full
-        --trace out.jsonl`` run of the same scenario share one hash
-        (and their result JSONs compare byte-equal).
+        ``execution.speculation``, ``execution.telemetry`` and
+        ``execution.backend`` are dropped: the engines produce
+        bit-identical results for any worker count, any speculation
+        strategy, any telemetry bundle, and any engine backend, so a
+        serial run and a ``--workers 4 --speculation full --backend
+        vector --trace out.jsonl`` run of the same scenario share one
+        hash (and their result JSONs compare byte-equal).
         """
         data = self.to_dict()
         data["execution"]["workers"] = 1
         data["execution"].pop("speculation", None)
         data["execution"].pop("telemetry", None)
+        data["execution"].pop("backend", None)
         canon = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()

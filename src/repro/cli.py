@@ -290,7 +290,8 @@ def _queue_scenario(args, policy_key: str) -> Scenario:
         workload=workload,
         policy=PolicySpec(name=policy_key, nc=args.nc),
         execution=ExecutionSpec(workers=args.workers,
-                                samples_per_pair=args.samples))
+                                samples_per_pair=args.samples,
+                                backend=args.backend))
 
 
 def _stream_workload(args) -> WorkloadSpec:
@@ -326,7 +327,8 @@ def _stream_scenario(args, policy_key: str) -> Scenario:
         policy=PolicySpec(name=policy_key, nc=args.nc),
         execution=ExecutionSpec(workers=args.workers,
                                 samples_per_pair=args.samples,
-                                speculation=_speculation_spec(args)))
+                                speculation=_speculation_spec(args),
+                                backend=args.backend))
 
 
 def _fleet_devices(args) -> DeviceSpec:
@@ -401,7 +403,8 @@ def _fleet_scenario(args, placement_key: str) -> Scenario:
         devices=_fleet_devices(args),
         execution=ExecutionSpec(workers=args.workers,
                                 samples_per_pair=args.samples,
-                                speculation=_speculation_spec(args)),
+                                speculation=_speculation_spec(args),
+                                backend=args.backend),
         faults=_fault_spec(args),
         admission=_admission_spec(args))
 
@@ -459,6 +462,16 @@ def cmd_run(args) -> int:
                 execution=dataclasses.replace(
                     scenario.execution,
                     speculation=SpeculationSpec(kind=args.speculation)))
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    if args.backend is not None:
+        # Same override discipline: the backend is resources-not-
+        # identity, so swapping it never changes the result bytes.
+        try:
+            scenario = dataclasses.replace(
+                scenario,
+                execution=dataclasses.replace(scenario.execution,
+                                              backend=args.backend))
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
     telemetry = _telemetry_from_args(args)
@@ -763,6 +776,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the scenario's speculation strategy "
                         "(results are bit-identical for any value; "
                         "'none' disables)")
+    p.add_argument("--backend", default=None,
+                   choices=REGISTRY.names("engine-backends"),
+                   help="override the scenario's engine backend "
+                        "(results are bit-identical for any value)")
     p.add_argument("--speculation-report", default=None, metavar="PATH",
                    help="write the speculation counters (hits, misses, "
                         "rollbacks, ...) to this JSON file")
@@ -827,6 +844,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for group execution and "
                         "interference measurement (default: serial)")
+    p.add_argument("--backend", default="event",
+                   choices=REGISTRY.names("engine-backends"),
+                   help="engine backend for group simulations (results "
+                        "are bit-identical; default event)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print each group's members and cycles")
 
@@ -863,6 +884,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--samples", type=_positive_int, default=1,
                        help="benchmark pairs per class pair for the "
                             "interference matrix")
+        p.add_argument("--backend", default="event",
+                       choices=REGISTRY.names("engine-backends"),
+                       help="engine backend for group simulations "
+                            "(results are bit-identical; default event)")
 
     p = sub.add_parser("run-stream",
                        help="run an online arrival stream under policies")

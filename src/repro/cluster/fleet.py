@@ -732,11 +732,12 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                     with profiler.phase("simulate"):
                         outcomes = executor.run_groups(
                             [g for _d, g in launches], ctx.config,
-                            ctx.smra_params, max_cycles)
+                            ctx.smra_params, max_cycles,
+                            backend=ctx.backend)
                 else:
                     outcomes = executor.run_groups(
                         [g for _d, g in launches], ctx.config,
-                        ctx.smra_params, max_cycles)
+                        ctx.smra_params, max_cycles, backend=ctx.backend)
             else:
                 # Heterogeneous fleet: every group simulates on the
                 # launching device's own configuration; the batch still
@@ -745,10 +746,11 @@ def run_fleet(arrivals: Sequence[Arrival], placement: PlacementPolicy,
                         for d, g in launches]
                 if profiler is not None:
                     with profiler.phase("simulate"):
-                        outcomes = executor.run_device_groups(jobs,
-                                                              max_cycles)
+                        outcomes = executor.run_device_groups(
+                            jobs, max_cycles, backend=ctx.backend)
                 else:
-                    outcomes = executor.run_device_groups(jobs, max_cycles)
+                    outcomes = executor.run_device_groups(
+                        jobs, max_cycles, backend=ctx.backend)
             for (device, _group), outcome in zip(launches, outcomes):
                 members = list(outcome.members)
                 failed = faults is not None and faults.group_fails(

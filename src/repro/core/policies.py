@@ -56,6 +56,9 @@ class PolicyContext:
     thresholds: ClassificationThresholds
     interference: Optional[InterferenceModel] = None
     smra_params: SMRAParams = field(default_factory=SMRAParams)
+    #: ``engine-backends`` name for group simulations run through this
+    #: context; results are bit-identical across backends.
+    backend: str = "event"
 
     def class_of(self, name: str, spec: KernelSpec) -> AppClass:
         """Profile-and-classify one application (profile caches make

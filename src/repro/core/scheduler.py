@@ -98,11 +98,36 @@ class QueueOutcome:
             raise KeyError(name) from None
 
 
+#: Backend name → engine class.  "event" is pre-seeded so the default
+#: path (and the seed-comparison A/B harness, whose child processes run
+#: against trees that predate the registry) never imports ``repro.api``.
+_ENGINE_CLASSES: Dict[str, type] = {"event": GPU}
+
+
+def _engine_class(backend: str) -> type:
+    try:
+        return _ENGINE_CLASSES[backend]
+    except KeyError:
+        pass
+    # Lazy upward import: the api layer builds on core, so core may
+    # only reach the registry at call time, never at import time.
+    from repro.api.engines import engine_class
+    cls = engine_class(backend)
+    _ENGINE_CLASSES[backend] = cls
+    return cls
+
+
 def run_group(group: PlannedGroup, config: GPUConfig,
               smra_params: SMRAParams = SMRAParams(),
-              max_cycles: int = DEFAULT_MAX_CYCLES) -> GroupOutcome:
-    """Co-execute one planned group on a fresh device."""
-    gpu = GPU(config)
+              max_cycles: int = DEFAULT_MAX_CYCLES,
+              backend: str = "event") -> GroupOutcome:
+    """Co-execute one planned group on a fresh device.
+
+    `backend` names the ``engine-backends`` registry entry used to
+    simulate the group; every backend returns bit-identical results,
+    so the outcome does not depend on the choice.
+    """
+    gpu = _engine_class(backend)(config)
     apps = [Application(name, spec) for name, spec in group.members]
     gpu.launch(apps, group.partitions)
     controller: Optional[SMRAController] = None
@@ -143,7 +168,7 @@ def make_context(config: GPUConfig, suite: Optional[Dict] = None,
                  need_interference: bool = False,
                  samples_per_pair: int = 1,
                  smra_params: SMRAParams = SMRAParams(),
-                 executor=None) -> PolicyContext:
+                 executor=None, backend: str = "event") -> PolicyContext:
     """Build a :class:`PolicyContext`, sharing the process-wide profiler.
 
     When `need_interference` is set, the Fig. 3.4 class matrix is measured
@@ -151,6 +176,12 @@ def make_context(config: GPUConfig, suite: Optional[Dict] = None,
     this a one-time cost per device configuration.  A parallel `executor`
     fans the solo profiles and pair co-runs of that measurement across
     worker processes (results are identical either way).
+
+    `backend` selects the engine backend for group simulations made
+    through this context.  Profiling and interference measurement stay
+    on the event engine regardless: their results are bit-identical
+    across backends and their disk/memory caches are keyed without the
+    backend, so a warm cache serves every backend.
     """
     profiler = shared_profiler(config)
     thresholds = ClassificationThresholds.for_device(config)
@@ -170,4 +201,4 @@ def make_context(config: GPUConfig, suite: Optional[Dict] = None,
             _INTERFERENCE_CACHE[key] = interference
     return PolicyContext(config=config, profiler=profiler,
                          thresholds=thresholds, interference=interference,
-                         smra_params=smra_params)
+                         smra_params=smra_params, backend=backend)

@@ -343,8 +343,14 @@ class GPU:
 def simulate(config: GPUConfig, apps: Sequence[Application],
              partitions: Optional[Sequence[Sequence[int]]] = None,
              callbacks: Sequence[Callback] = (),
-             max_cycles: int = DEFAULT_MAX_CYCLES) -> DeviceResult:
-    """Convenience one-shot simulation of `apps` on a fresh device."""
-    gpu = GPU(config)
+             max_cycles: int = DEFAULT_MAX_CYCLES,
+             engine: Optional[type] = None) -> DeviceResult:
+    """Convenience one-shot simulation of `apps` on a fresh device.
+
+    `engine` optionally substitutes the engine *class* (an
+    ``engine-backends`` registry entry resolved by the caller — this
+    package stays registry-free); the default is the event engine.
+    """
+    gpu = (engine or GPU)(config)
     gpu.launch(apps, partitions)
     return gpu.run(max_cycles=max_cycles, callbacks=callbacks)

@@ -193,10 +193,10 @@ def run_stream(arrivals: Sequence[Arrival], policy: OnlinePolicy,
             if profiler is not None:
                 with profiler.phase("simulate"):
                     outcome = run_group(group, ctx.config, ctx.smra_params,
-                                        max_cycles)
+                                        max_cycles, backend=ctx.backend)
             else:
                 outcome = run_group(group, ctx.config, ctx.smra_params,
-                                    max_cycles)
+                                    max_cycles, backend=ctx.backend)
         else:
             # Predict successors first (their simulations start on idle
             # workers), then resolve the committed group — a store hit
@@ -259,11 +259,13 @@ def drain_queue(queue: Queue, policy: Policy, ctx: PolicyContext,
             planned = policy.plan(queue, ctx)
         with profiler.phase("simulate"):
             outcomes = executor.run_groups(planned, ctx.config,
-                                           ctx.smra_params, max_cycles)
+                                           ctx.smra_params, max_cycles,
+                                           backend=ctx.backend)
     else:
         planned = policy.plan(queue, ctx)
         outcomes = executor.run_groups(planned, ctx.config,
-                                       ctx.smra_params, max_cycles)
+                                       ctx.smra_params, max_cycles,
+                                       backend=ctx.backend)
 
     if tracer is not None or metrics is not None:
         now = 0

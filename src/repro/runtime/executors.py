@@ -77,8 +77,9 @@ def workers_from_env(var: str = "REPRO_WORKERS", default: int = 1) -> int:
 # -- module-level job functions (picklable by the process pool) -------------
 
 def _group_job(args) -> GroupOutcome:
-    group, config, smra_params, max_cycles = args
-    return run_group(group, config, smra_params, max_cycles)
+    group, config, smra_params, max_cycles, backend = args
+    return run_group(group, config, smra_params, max_cycles,
+                     backend=backend)
 
 
 def _pair_job(args) -> Tuple[int, int]:
@@ -159,14 +160,14 @@ class Executor:
 
     def run_groups(self, groups: Sequence[PlannedGroup], config: GPUConfig,
                    smra_params: SMRAParams = SMRAParams(),
-                   max_cycles: int = DEFAULT_MAX_CYCLES
-                   ) -> List[GroupOutcome]:
+                   max_cycles: int = DEFAULT_MAX_CYCLES,
+                   backend: str = "event") -> List[GroupOutcome]:
         raise NotImplementedError
 
     def run_device_groups(self, jobs: Sequence[
                               Tuple[PlannedGroup, GPUConfig, SMRAParams]],
-                          max_cycles: int = DEFAULT_MAX_CYCLES
-                          ) -> List[GroupOutcome]:
+                          max_cycles: int = DEFAULT_MAX_CYCLES,
+                          backend: str = "event") -> List[GroupOutcome]:
         """Like :meth:`run_groups`, but each job carries its own device
         configuration — the heterogeneous-fleet fan-out, where the
         same-instant launches of one fleet event land on devices with
@@ -175,7 +176,8 @@ class Executor:
 
     def submit_group(self, group: PlannedGroup, config: GPUConfig,
                      smra_params: SMRAParams = SMRAParams(),
-                     max_cycles: int = DEFAULT_MAX_CYCLES):
+                     max_cycles: int = DEFAULT_MAX_CYCLES,
+                     backend: str = "event"):
         """Submit one group simulation asynchronously.
 
         Returns a future-alike with ``result()`` / ``cancel()``.  The
@@ -227,17 +229,21 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def run_groups(self, groups, config, smra_params=SMRAParams(),
-                   max_cycles=DEFAULT_MAX_CYCLES):
-        return [run_group(g, config, smra_params, max_cycles)
+                   max_cycles=DEFAULT_MAX_CYCLES, backend="event"):
+        return [run_group(g, config, smra_params, max_cycles,
+                          backend=backend)
                 for g in groups]
 
-    def run_device_groups(self, jobs, max_cycles=DEFAULT_MAX_CYCLES):
-        return [run_group(group, config, smra_params, max_cycles)
+    def run_device_groups(self, jobs, max_cycles=DEFAULT_MAX_CYCLES,
+                          backend="event"):
+        return [run_group(group, config, smra_params, max_cycles,
+                          backend=backend)
                 for group, config, smra_params in jobs]
 
     def submit_group(self, group, config, smra_params=SMRAParams(),
-                     max_cycles=DEFAULT_MAX_CYCLES):
-        return _LazyGroupFuture((group, config, smra_params, max_cycles))
+                     max_cycles=DEFAULT_MAX_CYCLES, backend="event"):
+        return _LazyGroupFuture((group, config, smra_params, max_cycles,
+                                 backend))
 
     def submit_job(self, fn, *args):
         return _LazyJobFuture(fn, args)
@@ -280,25 +286,26 @@ class ParallelExecutor(Executor):
         return list(self._ensure_pool().map(fn, jobs))
 
     def run_groups(self, groups, config, smra_params=SMRAParams(),
-                   max_cycles=DEFAULT_MAX_CYCLES):
+                   max_cycles=DEFAULT_MAX_CYCLES, backend="event"):
         return self._map(_group_job,
-                         [(g, config, smra_params, max_cycles)
+                         [(g, config, smra_params, max_cycles, backend)
                           for g in groups])
 
-    def run_device_groups(self, jobs, max_cycles=DEFAULT_MAX_CYCLES):
+    def run_device_groups(self, jobs, max_cycles=DEFAULT_MAX_CYCLES,
+                          backend="event"):
         # _group_job already carries the config per job, so the
         # heterogeneous fan-out reuses the same worker entry point.
         return self._map(_group_job,
-                         [(group, config, smra_params, max_cycles)
+                         [(group, config, smra_params, max_cycles, backend)
                           for group, config, smra_params in jobs])
 
     def submit_group(self, group, config, smra_params=SMRAParams(),
-                     max_cycles=DEFAULT_MAX_CYCLES):
+                     max_cycles=DEFAULT_MAX_CYCLES, backend="event"):
         # A real Future: the speculative simulation starts on an idle
         # worker immediately, overlapping the in-flight group the
         # virtual clock is blocked on.
         return self._ensure_pool().submit(
-            _group_job, (group, config, smra_params, max_cycles))
+            _group_job, (group, config, smra_params, max_cycles, backend))
 
     def submit_job(self, fn, *args):
         return self._ensure_pool().submit(fn, *args)

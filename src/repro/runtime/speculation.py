@@ -189,9 +189,13 @@ class SpeculativeSimulator:
     """
 
     def __init__(self, executor: Executor, strategy: SpeculationStrategy,
-                 telemetry=None):
+                 telemetry=None, backend: str = "event"):
         self.executor = executor
         self.strategy = strategy
+        #: ``engine-backends`` name every speculative (and on-demand)
+        #: simulation runs on.  Not part of :func:`group_key`: backends
+        #: are bit-identical and the backend is constant within a run.
+        self.backend = backend
         self.counters = SpeculationCounters()
         #: Optional :class:`~repro.obs.Telemetry` — the engines attach
         #: theirs so predict/hit/miss show up in traces and metrics.
@@ -275,7 +279,8 @@ class SpeculativeSimulator:
             key = group_key(group, ctx.config, ctx.smra_params, max_cycles)
             if key not in store:
                 store[key] = (self.executor.submit_group(
-                    group, ctx.config, ctx.smra_params, max_cycles), gen)
+                    group, ctx.config, ctx.smra_params, max_cycles,
+                    backend=self.backend), gen)
                 self.counters.submitted += 1
                 submitted += 1
         return submitted
@@ -344,11 +349,11 @@ class SpeculativeSimulator:
         if miss_jobs:
             if self._profiler is not None:
                 with self._profiler.phase("simulate"):
-                    outcomes = self.executor.run_device_groups(miss_jobs,
-                                                               max_cycles)
+                    outcomes = self.executor.run_device_groups(
+                        miss_jobs, max_cycles, backend=self.backend)
             else:
-                outcomes = self.executor.run_device_groups(miss_jobs,
-                                                           max_cycles)
+                outcomes = self.executor.run_device_groups(
+                    miss_jobs, max_cycles, backend=self.backend)
             for idx, outcome in zip(miss_indices, outcomes):
                 futures[idx] = _DoneFuture(outcome)
         results = [fut.result() for fut in futures]
@@ -415,7 +420,8 @@ class SpeculativeSimulator:
                       smra_params: SMRAParams, max_cycles: int,
                       outcome: GroupOutcome) -> None:
         self.counters.commit_checks += 1
-        reference = run_group(group, config, smra_params, max_cycles)
+        reference = run_group(group, config, smra_params, max_cycles,
+                              backend=self.backend)
         if outcome_fingerprint(reference) != outcome_fingerprint(outcome):
             members = [name for name, _spec in group.members]
             raise RuntimeError(
@@ -426,12 +432,12 @@ class SpeculativeSimulator:
 
 
 def make_speculation(strategy: Optional[SpeculationStrategy],
-                     executor: Executor
+                     executor: Executor, backend: str = "event"
                      ) -> Optional[SpeculativeSimulator]:
     """A simulator for `strategy`, or ``None`` for no speculation."""
     if strategy is None:
         return None
-    return SpeculativeSimulator(executor, strategy)
+    return SpeculativeSimulator(executor, strategy, backend=backend)
 
 
 # -- registry wiring ---------------------------------------------------------

@@ -1,0 +1,187 @@
+"""The ``engine-backends`` registry kind and ``ExecutionSpec.backend``.
+
+Backend is resources-not-identity, like ``workers``: the vector backend
+must produce byte-identical results to the event backend for every
+scenario kind, ``spec_hash`` normalizes it away, and the default
+``"event"`` serializes to no key so pre-backend scenario files
+round-trip byte-identically.
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.api import RunResult, Scenario, run_scenario
+from repro.api.engines import engine_class
+from repro.api.registry import REGISTRY, RegistryError
+from repro.api.scenario import (DeviceSpec, ExecutionSpec, PlacementSpec,
+                                PolicySpec, WorkloadSpec)
+
+SCENARIO_DIR = (pathlib.Path(__file__).resolve().parents[2]
+                / "examples" / "scenarios")
+
+
+def _tiny_stream(**execution):
+    return Scenario(
+        kind="stream",
+        workload=WorkloadSpec(source="stream", apps=6, scale=0.1,
+                              synthetic_fraction=0.0, seed=3,
+                              arrival="poisson", mean_gap=2000.0),
+        policy=PolicySpec(name="fcfs", nc=2),
+        execution=ExecutionSpec(**execution))
+
+
+def _tiny_fleet(**execution):
+    return Scenario(
+        kind="fleet",
+        workload=WorkloadSpec(source="stream", apps=8, scale=0.1,
+                              synthetic_fraction=0.0, seed=5,
+                              arrival="poisson", mean_gap=1500.0),
+        policy=PolicySpec(name="fcfs", nc=2),
+        placement=PlacementSpec(name="least-loaded"),
+        devices=DeviceSpec(count=2),
+        execution=ExecutionSpec(**execution))
+
+
+def _tiny_queue(**execution):
+    return Scenario(
+        kind="queue",
+        workload=WorkloadSpec(source="distribution", distribution="equal",
+                              length=6, seed=9, scale=0.1),
+        policy=PolicySpec(name="fcfs", nc=2),
+        execution=ExecutionSpec(**execution))
+
+
+def _strip_backend(result: RunResult) -> dict:
+    """Result dict minus the one deliberate difference: provenance
+    records the backend actually used (absent for the default)."""
+    data = result.to_dict()
+    data["provenance"].pop("backend", None)
+    return data
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert REGISTRY.names("engine-backends") == ["event", "vector"]
+
+    def test_factories_return_engine_classes(self):
+        from repro.gpusim import GPU
+        from repro.gpusim.vector import VectorGPU
+        assert engine_class("event") is GPU
+        assert engine_class("vector") is VectorGPU
+
+    def test_engine_class_is_memoized(self):
+        assert engine_class("vector") is engine_class("vector")
+
+    def test_did_you_mean(self):
+        with pytest.raises(RegistryError, match="did you mean 'vector'"):
+            REGISTRY.get("engine-backends", "vectr")
+
+    def test_cli_lists_the_kind(self, capsys):
+        from repro.cli import main
+        assert main(["list", "--kind", "engine-backends"]) == 0
+        out = capsys.readouterr().out
+        assert "event" in out and "vector" in out
+
+
+class TestExecutionSpecBackend:
+    def test_default_serializes_to_no_key(self):
+        assert "backend" not in ExecutionSpec().to_dict()
+        assert "backend" not in ExecutionSpec(backend="event").to_dict()
+
+    def test_non_default_round_trips(self):
+        spec = ExecutionSpec(backend="vector")
+        data = spec.to_dict()
+        assert data["backend"] == "vector"
+        assert ExecutionSpec.from_dict(data) == spec
+
+    def test_unknown_backend_rejected_with_hint(self):
+        with pytest.raises(ValueError, match="did you mean 'event'"):
+            ExecutionSpec(backend="even")
+
+    def test_backend_must_be_a_string(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExecutionSpec(backend=1)
+
+    def test_spec_hash_normalizes_backend_away(self):
+        event = _tiny_stream()
+        vector = _tiny_stream(backend="vector")
+        assert event.spec_hash() == vector.spec_hash()
+
+    def test_committed_scenarios_round_trip_byte_identically(self):
+        # The canonical serialization (and hash) of every committed
+        # scenario must not change because the backend field exists.
+        seen = 0
+        for path in sorted(SCENARIO_DIR.glob("*.json")):
+            data = json.loads(path.read_text())
+            if "base" in data and "grid" in data:
+                continue  # a campaign spec, not a Scenario
+            scenario = Scenario.from_json(path.read_text())
+            assert "backend" not in scenario.to_dict()["execution"]
+            assert Scenario.from_json(scenario.to_json()) == scenario
+            assert scenario.to_json() == (
+                Scenario.from_json(scenario.to_json()).to_json())
+            seen += 1
+        assert seen >= 4
+
+
+class TestBackendParity:
+    """Event and vector compute byte-identical results end to end."""
+
+    @pytest.mark.parametrize("build", [_tiny_queue, _tiny_stream,
+                                       _tiny_fleet])
+    def test_run_results_byte_identical(self, build):
+        event = run_scenario(build())
+        vector = run_scenario(build(backend="vector"))
+        assert vector.provenance["backend"] == "vector"
+        assert "backend" not in event.provenance
+        assert _strip_backend(event) == _strip_backend(vector)
+        # The embedded scenario drops the backend, so even to_json of
+        # the stripped dicts compares byte-equal.
+        assert json.dumps(_strip_backend(event), sort_keys=True) == \
+            json.dumps(_strip_backend(vector), sort_keys=True)
+
+    def test_campaign_scenario_parity(self):
+        # One committed-scenario-shaped fleet run through the campaign
+        # entry scenario (fleet_small) on both backends.
+        text = (SCENARIO_DIR / "fleet_small.json").read_text()
+        base = Scenario.from_json(text)
+        vector = dataclasses.replace(
+            base, execution=dataclasses.replace(base.execution,
+                                                backend="vector"))
+        assert _strip_backend(run_scenario(base)) == \
+            _strip_backend(run_scenario(vector))
+
+    def test_workers_1_vs_4_byte_identical_on_vector(self):
+        serial = run_scenario(_tiny_fleet(backend="vector", workers=1))
+        parallel = run_scenario(_tiny_fleet(backend="vector", workers=4))
+        assert serial.to_json() == parallel.to_json()
+
+    def test_stream_workers_1_vs_4_byte_identical_on_vector(self):
+        serial = run_scenario(_tiny_stream(backend="vector", workers=1))
+        parallel = run_scenario(_tiny_stream(backend="vector", workers=4))
+        assert serial.to_json() == parallel.to_json()
+
+    def test_speculative_vector_matches_serial_event(self):
+        from repro.api.scenario import SpeculationSpec
+        spec = SpeculationSpec(kind="groups")
+        event = run_scenario(_tiny_stream())
+        vector = run_scenario(_tiny_stream(backend="vector",
+                                           speculation=spec))
+        assert _strip_backend(event) == _strip_backend(vector)
+
+
+class TestProvenance:
+    def test_event_backend_not_recorded(self):
+        result = run_scenario(_tiny_queue())
+        assert "backend" not in result.provenance
+        assert "backend" not in result.scenario["execution"]
+
+    def test_vector_backend_recorded(self):
+        result = run_scenario(_tiny_queue(backend="vector"))
+        assert result.provenance["backend"] == "vector"
+        # The embedded scenario stays backend-free (identity, not
+        # resources), so result files differ only in provenance.
+        assert "backend" not in result.scenario["execution"]

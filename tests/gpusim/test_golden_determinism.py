@@ -253,11 +253,20 @@ GOLDEN = {
 }
 
 
+def _engine(backend):
+    """Resolve an ``engine-backends`` name without importing at module
+    scope (keeps this module importable on trees without the api layer)."""
+    from repro.api.engines import engine_class
+    return engine_class(backend)
+
+
+@pytest.mark.parametrize("backend", ["event", "vector"])
 @pytest.mark.parametrize("case", sorted(CASES))
-def test_bit_identical_to_seed_engine(case):
+def test_bit_identical_to_seed_engine(case, backend):
     make_cfg, spec_dicts = CASES[case]
     specs = [_spec(**d) for d in spec_dicts]
-    result = simulate(make_cfg(), [Application(s.name, s) for s in specs])
+    result = simulate(make_cfg(), [Application(s.name, s) for s in specs],
+                      engine=_engine(backend))
     expected = GOLDEN[case]
     assert result.cycles == expected["cycles"]
     for app_id_str, fields in expected["apps"].items():
